@@ -1,0 +1,155 @@
+// Command sphinxbench regenerates the paper's evaluation figures on the
+// simulated disaggregated-memory cluster.
+//
+// Usage:
+//
+//	sphinxbench [flags] fig4|fig5|fig6|ablation|all
+//
+// Each experiment prints an aligned table; see EXPERIMENTS.md for the
+// mapping to the paper's figures and the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sphinx/internal/bench"
+	"sphinx/internal/dataset"
+)
+
+func main() {
+	keys := flag.Int("keys", 100_000, "loaded keys per dataset (paper: 60M)")
+	workers := flag.Int("workers", 24, "worker count for fig4/fig6/ablation")
+	ops := flag.Int("ops", 2000, "operations per worker per workload run")
+	seed := flag.Int64("seed", 1, "dataset and workload seed")
+	mns := flag.Int("mns", 3, "memory nodes")
+	cns := flag.Int("cns", 3, "compute nodes")
+	only := flag.String("dataset", "", "restrict to one dataset: u64 or email")
+	theta := flag.Float64("theta", 0.99, "zipfian request skew (paper: 0.99)")
+	stats := flag.Bool("stats", false, "print Sphinx routing diagnostics per run")
+	csvPath := flag.String("csv", "", "also write results as CSV to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|valsweep|all\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base := bench.Config{
+		Keys:         *keys,
+		Workers:      *workers,
+		OpsPerWorker: *ops,
+		Seed:         *seed,
+		MNs:          *mns,
+		CNs:          *cns,
+		Theta:        *theta,
+	}
+	var cfgs []bench.Config
+	switch *only {
+	case "":
+		cfgs = bench.DatasetConfigs(base)
+	case "u64":
+		base.Dataset = dataset.U64
+		cfgs = []bench.Config{base}
+	case "email":
+		base.Dataset = dataset.Email
+		cfgs = []bench.Config{base}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *only)
+		os.Exit(2)
+	}
+
+	var collected []bench.Result
+	run := func(name string) error {
+		for _, cfg := range cfgs {
+			switch name {
+			case "fig4":
+				results, err := bench.Fig4(cfg, nil, os.Stdout)
+				if err != nil {
+					return err
+				}
+				printDiags(results, *stats)
+				collected = append(collected, results...)
+			case "fig5":
+				results, err := bench.Fig5(cfg, nil, nil, os.Stdout)
+				if err != nil {
+					return err
+				}
+				printDiags(results, *stats)
+				collected = append(collected, results...)
+			case "fig6":
+				if _, err := bench.Fig6(cfg, os.Stdout); err != nil {
+					return err
+				}
+			case "ablation":
+				results, err := bench.Ablation(cfg, os.Stdout)
+				if err != nil {
+					return err
+				}
+				collected = append(collected, results...)
+			case "scaling":
+				results, err := bench.Scaling(cfg, nil, os.Stdout)
+				if err != nil {
+					return err
+				}
+				collected = append(collected, results...)
+			case "valsweep":
+				results, err := bench.ValueSweep(cfg, nil, os.Stdout)
+				if err != nil {
+					return err
+				}
+				collected = append(collected, results...)
+			default:
+				return fmt.Errorf("unknown experiment %q", name)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+
+	var err error
+	if flag.Arg(0) == "all" {
+		for _, name := range []string{"fig4", "fig5", "fig6", "ablation"} {
+			if err = run(name); err != nil {
+				break
+			}
+		}
+	} else {
+		err = run(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sphinxbench:", err)
+		os.Exit(1)
+	}
+	if *csvPath != "" && len(collected) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sphinxbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(collected, f); err != nil {
+			fmt.Fprintln(os.Stderr, "sphinxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(collected), *csvPath)
+	}
+}
+
+// printDiags dumps Sphinx routing diagnostics after an experiment when
+// requested (filter hit rates, false positives, restarts).
+func printDiags(results []bench.Result, enabled bool) {
+	if !enabled {
+		return
+	}
+	fmt.Println("# sphinx diagnostics")
+	for _, r := range results {
+		if d := r.Diag(); d != "" {
+			fmt.Printf("%-14s %-8s %-6s %s\n", r.System, r.Workload, r.Dataset, d)
+		}
+	}
+}

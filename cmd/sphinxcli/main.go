@@ -1,0 +1,132 @@
+// Command sphinxcli is an interactive shell over a simulated
+// disaggregated-memory cluster running one of the three index systems.
+// Useful for poking at the index and watching per-operation network costs.
+//
+//	$ go run ./cmd/sphinxcli
+//	sphinx> put LYRICS words-of-a-song
+//	ok  (6 round trips, 13.2 µs)
+//	sphinx> get LYRICS
+//	"words-of-a-song"  (3 round trips, 6.6 µs)
+//	sphinx> scan LYR LZ 10
+//	...
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sphinx"
+)
+
+func main() {
+	sysName := flag.String("system", "sphinx", "index system: sphinx, smart or art")
+	flag.Parse()
+
+	var sys sphinx.System
+	switch strings.ToLower(*sysName) {
+	case "sphinx":
+		sys = sphinx.SystemSphinx
+	case "smart":
+		sys = sphinx.SystemSMART
+	case "art":
+		sys = sphinx.SystemART
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *sysName)
+		os.Exit(2)
+	}
+
+	cluster, err := sphinx.NewCluster(sphinx.Config{System: sys})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	session := cluster.NewComputeNode().NewSession()
+	fmt.Printf("%v cluster ready (3 memory nodes, simulated RDMA)\n", sys)
+	fmt.Println("commands: get K | put K V | update K V | del K | scan LO HI [N] | stats | mem | help | quit")
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("sphinx> ")
+		if !in.Scan() {
+			break
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		before := session.Stats()
+		cmd := strings.ToLower(fields[0])
+		switch {
+		case cmd == "quit" || cmd == "exit":
+			return
+		case cmd == "help":
+			fmt.Println("get K | put K V | update K V | del K | scan LO HI [N] | stats | mem | quit")
+			continue
+		case cmd == "stats":
+			st := session.Stats()
+			fmt.Printf("session: %d round trips, %d verbs, %d B read, %d B written, %.1f µs virtual\n",
+				st.RoundTrips, st.Verbs, st.BytesRead, st.BytesWritten, float64(st.ClockPs)/1e6)
+			if sc, ok := session.SphinxStats(); ok {
+				fmt.Printf("sphinx:  %d filter hits, %d fallbacks, %d root walks, %d false positives, %d restarts\n",
+					sc.FilterHits, sc.FilterFallbacks, sc.RootStarts, sc.FalsePositives, sc.Restarts)
+			}
+			continue
+		case cmd == "mem":
+			mu, err := cluster.MemoryUsage()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("MN memory: inner %d B, leaves %d B, hash table %d B, metadata %d B\n",
+				mu.InnerNodeBytes, mu.LeafBytes, mu.HashTableBytes, mu.MetadataBytes)
+			continue
+		case cmd == "get" && len(fields) == 2:
+			v, ok, err := session.Get([]byte(fields[1]))
+			report(err, func() { fmt.Printf("%q", v) }, ok, "not found")
+		case cmd == "put" && len(fields) == 3:
+			err := session.Put([]byte(fields[1]), []byte(fields[2]))
+			report(err, func() { fmt.Print("ok") }, true, "")
+		case cmd == "update" && len(fields) == 3:
+			ok, err := session.Update([]byte(fields[1]), []byte(fields[2]))
+			report(err, func() { fmt.Print("ok") }, ok, "not found")
+		case cmd == "del" && len(fields) == 2:
+			ok, err := session.Delete([]byte(fields[1]))
+			report(err, func() { fmt.Print("deleted") }, ok, "not found")
+		case cmd == "scan" && (len(fields) == 3 || len(fields) == 4):
+			limit := 0
+			if len(fields) == 4 {
+				limit, _ = strconv.Atoi(fields[3])
+			}
+			kvs, err := session.Scan([]byte(fields[1]), []byte(fields[2]), limit)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, kv := range kvs {
+				fmt.Printf("  %-24s %q\n", kv.Key, kv.Value)
+			}
+			fmt.Printf("%d keys", len(kvs))
+		default:
+			fmt.Println("bad command; try: help")
+			continue
+		}
+		d := session.Stats()
+		fmt.Printf("  (%d round trips, %.1f µs)\n",
+			d.RoundTrips-before.RoundTrips, float64(d.ClockPs-before.ClockPs)/1e6)
+	}
+}
+
+func report(err error, success func(), ok bool, missing string) {
+	switch {
+	case err != nil:
+		fmt.Print("error: ", err)
+	case !ok:
+		fmt.Print(missing)
+	default:
+		success()
+	}
+}

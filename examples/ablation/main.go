@@ -1,0 +1,65 @@
+// Ablation: quantify what each of Sphinx's two mechanisms buys, using the
+// benchmark harness directly. Runs YCSB-C (read-only) over the email
+// dataset with the full system, with the succinct filter cache disabled
+// (hash-table-only: the Θ(L)-entries mode of paper §III-B's analysis),
+// and with doorbell batching disabled.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sphinx/internal/bench"
+	"sphinx/internal/dataset"
+	"sphinx/internal/ycsb"
+)
+
+func main() {
+	cfg := bench.Config{
+		Dataset:      dataset.Email,
+		Keys:         30_000,
+		Workers:      24,
+		OpsPerWorker: 500,
+	}
+	fmt.Println("What does each Sphinx mechanism contribute? (YCSB-C, email keys)")
+	fmt.Println()
+	fmt.Println(bench.ResultHeader())
+
+	type row struct {
+		sys  bench.System
+		note string
+	}
+	rows := []row{
+		{bench.Sphinx, "full system: filter cache → 1 hash entry read"},
+		{bench.SphinxNoSFC, "no filter: reads Θ(key length) hash entries in parallel"},
+		{bench.SphinxNoBatch, "no doorbell batching: every verb pays a round trip"},
+		{bench.SphinxTinySFC, "starved filter: constant second-chance eviction"},
+	}
+	var baseline bench.Result
+	for i, r := range rows {
+		cl, err := bench.NewCluster(r.sys, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cl.Load(0); err != nil {
+			log.Fatal(err)
+		}
+		res, err := cl.Run(ycsb.WorkloadC, 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Row())
+		fmt.Printf("    ^ %s\n", r.note)
+		if i == 0 {
+			baseline = res
+		}
+	}
+	fmt.Println()
+	fmt.Printf("baseline Sphinx: %.2f round trips and %.0f bytes per read\n",
+		baseline.RoundTripsPerOp, baseline.BytesPerOp)
+	fmt.Fprintln(os.Stdout, "the filter cache trades CN-local bits for remote bandwidth;",
+		"batching trades NIC doorbells for round trips")
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a simulated disaggregated-memory cluster, index some
+// keys with Sphinx, and run point lookups and a range scan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sphinx"
+)
+
+func main() {
+	// A cluster with three memory nodes and paper-like RDMA timing.
+	cluster, err := sphinx.NewCluster(sphinx.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One compute node; its sessions share the succinct filter cache.
+	cn := cluster.NewComputeNode()
+	s := cn.NewSession()
+
+	// Variable-length keys, including keys that are prefixes of others —
+	// the case adaptive radix trees exist for.
+	pairs := map[string]string{
+		"L":      "the letter",
+		"LYR":    "a prefix",
+		"LYRA":   "a constellation",
+		"LYRE":   "an instrument",
+		"LYRIC":  "a poem",
+		"LYRICS": "the words of a song",
+		"MOON":   "a satellite",
+	}
+	for k, v := range pairs {
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	v, ok, err := s.Get([]byte("LYRICS"))
+	if err != nil || !ok {
+		log.Fatalf("lookup failed: ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("LYRICS → %q\n", v)
+
+	fmt.Println("\nrange scan [LYR, LYRIC]:")
+	kvs, err := s.Scan([]byte("LYR"), []byte("LYRIC"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range kvs {
+		fmt.Printf("  %-8s → %q\n", kv.Key, kv.Value)
+	}
+
+	st := s.Stats()
+	fmt.Printf("\nnetwork: %d round trips, %d verbs, %d bytes read, %.1f µs of virtual time\n",
+		st.RoundTrips, st.Verbs, st.BytesRead, float64(st.ClockPs)/1e6)
+	if sc, ok := s.SphinxStats(); ok {
+		fmt.Printf("sphinx:  %d filter hits, %d root walks, %d false positives\n",
+			sc.FilterHits, sc.RootStarts, sc.FalsePositives)
+	}
+}

@@ -1,0 +1,3 @@
+module sphinx
+
+go 1.22

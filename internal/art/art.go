@@ -1,0 +1,592 @@
+// Package art is a local (single-address-space) adaptive radix tree
+// [Leis et al., ICDE'13], the index structure Sphinx distributes across
+// memory nodes. It supports variable-length byte-string keys, including
+// keys that are proper prefixes of other keys, via per-node EOL values —
+// the same convention the remote layout uses (internal/wire).
+//
+// Within this repository it serves two roles: the reference
+// implementation of "the original ART" whose DM port is the paper's
+// baseline, and the oracle that the remote index implementations are
+// cross-validated against (notably range-scan semantics).
+//
+// The tree is not safe for concurrent use.
+package art
+
+import (
+	"bytes"
+
+	"sphinx/internal/wire"
+)
+
+// Tree is an adaptive radix tree mapping byte-string keys to byte-string
+// values. The zero value is an empty tree ready for use.
+type Tree struct {
+	root ref
+	size int
+}
+
+// ref points at either a leaf or an inner node (exactly one is non-nil;
+// both nil means empty).
+type ref struct {
+	leaf  *leafKV
+	inner *innerNode
+}
+
+func (r ref) empty() bool { return r.leaf == nil && r.inner == nil }
+
+type leafKV struct {
+	key   []byte
+	value []byte
+}
+
+// innerNode is one adaptive node. Children are stored per the node's
+// capacity class:
+//
+//	Node4, Node16:  keys[i] ↔ children[i], kept sorted by key byte
+//	Node48:         index[b] = position+1 into children (0 = absent)
+//	Node256:        children[b] directly
+type innerNode struct {
+	typ      wire.NodeType
+	partial  []byte // path-compressed bytes between parent edge and this node
+	eol      *leafKV
+	n        int // number of present children
+	keys     []byte
+	index    []uint8
+	children []ref
+}
+
+func newInner(typ wire.NodeType, partial []byte) *innerNode {
+	n := &innerNode{typ: typ, partial: append([]byte(nil), partial...)}
+	switch typ {
+	case wire.Node4, wire.Node16:
+		n.keys = make([]byte, 0, typ.Capacity())
+		n.children = make([]ref, 0, typ.Capacity())
+	case wire.Node48:
+		n.index = make([]uint8, 256)
+		n.children = make([]ref, 0, 48)
+	case wire.Node256:
+		n.children = make([]ref, 256)
+	}
+	return n
+}
+
+// child returns the child reference for byte b, or an empty ref.
+func (n *innerNode) child(b byte) ref {
+	switch n.typ {
+	case wire.Node4, wire.Node16:
+		for i, k := range n.keys {
+			if k == b {
+				return n.children[i]
+			}
+		}
+	case wire.Node48:
+		if p := n.index[b]; p != 0 {
+			return n.children[p-1]
+		}
+	case wire.Node256:
+		return n.children[b]
+	}
+	return ref{}
+}
+
+// setChild replaces an existing child for byte b.
+func (n *innerNode) setChild(b byte, r ref) {
+	switch n.typ {
+	case wire.Node4, wire.Node16:
+		for i, k := range n.keys {
+			if k == b {
+				n.children[i] = r
+				return
+			}
+		}
+	case wire.Node48:
+		n.children[n.index[b]-1] = r
+		return
+	case wire.Node256:
+		n.children[b] = r
+		return
+	}
+	panic("art: setChild on absent byte")
+}
+
+// full reports whether the node cannot accept another child.
+func (n *innerNode) full() bool { return n.n >= n.typ.Capacity() }
+
+// addChild inserts a new child; the caller must have grown the node if it
+// was full.
+func (n *innerNode) addChild(b byte, r ref) {
+	switch n.typ {
+	case wire.Node4, wire.Node16:
+		i := 0
+		for i < len(n.keys) && n.keys[i] < b {
+			i++
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = b
+		n.children = append(n.children, ref{})
+		copy(n.children[i+1:], n.children[i:])
+		n.children[i] = r
+	case wire.Node48:
+		n.children = append(n.children, r)
+		n.index[b] = uint8(len(n.children))
+	case wire.Node256:
+		n.children[b] = r
+	}
+	n.n++
+}
+
+// removeChild deletes the child for byte b (which must be present).
+func (n *innerNode) removeChild(b byte) {
+	switch n.typ {
+	case wire.Node4, wire.Node16:
+		for i, k := range n.keys {
+			if k == b {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.children = append(n.children[:i], n.children[i+1:]...)
+				n.n--
+				return
+			}
+		}
+		panic("art: removeChild on absent byte")
+	case wire.Node48:
+		p := n.index[b]
+		if p == 0 {
+			panic("art: removeChild on absent byte")
+		}
+		last := uint8(len(n.children))
+		n.children[p-1] = n.children[last-1]
+		n.children = n.children[:last-1]
+		n.index[b] = 0
+		if p != last {
+			// Fix the index entry that pointed at the relocated child.
+			for bb := 0; bb < 256; bb++ {
+				if n.index[bb] == last {
+					n.index[bb] = p
+					break
+				}
+			}
+		}
+		n.n--
+	case wire.Node256:
+		n.children[b] = ref{}
+		n.n--
+	}
+}
+
+// grow returns a copy of n one capacity class larger.
+func (n *innerNode) grow() *innerNode {
+	g := newInner(n.typ.Grow(), n.partial)
+	g.eol = n.eol
+	n.forEach(func(b byte, r ref) bool {
+		g.addChild(b, r)
+		return true
+	})
+	return g
+}
+
+// shrink returns a copy of n one capacity class smaller, or n itself if it
+// is already a Node4.
+func (n *innerNode) shrink() *innerNode {
+	if n.typ == wire.Node4 {
+		return n
+	}
+	g := newInner(n.typ-1, n.partial)
+	g.eol = n.eol
+	n.forEach(func(b byte, r ref) bool {
+		g.addChild(b, r)
+		return true
+	})
+	return g
+}
+
+// forEach visits present children in ascending key-byte order.
+func (n *innerNode) forEach(fn func(b byte, r ref) bool) bool {
+	switch n.typ {
+	case wire.Node4, wire.Node16:
+		for i, k := range n.keys {
+			if !fn(k, n.children[i]) {
+				return false
+			}
+		}
+	case wire.Node48:
+		for b := 0; b < 256; b++ {
+			if p := n.index[b]; p != 0 {
+				if !fn(byte(b), n.children[p-1]) {
+					return false
+				}
+			}
+		}
+	case wire.Node256:
+		for b := 0; b < 256; b++ {
+			if r := n.children[b]; !r.empty() {
+				if !fn(byte(b), r) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a and b.
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	r := t.root
+	depth := 0
+	for {
+		switch {
+		case r.empty():
+			return nil, false
+		case r.leaf != nil:
+			if bytes.Equal(r.leaf.key, key) {
+				return r.leaf.value, true
+			}
+			return nil, false
+		}
+		n := r.inner
+		if commonPrefixLen(key[depth:], n.partial) < len(n.partial) {
+			return nil, false
+		}
+		depth += len(n.partial)
+		if depth == len(key) {
+			if n.eol != nil {
+				return n.eol.value, true
+			}
+			return nil, false
+		}
+		r = n.child(key[depth])
+		depth++
+	}
+}
+
+// Insert stores value for key, replacing any existing value. It reports
+// whether a previous value was replaced. The key and value are copied.
+func (t *Tree) Insert(key, value []byte) bool {
+	l := &leafKV{key: append([]byte(nil), key...), value: append([]byte(nil), value...)}
+	replaced := t.insert(&t.root, l, 0)
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+func (t *Tree) insert(r *ref, l *leafKV, depth int) bool {
+	if r.empty() {
+		*r = ref{leaf: l}
+		return false
+	}
+	if r.leaf != nil {
+		old := r.leaf
+		if bytes.Equal(old.key, l.key) {
+			old.value = l.value
+			return true
+		}
+		// Split the edge: a new Node4 whose partial is the extra shared
+		// prefix beyond depth.
+		m := commonPrefixLen(old.key[depth:], l.key[depth:])
+		n := newInner(wire.Node4, l.key[depth:depth+m])
+		at := depth + m
+		place := func(lf *leafKV) {
+			if len(lf.key) == at {
+				n.eol = lf
+			} else {
+				n.addChild(lf.key[at], ref{leaf: lf})
+			}
+		}
+		place(old)
+		place(l)
+		*r = ref{inner: n}
+		return false
+	}
+
+	n := r.inner
+	m := commonPrefixLen(l.key[depth:], n.partial)
+	if m < len(n.partial) {
+		// Diverges inside the compressed path: insert a new parent above
+		// n. n keeps its identity; only its partial shrinks (the property
+		// the paper's cache-coherence argument relies on).
+		parent := newInner(wire.Node4, n.partial[:m])
+		edge := n.partial[m]
+		n.partial = append([]byte(nil), n.partial[m+1:]...)
+		parent.addChild(edge, ref{inner: n})
+		at := depth + m
+		if len(l.key) == at {
+			parent.eol = l
+		} else {
+			parent.addChild(l.key[at], ref{leaf: l})
+		}
+		*r = ref{inner: parent}
+		return false
+	}
+	depth += len(n.partial)
+	if len(l.key) == depth {
+		replaced := n.eol != nil
+		n.eol = l
+		return replaced
+	}
+	b := l.key[depth]
+	if c := n.child(b); !c.empty() {
+		child := c
+		replaced := t.insert(&child, l, depth+1)
+		n.setChild(b, child)
+		return replaced
+	}
+	if n.full() {
+		g := n.grow()
+		g.addChild(b, ref{leaf: l})
+		*r = ref{inner: g}
+		return false
+	}
+	n.addChild(b, ref{leaf: l})
+	return false
+}
+
+// Delete removes key from the tree, reporting whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	deleted := t.delete(&t.root, key, 0)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree) delete(r *ref, key []byte, depth int) bool {
+	switch {
+	case r.empty():
+		return false
+	case r.leaf != nil:
+		if bytes.Equal(r.leaf.key, key) {
+			*r = ref{}
+			return true
+		}
+		return false
+	}
+	n := r.inner
+	if commonPrefixLen(key[depth:], n.partial) < len(n.partial) {
+		return false
+	}
+	depth += len(n.partial)
+	if depth == len(key) {
+		if n.eol == nil {
+			return false
+		}
+		n.eol = nil
+		t.compact(r)
+		return true
+	}
+	b := key[depth]
+	c := n.child(b)
+	if c.empty() {
+		return false
+	}
+	if !t.delete(&c, key, depth+1) {
+		return false
+	}
+	if c.empty() {
+		n.removeChild(b)
+		t.compact(r)
+	} else {
+		n.setChild(b, c)
+	}
+	return true
+}
+
+// compact applies the original ART's space optimizations after a removal:
+// collapse nodes left with a single child (re-extending the compressed
+// path), replace child-less nodes by their EOL leaf, and shrink
+// underfull nodes to a smaller capacity class.
+func (t *Tree) compact(r *ref) {
+	n := r.inner
+	switch {
+	case n.n == 0 && n.eol != nil:
+		*r = ref{leaf: n.eol}
+	case n.n == 0 && n.eol == nil:
+		*r = ref{}
+	case n.n == 1 && n.eol == nil:
+		var edge byte
+		var only ref
+		n.forEach(func(b byte, c ref) bool { edge, only = b, c; return false })
+		if only.inner != nil {
+			merged := append(append(append([]byte(nil), n.partial...), edge), only.inner.partial...)
+			only.inner.partial = merged
+			*r = only
+		} else {
+			*r = only
+		}
+	default:
+		if n.typ > wire.Node4 && n.n <= (n.typ-1).Capacity()/2 {
+			*r = ref{inner: n.shrink()}
+		}
+	}
+}
+
+// Min returns the smallest key in the tree.
+func (t *Tree) Min() ([]byte, []byte, bool) {
+	r := t.root
+	for {
+		switch {
+		case r.empty():
+			return nil, nil, false
+		case r.leaf != nil:
+			return r.leaf.key, r.leaf.value, true
+		}
+		n := r.inner
+		if n.eol != nil {
+			return n.eol.key, n.eol.value, true
+		}
+		var first ref
+		n.forEach(func(b byte, c ref) bool { first = c; return false })
+		r = first
+	}
+}
+
+// Max returns the largest key in the tree.
+func (t *Tree) Max() ([]byte, []byte, bool) {
+	r := t.root
+	for {
+		switch {
+		case r.empty():
+			return nil, nil, false
+		case r.leaf != nil:
+			return r.leaf.key, r.leaf.value, true
+		}
+		n := r.inner
+		var last ref
+		found := false
+		n.forEach(func(b byte, c ref) bool { last, found = c, true; return true })
+		if !found {
+			return n.eol.key, n.eol.value, n.eol != nil
+		}
+		r = last
+	}
+}
+
+// Scan visits all keys in [lo, hi] (inclusive; nil bounds are open) in
+// ascending order, stopping early if fn returns false. Subtrees entirely
+// outside the range are pruned, so a scan costs O(depth + results).
+func (t *Tree) Scan(lo, hi []byte, fn func(key, value []byte) bool) {
+	t.scan(t.root, nil, lo, hi, fn)
+}
+
+// scan visits ref r whose subtree keys all start with prefix cur.
+// lo and hi are the still-active bounds: a nil bound is already satisfied
+// for every key below this point. The return value is false to stop the
+// whole scan (either fn said stop, or the in-order walk passed hi).
+func (t *Tree) scan(r ref, cur, lo, hi []byte, fn func(key, value []byte) bool) bool {
+	switch {
+	case r.empty():
+		return true
+	case r.leaf != nil:
+		k := r.leaf.key
+		if lo != nil && bytes.Compare(k, lo) < 0 {
+			return true
+		}
+		if hi != nil && bytes.Compare(k, hi) > 0 {
+			return false
+		}
+		return fn(k, r.leaf.value)
+	}
+	n := r.inner
+	cur = append(cur, n.partial...)
+	if lo != nil {
+		m := len(cur)
+		if len(lo) < m {
+			m = len(lo)
+		}
+		switch bytes.Compare(cur[:m], lo[:m]) {
+		case -1:
+			return true // entire subtree < lo
+		case 1:
+			lo = nil // entire subtree > lo
+		default:
+			if len(cur) >= len(lo) {
+				lo = nil // lo is a prefix of cur: every key here ≥ lo
+			}
+		}
+	}
+	if hi != nil {
+		m := len(cur)
+		if len(hi) < m {
+			m = len(hi)
+		}
+		switch bytes.Compare(cur[:m], hi[:m]) {
+		case 1:
+			return false // entire subtree > hi: in-order walk is done
+		case -1:
+			hi = nil // entire subtree < hi
+		default:
+			if len(cur) > len(hi) {
+				return false // cur strictly extends hi: every key > hi
+			}
+		}
+	}
+	// The EOL leaf's key is exactly cur, which after the pruning above is
+	// ≥ lo iff lo was cleared, and always ≤ hi.
+	if n.eol != nil && lo == nil {
+		if !fn(n.eol.key, n.eol.value) {
+			return false
+		}
+	}
+	at := len(cur)
+	return n.forEach(func(b byte, c ref) bool {
+		if lo != nil && len(lo) > at && b < lo[at] {
+			return true // child subtree entirely < lo
+		}
+		if hi != nil && len(hi) > at && b > hi[at] {
+			return false // child subtree entirely > hi
+		}
+		childLo, childHi := lo, hi
+		if lo != nil && len(lo) > at && b > lo[at] {
+			childLo = nil
+		}
+		if hi != nil && len(hi) > at && b < hi[at] {
+			childHi = nil
+		}
+		return t.scan(c, append(cur, b), childLo, childHi, fn)
+	})
+}
+
+// NodeCounts tallies inner nodes by capacity class, the quantity behind
+// the paper's memory-usage comparison (Fig. 6).
+type NodeCounts struct {
+	ByType [4]int
+	Leaves int
+}
+
+// Counts walks the tree and returns its node census.
+func (t *Tree) Counts() NodeCounts {
+	var nc NodeCounts
+	var walk func(r ref)
+	walk = func(r ref) {
+		switch {
+		case r.empty():
+		case r.leaf != nil:
+			nc.Leaves++
+		default:
+			nc.ByType[r.inner.typ]++
+			if r.inner.eol != nil {
+				nc.Leaves++
+			}
+			r.inner.forEach(func(_ byte, c ref) bool { walk(c); return true })
+		}
+	}
+	walk(t.root)
+	return nc
+}

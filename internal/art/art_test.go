@@ -1,0 +1,402 @@
+package art
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sphinx/internal/wire"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Error("empty tree has nonzero length")
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Error("Get on empty tree succeeded")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Error("Delete on empty tree succeeded")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree succeeded")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	var tr Tree
+	pairs := map[string]string{
+		"LYRICS": "v1", "LYRIC": "v2", "LYR": "v3", "L": "v4",
+		"LYRICAL": "v5", "MOON": "v6", "": "v7",
+	}
+	for k, v := range pairs {
+		if tr.Insert([]byte(k), []byte(v)) {
+			t.Errorf("fresh insert of %q reported replace", k)
+		}
+	}
+	if tr.Len() != len(pairs) {
+		t.Errorf("Len = %d, want %d", tr.Len(), len(pairs))
+	}
+	for k, v := range pairs {
+		got, ok := tr.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Errorf("Get(%q) = %q,%v want %q", k, got, ok, v)
+		}
+	}
+	if _, ok := tr.Get([]byte("LY")); ok {
+		t.Error("Get of absent intermediate prefix succeeded")
+	}
+	if _, ok := tr.Get([]byte("LYRICSX")); ok {
+		t.Error("Get of absent extension succeeded")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	var tr Tree
+	tr.Insert([]byte("key"), []byte("old"))
+	if !tr.Insert([]byte("key"), []byte("new")) {
+		t.Error("overwrite not reported as replace")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after replace", tr.Len())
+	}
+	v, _ := tr.Get([]byte("key"))
+	if string(v) != "new" {
+		t.Errorf("value = %q", v)
+	}
+}
+
+func TestKeysThatArePrefixes(t *testing.T) {
+	var tr Tree
+	keys := []string{"a", "ab", "abc", "abcd", "abcde"}
+	for i, k := range keys {
+		tr.Insert([]byte(k), []byte{byte(i)})
+	}
+	for i, k := range keys {
+		v, ok := tr.Get([]byte(k))
+		if !ok || v[0] != byte(i) {
+			t.Errorf("Get(%q) = %v,%v", k, v, ok)
+		}
+	}
+}
+
+func TestKeysWithNULBytes(t *testing.T) {
+	// u64 big-endian keys contain zero bytes; no terminator tricks allowed.
+	var tr Tree
+	keys := [][]byte{
+		{0, 0, 0, 0}, {0, 0, 0, 1}, {0, 1}, {0}, {1, 0, 0},
+	}
+	for i, k := range keys {
+		tr.Insert(k, []byte{byte(i + 1)})
+	}
+	for i, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok || v[0] != byte(i+1) {
+			t.Errorf("Get(% x) = %v,%v", k, v, ok)
+		}
+	}
+}
+
+func TestGrowThroughAllNodeTypes(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 256; i++ {
+		tr.Insert([]byte{byte(i), 'x'}, []byte{byte(i)})
+	}
+	for i := 0; i < 256; i++ {
+		v, ok := tr.Get([]byte{byte(i), 'x'})
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("lost key %d after growth", i)
+		}
+	}
+	nc := tr.Counts()
+	if nc.ByType[wire.Node256] == 0 {
+		t.Error("256 children did not produce a Node256")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree
+	keys := []string{"a", "ab", "abc", "b", "ba", "bb", "c"}
+	for _, k := range keys {
+		tr.Insert([]byte(k), []byte(k))
+	}
+	for i, k := range keys {
+		if !tr.Delete([]byte(k)) {
+			t.Fatalf("delete %q failed", k)
+		}
+		if tr.Len() != len(keys)-i-1 {
+			t.Fatalf("Len = %d after deleting %q", tr.Len(), k)
+		}
+		if _, ok := tr.Get([]byte(k)); ok {
+			t.Fatalf("%q still present after delete", k)
+		}
+		for _, rest := range keys[i+1:] {
+			if _, ok := tr.Get([]byte(rest)); !ok {
+				t.Fatalf("%q lost while deleting %q", rest, k)
+			}
+		}
+	}
+}
+
+func TestDeleteShrinksNodes(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 200; i++ {
+		tr.Insert([]byte{byte(i)}, []byte{1})
+	}
+	before := tr.Counts()
+	if before.ByType[wire.Node256] == 0 {
+		t.Fatal("setup: expected a Node256")
+	}
+	for i := 0; i < 198; i++ {
+		tr.Delete([]byte{byte(i)})
+	}
+	after := tr.Counts()
+	if after.ByType[wire.Node256] != 0 {
+		t.Error("Node256 survived shrinking to 2 children")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var tr Tree
+	for _, k := range []string{"m", "b", "zz", "ba", "z"} {
+		tr.Insert([]byte(k), []byte(k))
+	}
+	k, _, ok := tr.Min()
+	if !ok || string(k) != "b" {
+		t.Errorf("Min = %q,%v", k, ok)
+	}
+	k, _, ok = tr.Max()
+	if !ok || string(k) != "zz" {
+		t.Errorf("Max = %q,%v", k, ok)
+	}
+}
+
+func TestScanFullTreeSorted(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(1))
+	keys := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		k := make([]byte, 1+rng.Intn(12))
+		rng.Read(k)
+		keys[string(k)] = true
+		tr.Insert(k, []byte("v"))
+	}
+	var got []string
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("scan returned %d keys, tree has %d", len(got), len(keys))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Error("scan output not sorted")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 1000; i++ {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(i*3))
+		tr.Insert(k[:], []byte{1})
+	}
+	var lo, hi [8]byte
+	binary.BigEndian.PutUint64(lo[:], 300)
+	binary.BigEndian.PutUint64(hi[:], 900)
+	count := 0
+	tr.Scan(lo[:], hi[:], func(k, v []byte) bool {
+		x := binary.BigEndian.Uint64(k)
+		if x < 300 || x > 900 {
+			t.Fatalf("scan leaked out-of-range key %d", x)
+		}
+		count++
+		return true
+	})
+	want := 0
+	for i := 0; i < 1000; i++ {
+		if v := i * 3; v >= 300 && v <= 900 {
+			want++
+		}
+	}
+	if count != want {
+		t.Errorf("scan count = %d, want %d", count, want)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key%03d", i)), []byte{1})
+	}
+	count := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d keys, want 10", count)
+	}
+}
+
+func TestScanRangeWithPrefixKeys(t *testing.T) {
+	var tr Tree
+	keys := []string{"a", "ab", "abc", "ac", "b", "ba"}
+	for _, k := range keys {
+		tr.Insert([]byte(k), []byte(k))
+	}
+	var got []string
+	tr.Scan([]byte("ab"), []byte("b"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"ab", "abc", "ac", "b"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("scan = %v, want %v", got, want)
+	}
+}
+
+// oracle-based randomized comparison
+
+type oracle map[string]string
+
+func (o oracle) scan(lo, hi string) []string {
+	var ks []string
+	for k := range o {
+		if (lo == "" || k >= lo) && (hi == "" || k <= hi) {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func TestRandomOpsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tr Tree
+	o := oracle{}
+	randKey := func() []byte {
+		// Cluster keys to force deep shared prefixes and EOL cases.
+		n := 1 + rng.Intn(10)
+		k := make([]byte, n)
+		for i := range k {
+			k[i] = byte('a' + rng.Intn(4))
+		}
+		return k
+	}
+	for step := 0; step < 20000; step++ {
+		k := randKey()
+		switch rng.Intn(4) {
+		case 0, 1: // insert
+			v := fmt.Sprintf("v%d", step)
+			tr.Insert(k, []byte(v))
+			o[string(k)] = v
+		case 2: // delete
+			want := false
+			if _, ok := o[string(k)]; ok {
+				want = true
+				delete(o, string(k))
+			}
+			if got := tr.Delete(k); got != want {
+				t.Fatalf("step %d: Delete(%q) = %v, oracle %v", step, k, got, want)
+			}
+		case 3: // get
+			got, ok := tr.Get(k)
+			wantV, wantOK := o[string(k)]
+			if ok != wantOK || (ok && string(got) != wantV) {
+				t.Fatalf("step %d: Get(%q) = %q,%v, oracle %q,%v", step, k, got, ok, wantV, wantOK)
+			}
+		}
+	}
+	if tr.Len() != len(o) {
+		t.Fatalf("Len = %d, oracle %d", tr.Len(), len(o))
+	}
+	// Full-scan equivalence.
+	var got []string
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		if string(v) != o[string(k)] {
+			t.Fatalf("scan value mismatch for %q", k)
+		}
+		return true
+	})
+	want := o.scan("", "")
+	if len(got) != len(want) {
+		t.Fatalf("scan count %d, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %q, oracle %q", i, got[i], want[i])
+		}
+	}
+	// Random range scans.
+	for i := 0; i < 200; i++ {
+		lo, hi := randKey(), randKey()
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		var ks []string
+		tr.Scan(lo, hi, func(k, v []byte) bool {
+			ks = append(ks, string(k))
+			return true
+		})
+		wantKs := o.scan(string(lo), string(hi))
+		if fmt.Sprint(ks) != fmt.Sprint(wantKs) {
+			t.Fatalf("range scan [%q,%q] = %v, oracle %v", lo, hi, ks, wantKs)
+		}
+	}
+}
+
+func TestInsertGetProperty(t *testing.T) {
+	var tr Tree
+	seen := map[string][]byte{}
+	f := func(key, value []byte) bool {
+		if len(key) > wire.MaxDepth {
+			return true
+		}
+		tr.Insert(key, value)
+		seen[string(key)] = value
+		for k, v := range seen {
+			got, ok := tr.Get([]byte(k))
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	var tr Tree
+	tr.Insert([]byte("aa"), []byte{1})
+	tr.Insert([]byte("ab"), []byte{1})
+	nc := tr.Counts()
+	if nc.ByType[wire.Node4] != 1 || nc.Leaves != 2 {
+		t.Errorf("counts = %+v", nc)
+	}
+}
+
+func TestLongCommonPrefixSplit(t *testing.T) {
+	var tr Tree
+	long := bytes.Repeat([]byte("x"), 100)
+	k1 := append(append([]byte{}, long...), 'a')
+	k2 := append(append([]byte{}, long...), 'b')
+	k3 := append(append([]byte{}, long[:50]...), 'q')
+	tr.Insert(k1, []byte("1"))
+	tr.Insert(k2, []byte("2"))
+	tr.Insert(k3, []byte("3")) // splits the 100-byte compressed path
+	for i, k := range [][]byte{k1, k2, k3} {
+		v, ok := tr.Get(k)
+		if !ok || string(v) != fmt.Sprint(i+1) {
+			t.Errorf("key %d lost after path split", i)
+		}
+	}
+}

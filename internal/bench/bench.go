@@ -1,0 +1,290 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (§V): it builds simulated DM clusters, loads datasets, drives
+// YCSB workloads through each of the four compared systems and reports
+// throughput, latency and memory in the same shape as the paper's figures.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sphinx/internal/cuckoo"
+
+	"sphinx/internal/artdm"
+	"sphinx/internal/consistenthash"
+	"sphinx/internal/core"
+	"sphinx/internal/dataset"
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/rart"
+	"sphinx/internal/smart"
+	"sphinx/internal/ycsb"
+)
+
+// System identifies one compared index (paper §V-A Comparisons), plus the
+// ablation variants this repository adds.
+type System int
+
+// The compared systems.
+const (
+	Sphinx System = iota
+	SMART
+	SMARTC // SMART with the 10× cache (paper's SMART+C)
+	ART    // the original ART ported to DM
+
+	// Ablations (not in the paper's figures; see DESIGN.md).
+	SphinxNoSFC      // inner-node hash table only, filter cache disabled
+	SphinxNoBatch    // doorbell batching disabled
+	SphinxTinySFC    // capacity-starved filter cache (eviction pressure)
+	SphinxTinyRand   // starved filter with random eviction (vs second chance)
+	SphinxNoDirCache // hash-table directory caches disabled
+)
+
+// String names the system as the paper's figures do.
+func (s System) String() string {
+	switch s {
+	case Sphinx:
+		return "Sphinx"
+	case SMART:
+		return "SMART"
+	case SMARTC:
+		return "SMART+C"
+	case ART:
+		return "ART"
+	case SphinxNoSFC:
+		return "Sphinx-noSFC"
+	case SphinxNoBatch:
+		return "Sphinx-noDB"
+	case SphinxTinySFC:
+		return "Sphinx-tinySFC"
+	case SphinxTinyRand:
+		return "Sphinx-tinyRnd"
+	case SphinxNoDirCache:
+		return "Sphinx-noDirC"
+	default:
+		return fmt.Sprintf("system(%d)", int(s))
+	}
+}
+
+// PaperSystems lists the four systems of Fig. 4 and Fig. 5.
+var PaperSystems = []System{Sphinx, SMART, SMARTC, ART}
+
+// Config describes one cluster/experiment setup. Zero values select the
+// defaults matching the paper's testbed shape at reduced scale.
+type Config struct {
+	Dataset      dataset.Kind
+	Keys         int // loaded key count (paper: 60 M; default here: 100 k)
+	ValueSize    int // paper: 64
+	MNs, CNs     int // paper: 3 and 3 (colocated)
+	Workers      int // total workers, split across CNs (paper: 6–192)
+	OpsPerWorker int
+	Net          fabric.Config
+	Seed         int64
+	// Theta is the zipfian skew of the request distribution (default the
+	// paper's 0.99; lower it toward 0 for near-uniform requests).
+	Theta float64
+
+	// Cache budgets in bytes. Zero selects the paper's ratios: Sphinx and
+	// SMART get 20 MB per 480 MB of u64 key bytes (≈4.17%), SMART+C 10×
+	// that — both computed against the u64-equivalent key volume so that
+	// email runs see the same absolute budget, as in §V-A.
+	SphinxCache uint64
+	SmartCache  uint64
+	SmartCCache uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Keys == 0 {
+		c.Keys = 100_000
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 64
+	}
+	if c.MNs == 0 {
+		c.MNs = 3
+	}
+	if c.CNs == 0 {
+		c.CNs = 3
+	}
+	if c.Workers == 0 {
+		c.Workers = 24
+	}
+	if c.OpsPerWorker == 0 {
+		c.OpsPerWorker = 2000
+	}
+	if c.Net == (fabric.Config{}) {
+		c.Net = fabric.DefaultConfig()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Theta == 0 {
+		c.Theta = ycsb.DefaultTheta
+	}
+	u64Bytes := uint64(c.Keys) * 8
+	if c.SphinxCache == 0 {
+		c.SphinxCache = u64Bytes * 417 / 10000
+	}
+	if c.SmartCache == 0 {
+		c.SmartCache = u64Bytes * 417 / 10000
+	}
+	if c.SmartCCache == 0 {
+		c.SmartCCache = u64Bytes * 4170 / 10000
+	}
+	return c
+}
+
+// Index is the operation surface shared by all compared systems.
+type Index interface {
+	Search(key []byte) ([]byte, bool, error)
+	Insert(key, value []byte) (bool, error)
+	Update(key, value []byte) (bool, error)
+	Delete(key []byte) (bool, error)
+	ScanN(lo []byte, n int) ([]rart.KV, error)
+}
+
+// Cluster is one bootstrapped system instance plus its dataset and
+// workload state.
+type Cluster struct {
+	Sys  System
+	Cfg  Config
+	F    *fabric.Fabric
+	Ring *consistenthash.Ring
+
+	keys  [][]byte
+	space *ycsb.KeySpace
+	zipf  *ycsb.Zipfian
+	value []byte
+
+	sphinxShared core.Shared
+	smartShared  smart.Shared
+	artShared    artdm.Shared
+	filters      []*core.FilterCache // per CN
+	caches       []*smart.NodeCache  // per CN
+}
+
+// NewCluster builds the fabric, bootstraps the system and generates the
+// dataset (not yet loaded into the index).
+func NewCluster(sys System, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	f := fabric.New(cfg.Net)
+	nodes := make([]mem.NodeID, cfg.MNs)
+	perMN := uint64(64<<20) + uint64(cfg.Keys)*6*1024/uint64(cfg.MNs)
+	for i := range nodes {
+		nodes[i] = f.AddNode(perMN)
+	}
+	ring := consistenthash.New(nodes, 0)
+
+	cl := &Cluster{Sys: sys, Cfg: cfg, F: f, Ring: ring}
+	cl.keys = dataset.Generate(cfg.Dataset, cfg.Keys, cfg.Seed)
+	cl.space = ycsb.NewKeySpace(cl.keys, dataset.Novel(cfg.Dataset, cfg.Seed+7))
+	cl.zipf = ycsb.NewZipfian(uint64(cfg.Keys), cfg.Theta)
+	cl.value = make([]byte, cfg.ValueSize)
+	rand.New(rand.NewSource(cfg.Seed)).Read(cl.value)
+
+	var err error
+	switch sys {
+	case Sphinx, SphinxNoSFC, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoDirCache:
+		cl.sphinxShared, err = core.Bootstrap(f, ring, cfg.Keys)
+		cl.filters = make([]*core.FilterCache, cfg.CNs)
+		for i := range cl.filters {
+			budget := cfg.SphinxCache
+			policy := cuckoo.PolicySecondChance
+			switch sys {
+			case SphinxTinySFC:
+				budget /= 64
+			case SphinxTinyRand:
+				budget /= 64
+				policy = cuckoo.PolicyRandom
+			}
+			cl.filters[i] = core.NewFilterCacheBytesPolicy(budget, uint64(cfg.Seed)+uint64(i)|1, policy)
+		}
+	case SMART, SMARTC:
+		cl.smartShared, err = smart.Bootstrap(f, ring)
+		budget := cfg.SmartCache
+		if sys == SMARTC {
+			budget = cfg.SmartCCache
+		}
+		cl.caches = make([]*smart.NodeCache, cfg.CNs)
+		for i := range cl.caches {
+			cl.caches[i] = smart.NewNodeCache(budget)
+		}
+	case ART:
+		cl.artShared, err = artdm.Bootstrap(f, ring)
+	default:
+		return nil, fmt.Errorf("bench: unknown system %v", sys)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// scanAdapter bridges the per-system Scan(lo, hi, limit) signatures to the
+// YCSB scan(start, count) shape.
+type sphinxIndex struct{ c *core.Client }
+
+func (s sphinxIndex) Search(k []byte) ([]byte, bool, error) { return s.c.Search(k) }
+func (s sphinxIndex) Insert(k, v []byte) (bool, error)      { return s.c.Insert(k, v) }
+func (s sphinxIndex) Update(k, v []byte) (bool, error)      { return s.c.Update(k, v) }
+func (s sphinxIndex) Delete(k []byte) (bool, error)         { return s.c.Delete(k) }
+func (s sphinxIndex) ScanN(lo []byte, n int) ([]rart.KV, error) {
+	return s.c.Scan(lo, nil, n)
+}
+
+type smartIndex struct{ c *smart.Client }
+
+func (s smartIndex) Search(k []byte) ([]byte, bool, error) { return s.c.Search(k) }
+func (s smartIndex) Insert(k, v []byte) (bool, error)      { return s.c.Insert(k, v) }
+func (s smartIndex) Update(k, v []byte) (bool, error)      { return s.c.Update(k, v) }
+func (s smartIndex) Delete(k []byte) (bool, error)         { return s.c.Delete(k) }
+func (s smartIndex) ScanN(lo []byte, n int) ([]rart.KV, error) {
+	return s.c.Scan(lo, nil, n)
+}
+
+type artIndex struct{ c *artdm.Client }
+
+func (s artIndex) Search(k []byte) ([]byte, bool, error) { return s.c.Search(k) }
+func (s artIndex) Insert(k, v []byte) (bool, error)      { return s.c.Insert(k, v) }
+func (s artIndex) Update(k, v []byte) (bool, error)      { return s.c.Update(k, v) }
+func (s artIndex) Delete(k []byte) (bool, error)         { return s.c.Delete(k) }
+func (s artIndex) ScanN(lo []byte, n int) ([]rart.KV, error) {
+	return s.c.Scan(lo, nil, n)
+}
+
+// NewIndex mounts the cluster's system for one worker on the given compute
+// node. The returned index is single-worker; CN-level caches are shared.
+func (cl *Cluster) NewIndex(cn int) (Index, *fabric.Client) {
+	fc := cl.F.NewClient()
+	if cl.Sys == SphinxNoBatch {
+		fc.SetNoBatch(true)
+	}
+	switch cl.Sys {
+	case Sphinx, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand:
+		c := core.NewClient(cl.sphinxShared, fc, core.Options{Filter: cl.filters[cn%len(cl.filters)]})
+		return sphinxIndex{c}, fc
+	case SphinxNoSFC:
+		c := core.NewClient(cl.sphinxShared, fc, core.Options{DisableFilter: true})
+		return sphinxIndex{c}, fc
+	case SphinxNoDirCache:
+		c := core.NewClient(cl.sphinxShared, fc, core.Options{
+			Filter:          cl.filters[cn%len(cl.filters)],
+			DisableDirCache: true,
+		})
+		return sphinxIndex{c}, fc
+	case SMART, SMARTC:
+		c := smart.NewClient(cl.smartShared, fc, smart.Options{Cache: cl.caches[cn%len(cl.caches)]})
+		return smartIndex{c}, fc
+	case ART:
+		c := artdm.NewClient(cl.artShared, fc, rart.Config{})
+		return artIndex{c}, fc
+	default:
+		panic("bench: unknown system")
+	}
+}
+
+// Keys exposes the loaded key set (for verification in tests).
+func (cl *Cluster) Keys() [][]byte { return cl.keys }
+
+// Value returns the run's value payload.
+func (cl *Cluster) Value() []byte { return cl.value }

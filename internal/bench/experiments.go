@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"sphinx/internal/dataset"
+	"sphinx/internal/ycsb"
+)
+
+// Fig4 regenerates the paper's Fig. 4 for one dataset: YCSB throughput of
+// LOAD, A, B, C, D, E for each compared system. The LOAD measurement is
+// the dataset population itself; the remaining workloads run against the
+// loaded index with CN caches warm, as on the testbed.
+func Fig4(cfg Config, systems []System, out io.Writer) ([]Result, error) {
+	if len(systems) == 0 {
+		systems = PaperSystems
+	}
+	fmt.Fprintf(out, "# Fig. 4 — YCSB throughput, dataset=%v keys=%d workers=%d\n",
+		cfg.withDefaults().Dataset, cfg.withDefaults().Keys, cfg.withDefaults().Workers)
+	fmt.Fprintln(out, ResultHeader())
+	var results []Result
+	for _, sys := range systems {
+		cl, err := NewCluster(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		load, err := cl.Load(0)
+		if err != nil {
+			return nil, fmt.Errorf("%v load: %w", sys, err)
+		}
+		results = append(results, load)
+		fmt.Fprintln(out, load.Row())
+		for _, w := range []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB, ycsb.WorkloadC, ycsb.WorkloadD, ycsb.WorkloadE} {
+			r, err := cl.Run(w, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%v workload %s: %w", sys, w.Name, err)
+			}
+			results = append(results, r)
+			fmt.Fprintln(out, r.Row())
+		}
+	}
+	return results, nil
+}
+
+// Fig5Workers is the paper's worker sweep (6–192 across 3 CNs).
+var Fig5Workers = []int{6, 12, 24, 48, 96, 192}
+
+// Fig5 regenerates the paper's Fig. 5 for one dataset: the
+// throughput–latency curve of YCSB-A as the worker count grows. Each
+// system is loaded once and swept.
+func Fig5(cfg Config, systems []System, workerSteps []int, out io.Writer) ([]Result, error) {
+	if len(systems) == 0 {
+		systems = PaperSystems
+	}
+	if len(workerSteps) == 0 {
+		workerSteps = Fig5Workers
+	}
+	fmt.Fprintf(out, "# Fig. 5 — YCSB-A throughput vs latency, dataset=%v keys=%d\n",
+		cfg.withDefaults().Dataset, cfg.withDefaults().Keys)
+	fmt.Fprintln(out, ResultHeader())
+	var results []Result
+	for _, sys := range systems {
+		cl, err := NewCluster(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cl.Load(0); err != nil {
+			return nil, fmt.Errorf("%v load: %w", sys, err)
+		}
+		for _, workers := range workerSteps {
+			r, err := cl.Run(ycsb.WorkloadA, workers, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%v workers=%d: %w", sys, workers, err)
+			}
+			results = append(results, r)
+			fmt.Fprintln(out, r.Row())
+		}
+	}
+	return results, nil
+}
+
+// Fig6 regenerates the paper's Fig. 6: MN-side memory usage after loading
+// the dataset into ART, Sphinx and SMART. The paper's two headline numbers
+// fall out directly: the inner-node hash table's overhead over the plain
+// tree (3.3% u64 / 4.9% email at paper scale) and SMART's multiple of the
+// original ART (2.1–3.0×).
+func Fig6(cfg Config, out io.Writer) ([]MemUsage, error) {
+	fmt.Fprintf(out, "# Fig. 6 — MN-side memory, dataset=%v keys=%d\n",
+		cfg.withDefaults().Dataset, cfg.withDefaults().Keys)
+	fmt.Fprintf(out, "%-14s %12s %12s %12s %12s %10s %10s\n",
+		"system", "inner(B)", "leaf(B)", "hash(B)", "total(B)", "INHT ovh", "vs ART")
+	var artTotal uint64
+	var usages []MemUsage
+	for _, sys := range []System{ART, Sphinx, SMART} {
+		cl, err := NewCluster(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cl.Load(0); err != nil {
+			return nil, fmt.Errorf("%v load: %w", sys, err)
+		}
+		mu, err := cl.MemoryUsage()
+		if err != nil {
+			return nil, err
+		}
+		usages = append(usages, mu)
+		if sys == ART {
+			artTotal = mu.IndexBytes()
+		}
+		inhtOvh := "-"
+		if sys == Sphinx {
+			inhtOvh = fmt.Sprintf("%.1f%%", 100*float64(mu.HashBytes())/float64(mu.IndexBytes()))
+		}
+		vsART := "-"
+		if artTotal > 0 {
+			vsART = fmt.Sprintf("%.2fx", float64(mu.IndexBytes())/float64(artTotal))
+		}
+		fmt.Fprintf(out, "%-14s %12d %12d %12d %12d %10s %10s\n",
+			mu.System, mu.ByClass[1], mu.ByClass[2], mu.ByClass[3], mu.Total, inhtOvh, vsART)
+	}
+	return usages, nil
+}
+
+// Ablation quantifies Sphinx's design choices (DESIGN.md experiment
+// index): the filter cache (round trips and bytes saved vs hash-only),
+// doorbell batching, and filter capacity pressure.
+func Ablation(cfg Config, out io.Writer) ([]Result, error) {
+	systems := []System{Sphinx, SphinxNoSFC, SphinxNoBatch, SphinxNoDirCache, SphinxTinySFC, SphinxTinyRand}
+	fmt.Fprintf(out, "# Ablation — Sphinx variants, dataset=%v keys=%d workers=%d\n",
+		cfg.withDefaults().Dataset, cfg.withDefaults().Keys, cfg.withDefaults().Workers)
+	fmt.Fprintln(out, ResultHeader())
+	var results []Result
+	for _, sys := range systems {
+		cl, err := NewCluster(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cl.Load(0); err != nil {
+			return nil, fmt.Errorf("%v load: %w", sys, err)
+		}
+		for _, w := range []ycsb.Workload{ycsb.WorkloadC, ycsb.WorkloadA} {
+			r, err := cl.Run(w, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%v workload %s: %w", sys, w.Name, err)
+			}
+			results = append(results, r)
+			fmt.Fprintln(out, r.Row())
+			if d := r.Diag(); d != "" {
+				fmt.Fprintln(out, d)
+			}
+		}
+	}
+	return results, nil
+}
+
+// Scaling measures how Sphinx's advantage over the naive ART grows with
+// dataset size (tree depth). Not a paper figure, but the bridge between
+// this repository's reduced-scale runs and the paper's 60 M-key factors:
+// Sphinx's warm path is 3 round trips at any depth, while the baseline
+// pays one per level, so the throughput ratio tracks tree depth.
+func Scaling(base Config, keySteps []int, out io.Writer) ([]Result, error) {
+	if len(keySteps) == 0 {
+		keySteps = []int{10_000, 50_000, 250_000}
+	}
+	fmt.Fprintf(out, "# Scaling — Sphinx vs ART on YCSB-C as the tree deepens, dataset=%v\n",
+		base.withDefaults().Dataset)
+	fmt.Fprintln(out, ResultHeader())
+	var results []Result
+	for _, keys := range keySteps {
+		cfg := base
+		cfg.Keys = keys
+		var pair [2]Result
+		for i, sys := range []System{Sphinx, ART} {
+			cl, err := NewCluster(sys, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := cl.Load(0); err != nil {
+				return nil, fmt.Errorf("%v keys=%d load: %w", sys, keys, err)
+			}
+			r, err := cl.Run(ycsb.WorkloadC, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%v keys=%d: %w", sys, keys, err)
+			}
+			r.Workload = fmt.Sprintf("C/%dk", keys/1000)
+			pair[i] = r
+			results = append(results, r)
+			fmt.Fprintln(out, r.Row())
+		}
+		fmt.Fprintf(out, "    keys=%d: Sphinx/ART throughput %.2fx, ART depth cost %.2f RT/op vs Sphinx %.2f\n",
+			keys, pair[0].ThroughputMops/pair[1].ThroughputMops,
+			pair[1].RoundTripsPerOp, pair[0].RoundTripsPerOp)
+	}
+	return results, nil
+}
+
+// ValueSweep measures YCSB-A across value sizes (the paper fixes 64 B;
+// this extension shows where the in-place update protocol's single-WRITE
+// saving and the speculative leaf read interact with payload size).
+func ValueSweep(base Config, sizes []int, out io.Writer) ([]Result, error) {
+	if len(sizes) == 0 {
+		sizes = []int{16, 64, 256, 1024}
+	}
+	fmt.Fprintf(out, "# Value sweep — Sphinx YCSB-A across value sizes, dataset=%v keys=%d\n",
+		base.withDefaults().Dataset, base.withDefaults().Keys)
+	fmt.Fprintln(out, ResultHeader())
+	var results []Result
+	for _, size := range sizes {
+		cfg := base
+		cfg.ValueSize = size
+		cl, err := NewCluster(Sphinx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cl.Load(0); err != nil {
+			return nil, fmt.Errorf("valsize=%d load: %w", size, err)
+		}
+		r, err := cl.Run(ycsb.WorkloadA, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("valsize=%d: %w", size, err)
+		}
+		r.Workload = fmt.Sprintf("A/%dB", size)
+		results = append(results, r)
+		fmt.Fprintln(out, r.Row())
+	}
+	return results, nil
+}
+
+// WriteCSV renders results as CSV for external plotting.
+func WriteCSV(results []Result, out io.Writer) error {
+	if _, err := fmt.Fprintln(out, "system,workload,dataset,workers,ops,tput_mops,avg_us,p50_us,p99_us,rt_per_op,verbs_per_op,bytes_per_op,filter_hit_pct,fp_per_kop"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(out, "%s,%s,%s,%d,%d,%.4f,%.3f,%.3f,%.3f,%.3f,%.3f,%.1f,%.2f,%.3f\n",
+			r.System, r.Workload, r.Dataset, r.Workers, r.Ops,
+			r.ThroughputMops, r.AvgLatUs, r.P50LatUs, r.P99LatUs,
+			r.RoundTripsPerOp, r.VerbsPerOp, r.BytesPerOp,
+			r.SphinxFilterHitPct, r.SphinxFPPerKOp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DatasetConfigs returns a config per paper dataset with shared settings.
+func DatasetConfigs(base Config) []Config {
+	u := base
+	u.Dataset = dataset.U64
+	e := base
+	e.Dataset = dataset.Email
+	return []Config{u, e}
+}

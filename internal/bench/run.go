@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sphinx/internal/core"
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/ycsb"
+)
+
+// Result is one (system, workload) measurement in the units the paper
+// reports: throughput in Mops/s and latency in microseconds, both in
+// virtual network time.
+type Result struct {
+	System   string
+	Workload string
+	Dataset  string
+	Workers  int
+
+	Ops            uint64
+	ElapsedPs      int64
+	ThroughputMops float64
+	AvgLatUs       float64
+	P50LatUs       float64
+	P99LatUs       float64
+
+	RoundTripsPerOp float64
+	VerbsPerOp      float64
+	BytesPerOp      float64
+
+	// Sphinx-only diagnostics (zero for other systems): how operations
+	// were routed and how often the probabilistic machinery misfired.
+	SphinxFilterHitPct   float64
+	SphinxFPPerKOp       float64
+	SphinxRestartsPerKOp float64
+	SphinxCollisions     uint64
+}
+
+// Diag renders the Sphinx diagnostics line, or "" for other systems.
+func (r Result) Diag() string {
+	if r.SphinxFilterHitPct == 0 && r.SphinxFPPerKOp == 0 && r.SphinxRestartsPerKOp == 0 {
+		return ""
+	}
+	return fmt.Sprintf("    [sphinx] filter-hit %.1f%%  falsePos %.2f/kop  restarts %.2f/kop  collisions %d",
+		r.SphinxFilterHitPct, r.SphinxFPPerKOp, r.SphinxRestartsPerKOp, r.SphinxCollisions)
+}
+
+// header returns the column header matching Result.Row.
+func ResultHeader() string {
+	return fmt.Sprintf("%-14s %-8s %-6s %7s %12s %10s %10s %10s %8s %8s %10s",
+		"system", "workload", "data", "workers", "tput(Mops)", "avg(us)", "p50(us)", "p99(us)", "RT/op", "verbs/op", "bytes/op")
+}
+
+// Row renders the result as one aligned table line.
+func (r Result) Row() string {
+	return fmt.Sprintf("%-14s %-8s %-6s %7d %12.3f %10.2f %10.2f %10.2f %8.2f %8.2f %10.0f",
+		r.System, r.Workload, r.Dataset, r.Workers,
+		r.ThroughputMops, r.AvgLatUs, r.P50LatUs, r.P99LatUs,
+		r.RoundTripsPerOp, r.VerbsPerOp, r.BytesPerOp)
+}
+
+// Load inserts the full dataset with the given number of workers. When
+// measured, the insert phase itself is the benchmark (the paper's LOAD
+// workload); otherwise it is just population.
+func (cl *Cluster) Load(workers int) (Result, error) {
+	if workers <= 0 {
+		workers = cl.Cfg.Workers
+	}
+	cl.F.ResetTimelines() // fresh measurement phase: idle network
+	keys := cl.keys
+	value := cl.value
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	lats := make([][]int64, workers)
+	clients := make([]*fabric.Client, workers)
+	idxs := make([]Index, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			idx, fc := cl.NewIndex(w % cl.Cfg.CNs)
+			clients[w] = fc
+			idxs[w] = idx
+			lat := make([]int64, 0, len(keys)/workers+1)
+			for i := w; i < len(keys); i += workers {
+				start := fc.Clock()
+				if _, err := idx.Insert(keys[i], value); err != nil {
+					errCh <- fmt.Errorf("load worker %d key %d: %w", w, i, err)
+					return
+				}
+				lat = append(lat, fc.Clock()-start)
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	r := cl.summarize("LOAD", workers, clients, lats)
+	cl.attachSphinxDiag(&r, idxs)
+	return r, nil
+}
+
+// Run drives one YCSB workload. The index must already be loaded. Every
+// worker gets a fresh fabric client (clock zero) so that the measurement
+// window is clean; CN-level caches keep the warmth they gained during
+// loading, as on a real cluster.
+func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, error) {
+	if workers <= 0 {
+		workers = cl.Cfg.Workers
+	}
+	if opsPerWorker <= 0 {
+		opsPerWorker = cl.Cfg.OpsPerWorker
+	}
+	cl.F.ResetTimelines() // fresh measurement phase: idle network
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	lats := make([][]int64, workers)
+	clients := make([]*fabric.Client, workers)
+	idxs := make([]Index, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			idx, fc := cl.NewIndex(wk % cl.Cfg.CNs)
+			clients[wk] = fc
+			idxs[wk] = idx
+			gen := ycsb.NewGenerator(w, cl.space, cl.zipf, cl.Cfg.Seed+int64(wk)*7919)
+			lat := make([]int64, 0, opsPerWorker)
+			for i := 0; i < opsPerWorker; i++ {
+				op := gen.Next()
+				start := fc.Clock()
+				var err error
+				switch op.Kind {
+				case ycsb.OpRead:
+					_, _, err = idx.Search(op.Key)
+				case ycsb.OpUpdate:
+					_, err = idx.Update(op.Key, cl.value)
+				case ycsb.OpInsert:
+					_, err = idx.Insert(op.Key, cl.value)
+				case ycsb.OpScan:
+					_, err = idx.ScanN(op.Key, op.ScanLen)
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d op %d (%v): %w", wk, i, op.Kind, err)
+					return
+				}
+				lat = append(lat, fc.Clock()-start)
+			}
+			lats[wk] = lat
+		}(wk)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return Result{}, err
+	}
+	r := cl.summarize(w.Name, workers, clients, lats)
+	cl.attachSphinxDiag(&r, idxs)
+	return r, nil
+}
+
+// attachSphinxDiag aggregates Sphinx client counters into the result.
+func (cl *Cluster) attachSphinxDiag(r *Result, idxs []Index) {
+	var agg core.Stats
+	found := false
+	for _, ix := range idxs {
+		if si, ok := ix.(sphinxIndex); ok && si.c != nil {
+			agg = agg.Add(si.c.Stats())
+			found = true
+		}
+	}
+	if !found || r.Ops == 0 {
+		return
+	}
+	locates := agg.FilterHits + agg.FilterFallbacks + agg.RootStarts
+	if locates > 0 {
+		r.SphinxFilterHitPct = 100 * float64(agg.FilterHits) / float64(locates)
+	}
+	r.SphinxFPPerKOp = 1000 * float64(agg.FalsePositives) / float64(r.Ops)
+	r.SphinxRestartsPerKOp = 1000 * float64(agg.Restarts) / float64(r.Ops)
+	r.SphinxCollisions = agg.CollisionRetry
+}
+
+// summarize folds per-worker clocks, latencies and network stats into a
+// Result. Throughput is total operations over the slowest worker's virtual
+// time, matching how a wall-clock experiment would measure a fixed
+// per-worker op count.
+func (cl *Cluster) summarize(workload string, workers int, clients []*fabric.Client, lats [][]int64) Result {
+	var all []int64
+	var elapsed int64
+	var net fabric.Stats
+	var ops uint64
+	for w := range clients {
+		if clients[w] == nil {
+			continue
+		}
+		if c := clients[w].Clock(); c > elapsed {
+			elapsed = c
+		}
+		net = net.Add(clients[w].Stats())
+		all = append(all, lats[w]...)
+		ops += uint64(len(lats[w]))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	r := Result{
+		System:   cl.Sys.String(),
+		Workload: workload,
+		Dataset:  cl.Cfg.Dataset.String(),
+		Workers:  workers,
+		Ops:      ops,
+	}
+	if elapsed > 0 {
+		r.ElapsedPs = elapsed
+		// ops / (ps → s): ops * 1e12 / ps, reported in Mops.
+		r.ThroughputMops = float64(ops) / (float64(elapsed) / 1e12) / 1e6
+	}
+	if len(all) > 0 {
+		var sum int64
+		for _, l := range all {
+			sum += l
+		}
+		r.AvgLatUs = float64(sum) / float64(len(all)) / 1e6
+		r.P50LatUs = float64(all[len(all)/2]) / 1e6
+		r.P99LatUs = float64(all[len(all)*99/100]) / 1e6
+	}
+	if ops > 0 {
+		r.RoundTripsPerOp = float64(net.RoundTrips) / float64(ops)
+		r.VerbsPerOp = float64(net.Verbs) / float64(ops)
+		r.BytesPerOp = float64(net.BytesRead+net.BytesWrite) / float64(ops)
+	}
+	return r
+}
+
+// MemUsage aggregates MN-side memory by allocation class (Fig. 6).
+type MemUsage struct {
+	System  string
+	Dataset string
+	ByClass [mem.NumClasses]uint64
+	Total   uint64 // all classes (the index's MN footprint)
+}
+
+// IndexBytes is the tree footprint (inner + leaf), the baseline the
+// paper's INHT-overhead percentage is computed against.
+func (m MemUsage) IndexBytes() uint64 {
+	return m.ByClass[mem.ClassInner] + m.ByClass[mem.ClassLeaf]
+}
+
+// HashBytes is the inner-node-hash-table footprint.
+func (m MemUsage) HashBytes() uint64 { return m.ByClass[mem.ClassHash] }
+
+// MemoryUsage reads every memory node's allocator counters.
+func (cl *Cluster) MemoryUsage() (MemUsage, error) {
+	mu := MemUsage{System: cl.Sys.String(), Dataset: cl.Cfg.Dataset.String()}
+	ops := cl.F.Regions()
+	for _, node := range cl.Ring.Nodes() {
+		u, err := mem.ReadUsage(ops, node)
+		if err != nil {
+			return mu, err
+		}
+		for c := 0; c < int(mem.NumClasses); c++ {
+			mu.ByClass[c] += u.ByClass[c]
+		}
+	}
+	for _, b := range mu.ByClass {
+		mu.Total += b
+	}
+	return mu, nil
+}

@@ -1,0 +1,83 @@
+// Package consistenthash implements the consistent-hashing ring Sphinx uses
+// to spread ART nodes evenly across memory nodes (paper §III: "The ART
+// Nodes of Sphinx are evenly distributed across MNs by consistent
+// hashing"). The ring is built once at cluster setup and shared read-only
+// by every client, so lookups are lock-free.
+package consistenthash
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sphinx/internal/mem"
+	"sphinx/internal/wire"
+)
+
+// DefaultVirtualNodes is the number of ring points per memory node. A few
+// hundred keeps the load imbalance between nodes within a few percent.
+const DefaultVirtualNodes = 128
+
+// Ring maps 64-bit placement hashes to memory nodes.
+type Ring struct {
+	points []point
+	nodes  []mem.NodeID
+}
+
+type point struct {
+	hash uint64
+	node mem.NodeID
+}
+
+// New builds a ring over the given memory nodes with virtualNodes ring
+// points each (0 selects DefaultVirtualNodes). It panics on an empty node
+// list: a cluster without memory nodes cannot place anything.
+func New(nodes []mem.NodeID, virtualNodes int) *Ring {
+	if len(nodes) == 0 {
+		panic("consistenthash: no memory nodes")
+	}
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	r := &Ring{nodes: append([]mem.NodeID(nil), nodes...)}
+	var buf [10]byte
+	for _, n := range nodes {
+		buf[0] = byte(n)
+		buf[1] = byte(n)
+		for v := 0; v < virtualNodes; v++ {
+			binary.LittleEndian.PutUint64(buf[2:], uint64(v))
+			r.points = append(r.points, point{hash: wire.Hash64Seed(buf[:], 4), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the memory nodes on the ring.
+func (r *Ring) Nodes() []mem.NodeID { return r.nodes }
+
+// Owner returns the memory node owning the given placement hash: the first
+// ring point clockwise from the hash.
+func (r *Ring) Owner(hash uint64) mem.NodeID {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// OwnerKey returns the memory node owning the given key (e.g., an inner
+// node's full prefix).
+func (r *Ring) OwnerKey(key []byte) mem.NodeID {
+	return r.Owner(wire.Hash64Seed(key, 5))
+}
+
+// String summarizes the ring for diagnostics.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d nodes, %d points)", len(r.nodes), len(r.points))
+}

@@ -1,0 +1,103 @@
+package consistenthash
+
+import (
+	"fmt"
+	"testing"
+
+	"sphinx/internal/mem"
+)
+
+func TestOwnerDeterministic(t *testing.T) {
+	r1 := New([]mem.NodeID{0, 1, 2}, 64)
+	r2 := New([]mem.NodeID{0, 1, 2}, 64)
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if r1.OwnerKey(key) != r2.OwnerKey(key) {
+			t.Fatalf("ring not deterministic for %q", key)
+		}
+	}
+}
+
+func TestOwnerInNodeSet(t *testing.T) {
+	nodes := []mem.NodeID{3, 5, 9}
+	r := New(nodes, 0)
+	valid := map[mem.NodeID]bool{3: true, 5: true, 9: true}
+	for i := 0; i < 1000; i++ {
+		n := r.OwnerKey([]byte(fmt.Sprintf("k%d", i)))
+		if !valid[n] {
+			t.Fatalf("owner %d not in node set", n)
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	nodes := []mem.NodeID{0, 1, 2}
+	r := New(nodes, DefaultVirtualNodes)
+	counts := make(map[mem.NodeID]int)
+	const total = 30000
+	for i := 0; i < total; i++ {
+		counts[r.OwnerKey([]byte(fmt.Sprintf("prefix/%d", i)))]++
+	}
+	want := total / len(nodes)
+	for n, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("node %d owns %d of %d keys (want ≈%d): imbalanced", n, c, total, want)
+		}
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	r := New([]mem.NodeID{7}, 4)
+	for i := 0; i < 100; i++ {
+		if n := r.Owner(uint64(i) * 0x9e3779b9); n != 7 {
+			t.Fatalf("single-node ring returned %d", n)
+		}
+	}
+}
+
+func TestStabilityUnderNodeAddition(t *testing.T) {
+	// Adding a node must move only ~1/n of the keys (the consistent-hash
+	// property that motivates its use for node placement).
+	rSmall := New([]mem.NodeID{0, 1, 2}, DefaultVirtualNodes)
+	rBig := New([]mem.NodeID{0, 1, 2, 3}, DefaultVirtualNodes)
+	const total = 20000
+	moved := 0
+	for i := 0; i < total; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if rSmall.OwnerKey(key) != rBig.OwnerKey(key) {
+			moved++
+		}
+	}
+	// Expect ≈ total/4 moved; fail above half.
+	if moved > total/2 {
+		t.Errorf("%d of %d keys moved on node addition (want ≈%d)", moved, total, total/4)
+	}
+	if moved == 0 {
+		t.Error("no keys moved to the new node")
+	}
+}
+
+func TestEmptyRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty node list")
+		}
+	}()
+	New(nil, 8)
+}
+
+func TestNodesAccessor(t *testing.T) {
+	nodes := []mem.NodeID{4, 2}
+	r := New(nodes, 8)
+	got := r.Nodes()
+	if len(got) != 2 || got[0] != 4 || got[1] != 2 {
+		t.Errorf("Nodes() = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	r := New([]mem.NodeID{0, 1}, 16)
+	if s := r.String(); s != "ring(2 nodes, 32 points)" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,257 @@
+// Package core implements Sphinx, the paper's contribution: a hybrid range
+// index for variable-length keys on disaggregated memory. It combines
+//
+//   - the ART node engine (internal/rart) for the tree itself,
+//   - the Inner Node Hash Table (internal/racehash, paper §III-A): one
+//     RACE-style table per memory node mapping inner-node full prefixes to
+//     8-byte entries, letting a client reach the deepest relevant inner
+//     node with a single hash-entry read instead of a root-to-node walk,
+//   - the Succinct Filter Cache (internal/cuckoo, paper §III-B): a per-CN
+//     cuckoo filter tracking which prefixes exist, so the client usually
+//     knows the deepest prefix locally and reads exactly one hash entry.
+//
+// A warm-path Search therefore costs three network round trips: hash
+// entry, inner node, leaf (paper §III-B), independent of key length and
+// tree depth.
+package core
+
+import (
+	"sync"
+
+	"sphinx/internal/consistenthash"
+	"sphinx/internal/cuckoo"
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/racehash"
+	"sphinx/internal/rart"
+	"sphinx/internal/wire"
+)
+
+// sfcSeed derives the filter-cache hash from a prefix; distinct from every
+// other hash use in the system.
+const sfcSeed = 8
+
+// PrefixFilterHash returns the succinct-filter-cache hash of a prefix.
+func PrefixFilterHash(prefix []byte) uint64 { return wire.Hash64Seed(prefix, sfcSeed) }
+
+// Shared is the cluster-wide immutable descriptor of one Sphinx index.
+type Shared struct {
+	Root   mem.Addr
+	Ring   *consistenthash.Ring
+	Tables map[mem.NodeID]racehash.Table
+}
+
+// Bootstrap creates an empty Sphinx index: the root node plus one inner
+// node hash table per memory node, sized for the expected number of keys
+// (inner-node count is bounded by key count; tables resize beyond that).
+// Runs at cluster-setup time with direct region access.
+func Bootstrap(f *fabric.Fabric, ring *consistenthash.Ring, expectedKeys int) (Shared, error) {
+	alloc := mem.NewAllocator(f.Regions(), 0)
+	home := ring.OwnerKey(nil)
+	root, err := rart.BootstrapRoot(f.Region(home), alloc, home)
+	if err != nil {
+		return Shared{}, err
+	}
+	tables := make(map[mem.NodeID]racehash.Table, len(ring.Nodes()))
+	// Inner nodes are a fraction of the key count (one per shared-prefix
+	// branch point); a quarter is generous for both datasets, and the
+	// table resizes itself beyond that.
+	perNode := expectedKeys/(4*len(ring.Nodes())) + 1
+	for _, node := range ring.Nodes() {
+		t, err := racehash.Bootstrap(f.Region(node), alloc, node, perNode)
+		if err != nil {
+			return Shared{}, err
+		}
+		tables[node] = t
+	}
+	return Shared{Root: root, Ring: ring, Tables: tables}, nil
+}
+
+// FilterCache is the per-compute-node Succinct Filter Cache: a cuckoo
+// filter shared by all workers of one CN (paper §III-B, "a lightweight
+// per-CN cache"). Access is mutex-serialized — it lives in CN-local
+// memory, where a lock costs nanoseconds against the microseconds of any
+// network operation it saves.
+type FilterCache struct {
+	mu sync.Mutex
+	f  *cuckoo.Filter
+}
+
+// NewFilterCache creates a filter cache with capacity for n prefixes.
+func NewFilterCache(n int, seed uint64) *FilterCache {
+	return &FilterCache{f: cuckoo.New(n, seed)}
+}
+
+// NewFilterCacheBytes creates a filter cache bounded by a CN-side memory
+// budget (the quantity the paper's evaluation fixes at 20 MB).
+func NewFilterCacheBytes(budget uint64, seed uint64) *FilterCache {
+	return NewFilterCacheBytesPolicy(budget, seed, cuckoo.PolicySecondChance)
+}
+
+// NewFilterCacheBytesPolicy additionally selects the eviction policy —
+// the paper's hotness-driven second chance, or random replacement for the
+// ablation comparison.
+func NewFilterCacheBytesPolicy(budget uint64, seed uint64, policy cuckoo.Policy) *FilterCache {
+	// Two bytes per slot; size so SizeBytes() ≈ budget.
+	n := int(budget / 2 * 95 / 100)
+	if n < 8 {
+		n = 8
+	}
+	return &FilterCache{f: cuckoo.NewWithPolicy(n, seed, policy)}
+}
+
+// Contains checks a prefix hash, marking it hot on a hit.
+func (fc *FilterCache) Contains(h uint64) bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.f.Contains(h)
+}
+
+// Insert learns a prefix hash.
+func (fc *FilterCache) Insert(h uint64) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.f.Insert(h)
+}
+
+// Delete unlearns a prefix hash (after a detected false positive).
+func (fc *FilterCache) Delete(h uint64) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.f.Delete(h)
+}
+
+// SizeBytes returns the filter's memory footprint.
+func (fc *FilterCache) SizeBytes() uint64 {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.f.SizeBytes()
+}
+
+// FilterStats returns the underlying filter counters.
+func (fc *FilterCache) FilterStats() cuckoo.Stats {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.f.Stats()
+}
+
+// Options tunes one Sphinx client.
+type Options struct {
+	// Filter is the CN's shared Succinct Filter Cache. If nil and
+	// FilterEntries > 0, the client builds a private one; if nil and
+	// FilterEntries == 0, a default-sized private one is built.
+	Filter *FilterCache
+	// FilterEntries sizes the private filter when Filter is nil.
+	FilterEntries int
+	// DisableFilter turns the Succinct Filter Cache off: every operation
+	// falls back to the parallel multi-prefix hash read (the Θ(L) mode of
+	// §III-B's analysis). Ablation lever.
+	DisableFilter bool
+	// DisableDirCache drops the client-side hash-table directory caches:
+	// every bucket resolution reads the meta word and directory entry
+	// remotely. Ablation lever for the §IV directory cache.
+	DisableDirCache bool
+	// Engine passes through node-engine tuning.
+	Engine rart.Config
+	// Seed makes the private filter deterministic.
+	Seed uint64
+}
+
+// Stats counts Sphinx-level events per client.
+type Stats struct {
+	Searches        uint64
+	Inserts         uint64
+	Updates         uint64
+	Deletes         uint64
+	Scans           uint64
+	FilterHits      uint64 // locates resolved via the filter cache
+	FilterFallbacks uint64 // locates that fell back to the parallel read
+	RootStarts      uint64 // locates that started at the root
+	FalsePositives  uint64 // filter said yes, index said no (unlearned)
+	CollisionRetry  uint64 // leaf-level common-prefix check tripped (§III-B)
+	Restarts        uint64 // operation-level retries (coherence protocol)
+	StaleEntries    uint64 // invalid hash entries cleaned opportunistically
+}
+
+// Add returns s + t, field-wise; used to aggregate workers.
+func (s Stats) Add(t Stats) Stats {
+	s.Searches += t.Searches
+	s.Inserts += t.Inserts
+	s.Updates += t.Updates
+	s.Deletes += t.Deletes
+	s.Scans += t.Scans
+	s.FilterHits += t.FilterHits
+	s.FilterFallbacks += t.FilterFallbacks
+	s.RootStarts += t.RootStarts
+	s.FalsePositives += t.FalsePositives
+	s.CollisionRetry += t.CollisionRetry
+	s.Restarts += t.Restarts
+	s.StaleEntries += t.StaleEntries
+	return s
+}
+
+// Client is one worker's handle on a Sphinx index. Not safe for concurrent
+// use; workers of one CN share only the FilterCache.
+type Client struct {
+	shared Shared
+	eng    *rart.Engine
+	views  map[mem.NodeID]*racehash.View
+	filter *FilterCache
+	opts   Options
+	stats  Stats
+}
+
+// NewClient mounts a Sphinx index over one fabric client.
+func NewClient(shared Shared, c *fabric.Client, opts Options) *Client {
+	alloc := mem.NewAllocator(c, 0)
+	cl := &Client{
+		shared: shared,
+		eng:    rart.NewEngine(c, alloc, shared.Ring, opts.Engine),
+		views:  make(map[mem.NodeID]*racehash.View, len(shared.Tables)),
+		filter: opts.Filter,
+		opts:   opts,
+	}
+	for node, t := range shared.Tables {
+		if opts.DisableDirCache {
+			cl.views[node] = racehash.NewViewNoCache(t, c)
+		} else {
+			cl.views[node] = racehash.NewView(t, c)
+		}
+	}
+	if cl.filter == nil && !opts.DisableFilter {
+		n := opts.FilterEntries
+		if n == 0 {
+			n = 1 << 16
+		}
+		cl.filter = NewFilterCache(n, opts.Seed|1)
+	}
+	return cl
+}
+
+// Engine exposes the node engine (fabric client, allocator) for stats.
+func (c *Client) Engine() *rart.Engine { return c.eng }
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Filter returns the client's filter cache (nil when disabled).
+func (c *Client) Filter() *FilterCache { return c.filter }
+
+// CacheBytes reports the client's total CN-side cache consumption: the
+// succinct filter cache plus the hash-table directory caches (paper §IV:
+// "typically 2-5% of the succinct filter cache size").
+func (c *Client) CacheBytes() uint64 {
+	var total uint64
+	if c.filter != nil {
+		total += c.filter.SizeBytes()
+	}
+	for _, v := range c.views {
+		total += v.DirCacheBytes()
+	}
+	return total
+}
+
+// viewFor returns the hash-table view of the memory node owning a prefix.
+func (c *Client) viewFor(prefix []byte) *racehash.View {
+	return c.views[c.shared.Ring.OwnerKey(prefix)]
+}

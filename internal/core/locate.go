@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"sphinx/internal/fabric"
+	"sphinx/internal/racehash"
+	"sphinx/internal/rart"
+	"sphinx/internal/wire"
+)
+
+// locate finds the deepest inner node whose full prefix is a prefix of
+// key, considering only prefixes of length ≤ maxLen (a false-positive
+// retry shrinks maxLen, per §III-B). It returns the node and the prefix
+// length the jump targeted (0 for the root).
+//
+// With the filter cache this is the paper's warm path: local existence
+// checks pick the longest live prefix, then one hash-entry round trip and
+// one node round trip. Without it (ablation / cold fallback), all prefix
+// buckets are fetched in a single doorbell batch (§III-A).
+func (c *Client) locate(key []byte, maxLen int) (*rart.Node, int, error) {
+	if maxLen > len(key) {
+		maxLen = len(key)
+	}
+	if c.opts.DisableFilter {
+		return c.locateParallel(key, maxLen)
+	}
+	for l := maxLen; l >= 1; l-- {
+		prefix := key[:l]
+		h := PrefixFilterHash(prefix)
+		if !c.filter.Contains(h) {
+			continue
+		}
+		n, err := c.fetchValidated(prefix)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n != nil {
+			c.stats.FilterHits++
+			return n, l, nil
+		}
+		// The filter claimed a prefix the index does not have: unlearn it
+		// and retry shorter (paper §III-B false-positive handling).
+		c.stats.FalsePositives++
+		c.filter.Delete(h)
+	}
+	c.stats.RootStarts++
+	root, err := c.readRoot()
+	return root, 0, err
+}
+
+// fetchValidated looks the prefix up in the inner node hash table, reads
+// all fingerprint-matching candidate nodes in one doorbell batch, and
+// returns the first that passes the metadata checks of Fig. 3: live
+// status, matching depth and matching 42-bit full-prefix hash. Stale
+// entries pointing at retired nodes are removed opportunistically.
+func (c *Client) fetchValidated(prefix []byte) (*rart.Node, error) {
+	view := c.viewFor(prefix)
+	h42 := racehash.PlacementHash(prefix)
+	fp := wire.FP12(prefix)
+	cands, err := view.Lookup(h42, fp)
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	nodes, err := c.readCandidates(cands)
+	if err != nil {
+		return nil, err
+	}
+	var found *rart.Node
+	for i, n := range nodes {
+		if n == nil {
+			continue
+		}
+		switch {
+		case n.Hdr.Status == wire.StatusInvalid:
+			// Retired by a type switch whose table update this entry
+			// predates; clean it up so future lookups stay single-read.
+			c.stats.StaleEntries++
+			if err := view.Remove(h42, cands[i].Entry); err != nil {
+				return nil, err
+			}
+		case c.validPrefixNode(n, prefix) && found == nil:
+			found = n
+		}
+	}
+	return found, nil
+}
+
+// validPrefixNode applies the §III-B metadata checks.
+func (c *Client) validPrefixNode(n *rart.Node, prefix []byte) bool {
+	return int(n.Hdr.Depth) == len(prefix) && n.Hdr.PrefixHash == wire.PrefixHash42(prefix)
+}
+
+// readCandidates fetches candidate inner nodes in one doorbell batch.
+// Entries whose size hint proved stale are re-read individually.
+func (c *Client) readCandidates(cands []racehash.Candidate) ([]*rart.Node, error) {
+	ops := make([]fabric.Op, 0, len(cands))
+	bufs := make([][]byte, len(cands))
+	for i, cand := range cands {
+		op, buf := c.eng.ReadNodeOps(cand.Entry.Addr, cand.Entry.Type)
+		ops = append(ops, op...)
+		bufs[i] = buf
+	}
+	if err := c.eng.C.Batch(ops); err != nil {
+		return nil, err
+	}
+	nodes := make([]*rart.Node, len(cands))
+	for i, cand := range cands {
+		n, err := rart.Decode(cand.Entry.Addr, bufs[i])
+		if err != nil {
+			// Stale size hint or garbage behind a collided entry: retry
+			// once at full fidelity, and treat a second failure as a
+			// non-candidate rather than an operation error.
+			n, err = c.eng.ReadNode(cand.Entry.Addr, cand.Entry.Type)
+			if err != nil {
+				continue
+			}
+		}
+		nodes[i] = n
+	}
+	return nodes, nil
+}
+
+// locateParallel is the filter-less path: read the candidate buckets of
+// every prefix of the key in one doorbell batch (Θ(L) entries, one round
+// trip — §III-A), then fetch the deepest candidate node.
+func (c *Client) locateParallel(key []byte, maxLen int) (*rart.Node, int, error) {
+	type pending struct {
+		l    int
+		view *racehash.View
+		h42  uint64
+		fp   uint16
+		read *racehash.PreparedRead
+	}
+	pendings := make([]pending, 0, maxLen)
+	var ops []fabric.Op
+	for l := 1; l <= maxLen; l++ {
+		prefix := key[:l]
+		view := c.viewFor(prefix)
+		p, err := view.Prepare(racehash.PlacementHash(prefix))
+		if err != nil {
+			return nil, 0, err
+		}
+		pendings = append(pendings, pending{
+			l: l, view: view,
+			h42: racehash.PlacementHash(prefix), fp: wire.FP12(prefix),
+			read: p,
+		})
+		ops = append(ops, p.Ops()...)
+	}
+	if len(ops) > 0 {
+		if err := c.eng.C.Batch(ops); err != nil {
+			return nil, 0, err
+		}
+	}
+	c.stats.FilterFallbacks++
+
+	// Deepest first: validate the bucket read, collect candidates, fetch.
+	for i := len(pendings) - 1; i >= 0; i-- {
+		p := pendings[i]
+		cands := p.read.Candidates(p.fp)
+		if !p.read.Valid() {
+			// Stale directory cache for this prefix: redo just this one.
+			fresh, err := p.view.Lookup(p.h42, p.fp)
+			if err != nil {
+				return nil, 0, err
+			}
+			cands = fresh
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		nodes, err := c.readCandidates(cands)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, n := range nodes {
+			if n != nil && n.Hdr.Status != wire.StatusInvalid && c.validPrefixNode(n, key[:p.l]) {
+				return n, p.l, nil
+			}
+		}
+	}
+	c.stats.RootStarts++
+	root, err := c.readRoot()
+	return root, 0, err
+}
+
+func (c *Client) readRoot() (*rart.Node, error) {
+	n, err := c.eng.ReadNode(c.shared.Root, wire.Node256)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading root: %w", err)
+	}
+	return n, nil
+}

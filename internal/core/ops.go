@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"sphinx/internal/rart"
+	"sphinx/internal/wire"
+)
+
+const maxOpRetries = 256
+
+// hooks wires tree events into Sphinx's side structures: descent
+// discoveries feed the filter cache; structural changes maintain the inner
+// node hash table (paper §IV).
+type hooks struct{ c *Client }
+
+// SawNode learns every prefix encountered during a descent into the filter
+// cache ("the client updates the succinct filter cache for any prefixes
+// not present in the cache", §IV Search).
+func (h hooks) SawNode(prefix []byte, n *rart.Node) {
+	if len(prefix) == 0 || h.c.filter == nil {
+		return
+	}
+	h.c.filter.Insert(PrefixFilterHash(prefix))
+}
+
+// NewInner publishes a fresh inner node: an 8-byte entry keyed by its full
+// prefix goes into the owning memory node's hash table, and the local
+// filter learns the prefix. Remote CNs learn it lazily during traversals
+// (§IV Insert: "synchronization of caches on other CNs is deferred").
+func (h hooks) NewInner(prefix []byte, n *rart.Node) error {
+	entry := wire.HashEntry{Valid: true, FP: wire.FP12(prefix), Type: n.Hdr.Type, Addr: n.Addr}
+	if err := h.c.viewFor(prefix).Insert(n.Hdr.PrefixHash, entry, h.c.eng.Alloc); err != nil {
+		return err
+	}
+	if h.c.filter != nil {
+		h.c.filter.Insert(PrefixFilterHash(prefix))
+	}
+	return nil
+}
+
+// TypeSwitched swaps the node's hash entry for the grown copy with one CAS
+// (§IV Insert: "This update can be performed atomically using an RDMA CAS,
+// as the client modifies only one 8-byte hash entry"). The full prefix —
+// the entry's key — is unchanged, so no other state moves.
+func (h hooks) TypeSwitched(prefix []byte, old, grown *rart.Node) error {
+	fp := wire.FP12(prefix)
+	oldE := wire.HashEntry{Valid: true, FP: fp, Type: old.Hdr.Type, Addr: old.Addr}
+	newE := wire.HashEntry{Valid: true, FP: fp, Type: grown.Hdr.Type, Addr: grown.Addr}
+	return h.c.viewFor(prefix).Replace(old.Hdr.PrefixHash, oldE, newE)
+}
+
+func (c *Client) checkKey(key []byte) error {
+	if len(key) == 0 || len(key) > wire.MaxDepth {
+		return fmt.Errorf("core: key length %d out of range [1,%d]", len(key), wire.MaxDepth)
+	}
+	return nil
+}
+
+func retriable(err error) bool {
+	return errors.Is(err, rart.ErrRestart)
+}
+
+// backoff models a short client pause before retrying a raced operation.
+func (c *Client) backoff() {
+	c.eng.C.AdvanceClock(500_000) // 0.5 µs
+	runtime.Gosched()
+}
+
+// Search returns the value stored for key (paper §IV Search). Warm path:
+// one hash-entry round trip, one inner-node round trip, one leaf round
+// trip.
+func (c *Client) Search(key []byte) ([]byte, bool, error) {
+	if err := c.checkKey(key); err != nil {
+		return nil, false, err
+	}
+	c.stats.Searches++
+	maxLen := len(key)
+	for attempt := 0; attempt < maxOpRetries; attempt++ {
+		start, startLen, err := c.locate(key, maxLen)
+		if err != nil {
+			return nil, false, err
+		}
+		leaf, err := c.eng.SearchFrom(start, key, hooks{c})
+		switch {
+		case retriable(err):
+			c.stats.Restarts++
+			c.backoff()
+			maxLen = len(key)
+			continue
+		case err != nil:
+			return nil, false, err
+		case leaf == nil:
+			return nil, false, nil
+		}
+		if !bytes.Equal(leaf.Key, key) {
+			if cp := rart.CommonPrefixLen(leaf.Key, key); cp < startLen {
+				// The start node was not on the key's path after all: the
+				// filter fingerprint and the 42-bit prefix hash both
+				// collided. Unlearn and retry with a shorter prefix
+				// (paper §III-B's leaf-level detection).
+				c.noteCollision(key, startLen)
+				maxLen = startLen - 1
+				continue
+			}
+			return nil, false, nil
+		}
+		return leaf.Value, true, nil
+	}
+	return nil, false, fmt.Errorf("core: search retries exhausted for %q", key)
+}
+
+func (c *Client) noteCollision(key []byte, startLen int) {
+	c.stats.CollisionRetry++
+	if c.filter != nil {
+		c.filter.Delete(PrefixFilterHash(key[:startLen]))
+	}
+}
+
+// Insert stores value for key, overwriting any existing value (paper §IV
+// Insert). It reports whether the key already existed.
+func (c *Client) Insert(key, value []byte) (bool, error) {
+	c.stats.Inserts++
+	return c.put(key, value, rart.PutUpsert)
+}
+
+// Update overwrites an existing key's value (paper §IV Update: in place
+// when the new value fits the leaf, out of place otherwise). It reports
+// whether the key was present.
+func (c *Client) Update(key, value []byte) (bool, error) {
+	c.stats.Updates++
+	return c.put(key, value, rart.PutUpdateOnly)
+}
+
+func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
+	if err := c.checkKey(key); err != nil {
+		return false, err
+	}
+	maxLen := len(key)
+	for attempt := 0; attempt < maxOpRetries; attempt++ {
+		start, startLen, err := c.locate(key, maxLen)
+		if err != nil {
+			return false, err
+		}
+		existed, err := c.eng.PutFrom(start, key, value, mode, hooks{c})
+		switch {
+		case errors.Is(err, rart.ErrNeedParent):
+			// A split is needed at or above the jump target; redo the
+			// operation through a path that knows the parent.
+			if startLen > 0 {
+				maxLen = startLen - 1
+			}
+			c.backoff()
+			continue
+		case retriable(err):
+			c.stats.Restarts++
+			c.backoff()
+			maxLen = len(key)
+			continue
+		case err != nil:
+			return false, err
+		}
+		return existed, nil
+	}
+	return false, fmt.Errorf("core: put retries exhausted for %q", key)
+}
+
+// Delete removes key (paper §IV Delete), reporting whether it was present.
+func (c *Client) Delete(key []byte) (bool, error) {
+	if err := c.checkKey(key); err != nil {
+		return false, err
+	}
+	c.stats.Deletes++
+	maxLen := len(key)
+	for attempt := 0; attempt < maxOpRetries; attempt++ {
+		start, startLen, err := c.locate(key, maxLen)
+		if err != nil {
+			return false, err
+		}
+		ok, err := c.eng.DeleteFrom(start, key, hooks{c})
+		switch {
+		case retriable(err):
+			c.stats.Restarts++
+			c.backoff()
+			maxLen = len(key)
+			continue
+		case err != nil:
+			return false, err
+		}
+		if !ok && startLen > 0 {
+			// The jump may have landed beside the key (hash collision):
+			// deletes must not report absence on a collided path, so
+			// confirm through a shallower start once.
+			leafCheck, cerr := c.eng.SearchFrom(start, key, hooks{c})
+			if cerr == nil && leafCheck != nil && !bytes.Equal(leafCheck.Key, key) {
+				if cp := rart.CommonPrefixLen(leafCheck.Key, key); cp < startLen {
+					c.noteCollision(key, startLen)
+					maxLen = startLen - 1
+					continue
+				}
+			}
+		}
+		return ok, nil
+	}
+	return false, fmt.Errorf("core: delete retries exhausted for %q", key)
+}
+
+// Scan returns up to limit key-value pairs in [lo, hi], ascending (paper
+// §IV Scan: root-anchored traversal with doorbell-batched node and leaf
+// reads).
+func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
+	c.stats.Scans++
+	root, err := c.readRoot()
+	if err != nil {
+		return nil, err
+	}
+	return c.eng.ScanFrom(root, lo, hi, limit, true)
+}

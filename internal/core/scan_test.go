@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sphinx/internal/art"
+	"sphinx/internal/dataset"
+	"sphinx/internal/fabric"
+)
+
+// TestScanAgainstLocalART cross-validates the remote ordered scan against
+// the local reference ART on random variable-length keys and random
+// bounds, including open bounds and limits.
+func TestScanAgainstLocalART(t *testing.T) {
+	f, shared := newCluster(t, 3, fabric.InstantConfig(), 3000)
+	c := newTestClient(f, shared, Options{})
+	var oracle art.Tree
+	rng := rand.New(rand.NewSource(77))
+	randKey := func() []byte {
+		n := 1 + rng.Intn(12)
+		k := make([]byte, n)
+		for i := range k {
+			k[i] = byte('a' + rng.Intn(5))
+		}
+		return k
+	}
+	for i := 0; i < 2500; i++ {
+		k := randKey()
+		v := []byte(fmt.Sprintf("v%d", i))
+		if _, err := c.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+		oracle.Insert(k, v)
+	}
+	check := func(lo, hi []byte, limit int) {
+		t.Helper()
+		got, err := c.Scan(lo, hi, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []string
+		oracle.Scan(lo, hi, func(k, v []byte) bool {
+			want = append(want, string(k)+"="+string(v))
+			return limit <= 0 || len(want) < limit
+		})
+		if len(got) != len(want) {
+			t.Fatalf("scan [%q,%q] limit %d: %d results, oracle %d", lo, hi, limit, len(got), len(want))
+		}
+		for i, kv := range got {
+			if string(kv.Key)+"="+string(kv.Value) != want[i] {
+				t.Fatalf("scan [%q,%q][%d] = %q=%q, oracle %q", lo, hi, i, kv.Key, kv.Value, want[i])
+			}
+		}
+	}
+	check(nil, nil, 0)
+	for i := 0; i < 100; i++ {
+		lo, hi := randKey(), randKey()
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		check(lo, hi, 0)
+		check(lo, nil, 1+rng.Intn(40))
+		check(nil, hi, 0)
+	}
+}
+
+// TestScanDuringConcurrentInserts: scans racing inserts must return a
+// consistent subset/superset around the moving state — specifically, every
+// key present before the scan started and never deleted must appear.
+func TestScanDuringConcurrentInserts(t *testing.T) {
+	f, shared := newCluster(t, 2, fabric.DefaultConfig(), 4000)
+	c := newTestClient(f, shared, Options{})
+	const stable = 300
+	for i := 0; i < stable; i++ {
+		k := []byte(fmt.Sprintf("stable/%04d", i))
+		if _, err := c.Insert(k, []byte("s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := newTestClient(f, shared, Options{Seed: 9})
+		for i := 0; !stop.Load(); i++ {
+			k := []byte(fmt.Sprintf("moving/%06d", i))
+			if _, err := w.Insert(k, []byte("m")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 15; round++ {
+		kvs, err := c.Scan([]byte("stable/"), []byte("stable/~"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kvs) != stable {
+			t.Fatalf("round %d: scan saw %d stable keys, want %d", round, len(kvs), stable)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestEmailDatasetEndToEnd loads a slice of the synthetic email dataset
+// and validates point lookups, prefix scans and deletes against a map.
+func TestEmailDatasetEndToEnd(t *testing.T) {
+	keys := dataset.GenerateEmail(3000, 5)
+	f, shared := newCluster(t, 3, fabric.InstantConfig(), len(keys))
+	c := newTestClient(f, shared, Options{})
+	oracle := map[string]string{}
+	for i, k := range keys {
+		v := fmt.Sprintf("m%d", i)
+		if _, err := c.Insert(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		oracle[string(k)] = v
+	}
+	for k, v := range oracle {
+		got, ok, err := c.Search([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("email %q: %v %v", k, ok, err)
+		}
+	}
+	// Spot-check a domain-prefix scan count against the oracle.
+	lo, hi := []byte("james"), []byte("jamesz")
+	want := 0
+	for k := range oracle {
+		if k >= string(lo) && k <= string(hi) {
+			want++
+		}
+	}
+	kvs, err := c.Scan(lo, hi, 0)
+	if err != nil || len(kvs) != want {
+		t.Fatalf("prefix scan: %d results, oracle %d (err=%v)", len(kvs), want, err)
+	}
+	// Delete a third of the keys and re-validate.
+	i := 0
+	for k := range oracle {
+		if i%3 == 0 {
+			if ok, err := c.Delete([]byte(k)); err != nil || !ok {
+				t.Fatalf("delete %q: %v %v", k, ok, err)
+			}
+			delete(oracle, k)
+		}
+		i++
+	}
+	total, err := c.Scan(nil, nil, 0)
+	if err != nil || len(total) != len(oracle) {
+		t.Fatalf("after deletes: scan %d, oracle %d", len(total), len(oracle))
+	}
+}
+
+// TestNoDirCacheCorrectness runs the oracle workload with the directory
+// cache ablation enabled.
+func TestNoDirCacheCorrectness(t *testing.T) {
+	f, shared := newCluster(t, 2, fabric.InstantConfig(), 2000)
+	c := newTestClient(f, shared, Options{DisableDirCache: true})
+	oracle := map[string]string{}
+	rng := rand.New(rand.NewSource(31))
+	for step := 0; step < 1500; step++ {
+		k := []byte(fmt.Sprintf("k%d", rng.Intn(300)))
+		if rng.Intn(2) == 0 {
+			v := fmt.Sprintf("v%d", step)
+			if _, err := c.Insert(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			oracle[string(k)] = v
+		} else {
+			got, ok, err := c.Search(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := oracle[string(k)]
+			if ok != wantOK || (ok && string(got) != want) {
+				t.Fatalf("step %d: %q = %q,%v want %q,%v", step, k, got, ok, want, wantOK)
+			}
+		}
+	}
+	// Without the cache, lookups pay two extra dependent round trips.
+	f2, shared2 := newCluster(t, 1, fabric.DefaultConfig(), 100)
+	warmup := newTestClient(f2, shared2, Options{})
+	for i := 0; i < 30; i++ {
+		if _, err := warmup.Insert([]byte(fmt.Sprintf("rt%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	withCache := newTestClient(f2, shared2, Options{})
+	noCache := newTestClient(f2, shared2, Options{DisableDirCache: true})
+	measure := func(c *Client) float64 {
+		if _, _, err := c.Search([]byte("rt010")); err != nil { // warm
+			t.Fatal(err)
+		}
+		before := c.Engine().C.Stats()
+		for i := 0; i < 10; i++ {
+			if _, ok, err := c.Search([]byte(fmt.Sprintf("rt%03d", i))); err != nil || !ok {
+				t.Fatal(ok, err)
+			}
+		}
+		return float64(c.Engine().C.Stats().Sub(before).RoundTrips) / 10
+	}
+	rtCache := measure(withCache)
+	rtNo := measure(noCache)
+	if rtNo < rtCache+1.5 {
+		t.Errorf("dir-cache ablation: %.1f vs %.1f RT/op — expected ≥+2 round trips", rtNo, rtCache)
+	}
+}

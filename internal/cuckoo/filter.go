@@ -1,0 +1,312 @@
+// Package cuckoo implements the succinct data structure at the heart of the
+// paper's Succinct Filter Cache (§III-B): a cuckoo filter [14] extended
+// with a per-entry hotness bit driving a second-chance replacement policy
+// [24], so the filter doubles as a bounded cache of "which inner-node
+// prefixes exist".
+//
+// Entries are 16 bits: a 12-bit fingerprint (never zero; zero means empty),
+// one hotness bit, and spare. With 4-way buckets this is ~2 bytes per
+// tracked prefix versus the 40–2056 bytes per node of node-based caching —
+// the space argument of the paper.
+package cuckoo
+
+import "fmt"
+
+// SlotsPerBucket is the filter's bucket width. Four slots is the standard
+// cuckoo-filter configuration [14] and what MemC3-style analyses assume.
+const SlotsPerBucket = 4
+
+// MaxKicks bounds a cuckoo relocation chain before the insert falls back
+// to evicting the displaced victim outright. Because the structure is a
+// cache, dropping an entry is always safe (it can be re-learned on the
+// next traversal); it just costs extra round trips later.
+const MaxKicks = 128
+
+const (
+	fpBits = 12
+	fpMask = 1<<fpBits - 1
+	hotBit = 1 << fpBits
+)
+
+// Stats counts filter events, including everything the paper's text
+// evaluates (false-positive probes are counted by the caller; eviction
+// pressure is visible here).
+type Stats struct {
+	Inserts     uint64 // successful inserts
+	Duplicates  uint64 // inserts of already-present fingerprints
+	Hits        uint64 // Contains == true
+	Misses      uint64 // Contains == false
+	SecondWins  uint64 // inserts resolved by replacing a cold (hot=0) entry
+	Relocations uint64 // entries moved by cuckoo kicks
+	Evictions   uint64 // entries dropped (cold replacement or kick overflow)
+	Deletes     uint64 // successful deletes
+}
+
+// Policy selects the replacement behaviour when both candidate buckets
+// are full. The paper's design is second-chance via the hotness bit
+// (§III-B); random replacement exists as the ablation baseline it is
+// compared against.
+type Policy int
+
+// Replacement policies.
+const (
+	// PolicySecondChance replaces a random cold (hot=0) entry, falling
+	// back to cuckoo relocation (which resets hotness) when all are hot.
+	PolicySecondChance Policy = iota
+	// PolicyRandom replaces a uniformly random entry, ignoring hotness.
+	PolicyRandom
+)
+
+// Filter is a cuckoo filter with hotness-based second-chance eviction.
+// It is not safe for concurrent use: the paper's filter cache is per-CN
+// and accessed by that CN's workers through its client structure; the
+// sphinx core wraps it accordingly.
+type Filter struct {
+	buckets  []uint16 // numBuckets * SlotsPerBucket entries
+	nBuckets uint64   // power of two
+	mask     uint64
+	rng      uint64
+	policy   Policy
+	stats    Stats
+}
+
+// New creates a filter with capacity for at least n entries at ~95% load,
+// using the paper's second-chance policy. The bucket count is rounded up
+// to a power of two. Seed makes replacement decisions deterministic for
+// reproducible experiments.
+func New(n int, seed uint64) *Filter {
+	return NewWithPolicy(n, seed, PolicySecondChance)
+}
+
+// NewWithPolicy creates a filter with an explicit replacement policy.
+func NewWithPolicy(n int, seed uint64, policy Policy) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	want := uint64(float64(n)/0.95)/SlotsPerBucket + 1
+	nb := uint64(1)
+	for nb < want {
+		nb <<= 1
+	}
+	return &Filter{
+		buckets:  make([]uint16, nb*SlotsPerBucket),
+		nBuckets: nb,
+		mask:     nb - 1,
+		rng:      seed | 1,
+		policy:   policy,
+	}
+}
+
+// SizeBytes returns the memory footprint of the filter's entry array — the
+// number the CN-side cache budget is charged with.
+func (f *Filter) SizeBytes() uint64 { return uint64(len(f.buckets)) * 2 }
+
+// Capacity returns the number of slots in the filter.
+func (f *Filter) Capacity() int { return len(f.buckets) }
+
+// Stats returns a snapshot of the filter's counters.
+func (f *Filter) Stats() Stats { return f.stats }
+
+// fp derives the non-zero 12-bit fingerprint from a 64-bit item hash.
+func fp(hash uint64) uint16 {
+	v := uint16(hash>>48) & fpMask
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// index derives the primary bucket from the item hash.
+func (f *Filter) index(hash uint64) uint64 { return hash & f.mask }
+
+// altIndex derives the partner bucket from a bucket and a fingerprint
+// (partial-key cuckoo hashing: i2 = i1 XOR h(fp), an involution).
+func (f *Filter) altIndex(i uint64, fingerprint uint16) uint64 {
+	return (i ^ mix(uint64(fingerprint))) & f.mask
+}
+
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func (f *Filter) slot(bucket uint64, s int) *uint16 {
+	return &f.buckets[bucket*SlotsPerBucket+uint64(s)]
+}
+
+// Contains reports whether an item with the given hash may be present.
+// A hit sets the entry's hotness bit (second-chance "recently used" mark,
+// paper §III-B).
+func (f *Filter) Contains(hash uint64) bool {
+	fpv := fp(hash)
+	i1 := f.index(hash)
+	i2 := f.altIndex(i1, fpv)
+	for _, b := range [2]uint64{i1, i2} {
+		for s := 0; s < SlotsPerBucket; s++ {
+			e := f.slot(b, s)
+			if *e&fpMask == fpv {
+				*e |= hotBit
+				f.stats.Hits++
+				return true
+			}
+		}
+	}
+	f.stats.Misses++
+	return false
+}
+
+// Insert adds an item by hash. It returns false only if the item could not
+// be stored without dropping another entry — which, for a cache, still
+// leaves the filter correct; the return value exists for accounting.
+// Duplicate fingerprints in the candidate buckets are not re-inserted.
+func (f *Filter) Insert(hash uint64) bool {
+	fpv := fp(hash)
+	i1 := f.index(hash)
+	i2 := f.altIndex(i1, fpv)
+
+	// Already present (same fp in a candidate bucket) → refresh hotness.
+	for _, b := range [2]uint64{i1, i2} {
+		for s := 0; s < SlotsPerBucket; s++ {
+			e := f.slot(b, s)
+			if *e&fpMask == fpv {
+				*e |= hotBit
+				f.stats.Duplicates++
+				return true
+			}
+		}
+	}
+	// Free slot in either bucket: new entries start cold (hot=0),
+	// matching the second-chance policy's "not recently used" initial
+	// state (paper §III-B).
+	for _, b := range [2]uint64{i1, i2} {
+		for s := 0; s < SlotsPerBucket; s++ {
+			e := f.slot(b, s)
+			if *e == 0 {
+				*e = fpv
+				f.stats.Inserts++
+				return true
+			}
+		}
+	}
+	// Both buckets full: evict per policy.
+	if f.policy == PolicyRandom {
+		b := [2]uint64{i1, i2}[f.rand(2)]
+		*f.slot(b, f.rand(SlotsPerBucket)) = fpv
+		f.stats.Inserts++
+		f.stats.Evictions++
+		return true
+	}
+	// Second chance: replace a random cold entry if one exists.
+	if f.replaceCold(i1, i2, fpv) {
+		f.stats.Inserts++
+		f.stats.SecondWins++
+		f.stats.Evictions++
+		return true
+	}
+	// All entries hot: cuckoo relocation. Relocated entries have their
+	// hotness reset, making them eligible for future eviction.
+	if f.relocate(i1, fpv) {
+		f.stats.Inserts++
+		return true
+	}
+	// Kick chain overflowed: the new item was placed by the first kick;
+	// the entry displaced at the end of the chain is dropped.
+	f.stats.Inserts++
+	f.stats.Evictions++
+	return false
+}
+
+// replaceCold overwrites one randomly chosen hot=0 entry among the two
+// candidate buckets with fpv. It returns false if every entry is hot.
+func (f *Filter) replaceCold(i1, i2 uint64, fpv uint16) bool {
+	var cold [2 * SlotsPerBucket]*uint16
+	n := 0
+	for _, b := range [2]uint64{i1, i2} {
+		for s := 0; s < SlotsPerBucket; s++ {
+			e := f.slot(b, s)
+			if *e&hotBit == 0 {
+				cold[n] = e
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	*cold[f.rand(n)] = fpv
+	return true
+}
+
+// relocate performs cuckoo kicks starting at bucket i, inserting fpv. On
+// chain overflow the last displaced fingerprint is dropped (counted as an
+// eviction by the caller).
+func (f *Filter) relocate(i uint64, fpv uint16) bool {
+	cur := fpv
+	b := i
+	for k := 0; k < MaxKicks; k++ {
+		s := f.rand(SlotsPerBucket)
+		e := f.slot(b, s)
+		victim := *e
+		*e = cur // relocated entries enter cold (hot=0)
+		f.stats.Relocations++
+		cur = victim & fpMask
+		b = f.altIndex(b, cur)
+		for s := 0; s < SlotsPerBucket; s++ {
+			e := f.slot(b, s)
+			if *e == 0 {
+				*e = cur
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Delete removes one entry matching the hash's fingerprint, if present.
+// Sphinx uses it only when it proactively unlearns a prefix after
+// detecting a false positive against the remote index.
+func (f *Filter) Delete(hash uint64) bool {
+	fpv := fp(hash)
+	i1 := f.index(hash)
+	i2 := f.altIndex(i1, fpv)
+	for _, b := range [2]uint64{i1, i2} {
+		for s := 0; s < SlotsPerBucket; s++ {
+			e := f.slot(b, s)
+			if *e&fpMask == fpv {
+				*e = 0
+				f.stats.Deletes++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Load returns the fraction of occupied slots.
+func (f *Filter) Load() float64 {
+	used := 0
+	for _, e := range f.buckets {
+		if e != 0 {
+			used++
+		}
+	}
+	return float64(used) / float64(len(f.buckets))
+}
+
+// rand returns a deterministic pseudo-random int in [0, n) (xorshift64*).
+func (f *Filter) rand(n int) int {
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	return int((f.rng * 0x2545f4914f6cdd1d) >> 33 % uint64(n))
+}
+
+// String summarizes the filter.
+func (f *Filter) String() string {
+	return fmt.Sprintf("cuckoo(%d buckets, %.1f%% load, %d B)",
+		f.nBuckets, f.Load()*100, f.SizeBytes())
+}

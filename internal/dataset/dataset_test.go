@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestU64Distinct(t *testing.T) {
+	keys := GenerateU64(5000, 1)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if len(k) != 8 {
+			t.Fatalf("u64 key of %d bytes", len(k))
+		}
+		if seen[string(k)] {
+			t.Fatal("duplicate u64 key")
+		}
+		seen[string(k)] = true
+	}
+}
+
+func TestU64BigEndianOrder(t *testing.T) {
+	// Integer order must equal byte order for range scans to make sense.
+	keys := GenerateU64(1000, 2)
+	for i := 0; i < len(keys)-1; i++ {
+		a := binary.BigEndian.Uint64(keys[i])
+		b := binary.BigEndian.Uint64(keys[i+1])
+		if (a < b) != (bytes.Compare(keys[i], keys[i+1]) < 0) {
+			t.Fatal("byte order disagrees with integer order")
+		}
+	}
+}
+
+func TestU64Deterministic(t *testing.T) {
+	a := GenerateU64(100, 42)
+	b := GenerateU64(100, 42)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatal("same seed produced different keys")
+		}
+	}
+	c := GenerateU64(100, 43)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i], c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestEmailStatistics(t *testing.T) {
+	// Paper §V-A: sizes ranging from 2 to 32 bytes, average ≈ 18.93.
+	keys := GenerateEmail(50000, 1)
+	min, max := 1<<30, 0
+	for _, k := range keys {
+		if len(k) < min {
+			min = len(k)
+		}
+		if len(k) > max {
+			max = len(k)
+		}
+	}
+	if min < 2 || max > 32 {
+		t.Errorf("email lengths [%d,%d] outside [2,32]", min, max)
+	}
+	mean := MeanLen(keys)
+	if mean < 16.5 || mean > 21.5 {
+		t.Errorf("email mean length %.2f too far from the paper's 18.93", mean)
+	}
+}
+
+func TestEmailDistinct(t *testing.T) {
+	keys := GenerateEmail(20000, 3)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[string(k)] {
+			t.Fatalf("duplicate email %q", k)
+		}
+		seen[string(k)] = true
+	}
+}
+
+func TestEmailSharedPrefixStructure(t *testing.T) {
+	// The dataset must produce substantial shared prefixes (deep trees):
+	// many keys should share their first 4 bytes with some other key.
+	keys := GenerateEmail(10000, 4)
+	prefixes := map[string]int{}
+	for _, k := range keys {
+		if len(k) >= 4 {
+			prefixes[string(k[:4])]++
+		}
+	}
+	sharing := 0
+	for _, k := range keys {
+		if len(k) >= 4 && prefixes[string(k[:4])] > 1 {
+			sharing++
+		}
+	}
+	if float64(sharing)/float64(len(keys)) < 0.5 {
+		t.Errorf("only %d/%d keys share a 4-byte prefix; tree would be too shallow", sharing, len(keys))
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	if len(Generate(U64, 10, 1)) != 10 || len(Generate(Email, 10, 1)) != 10 {
+		t.Fatal("Generate returned wrong count")
+	}
+	if U64.String() != "u64" || Email.String() != "email" {
+		t.Error("dataset names wrong")
+	}
+}

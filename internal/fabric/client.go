@@ -1,0 +1,229 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sphinx/internal/mem"
+)
+
+// Stats accumulates one client's network accounting. Round trips and bytes
+// are the quantities the paper's analysis is phrased in (§III), so the
+// index implementations are validated against them directly in tests.
+type Stats struct {
+	RoundTrips uint64
+	Verbs      uint64
+	BytesRead  uint64
+	BytesWrite uint64
+	ByKind     [4]uint64
+}
+
+// Sub returns s - t, field-wise; used to measure a single index operation.
+func (s Stats) Sub(t Stats) Stats {
+	s.RoundTrips -= t.RoundTrips
+	s.Verbs -= t.Verbs
+	s.BytesRead -= t.BytesRead
+	s.BytesWrite -= t.BytesWrite
+	for i := range s.ByKind {
+		s.ByKind[i] -= t.ByKind[i]
+	}
+	return s
+}
+
+// Add returns s + t, field-wise; used to aggregate workers.
+func (s Stats) Add(t Stats) Stats {
+	s.RoundTrips += t.RoundTrips
+	s.Verbs += t.Verbs
+	s.BytesRead += t.BytesRead
+	s.BytesWrite += t.BytesWrite
+	for i := range s.ByKind {
+		s.ByKind[i] += t.ByKind[i]
+	}
+	return s
+}
+
+// Client is one compute-node worker's endpoint on the fabric. Each client
+// has a private virtual clock; clients are not safe for concurrent use
+// (each worker goroutine owns one, mirroring per-coroutine QPs in the
+// paper's systems).
+type Client struct {
+	f       *Fabric
+	clock   int64 // picoseconds of virtual time
+	stats   Stats
+	noBatch bool
+}
+
+// SetNoBatch disables doorbell batching for this client: every verb in a
+// Batch pays its own round trip. This exists for the ablation study of the
+// batching mechanism (paper [23]); correctness is unaffected because verbs
+// still execute in posting order.
+func (c *Client) SetNoBatch(v bool) { c.noBatch = v }
+
+// NewClient creates a client with clock zero.
+func (f *Fabric) NewClient() *Client { return &Client{f: f} }
+
+// Clock returns the client's virtual time in picoseconds.
+func (c *Client) Clock() int64 { return c.clock }
+
+// AdvanceClock adds local (CN-side) compute time to the client's clock.
+// Index code uses it to charge non-network work such as hashing.
+func (c *Client) AdvanceClock(ps int64) { c.clock += ps }
+
+// Stats returns a snapshot of the client's accounting.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Fabric returns the fabric the client is attached to.
+func (c *Client) Fabric() *Fabric { return c.f }
+
+// Batch posts the given verbs as one doorbell batch: a single round trip,
+// regardless of how many verbs or how many memory nodes it spans (verbs to
+// different nodes are issued in parallel). Results for CAS/FAA are written
+// into each Op's Old field; Read destinations are filled in place.
+//
+// This is the primitive behind the paper's "reading all these hash entries
+// can be performed in a single round trip" (§III-A) and its piggybacked
+// lock acquisition/release (§IV).
+func (c *Client) Batch(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if c.noBatch && len(ops) > 1 {
+		for i := range ops {
+			if err := c.Batch(ops[i : i+1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cfg := c.f.cfg
+	start := c.clock + cfg.ClientVerbPs*int64(len(ops))
+
+	// Charge each target NIC once per batch with that node's share.
+	type share struct {
+		cost  int64
+		verbs int
+		bytes uint64
+	}
+	shares := make(map[mem.NodeID]*share)
+	order := make([]mem.NodeID, 0, 2)
+	for i := range ops {
+		op := &ops[i]
+		b := opBytes(op)
+		sh := shares[op.Addr.Node()]
+		if sh == nil {
+			sh = &share{}
+			shares[op.Addr.Node()] = sh
+			order = append(order, op.Addr.Node())
+		}
+		sh.cost += cfg.PerVerbPs + (cfg.PerByteFs*int64(b)+999)/1000
+		sh.verbs++
+		sh.bytes += b
+	}
+	// Deterministic reservation order keeps runs reproducible.
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	completion := start
+	for _, id := range order {
+		n, err := c.f.node(id)
+		if err != nil {
+			return err
+		}
+		sh := shares[id]
+		s := n.nic.reserve(start, sh.cost, sh.verbs, sh.bytes)
+		if fin := s + sh.cost + cfg.RTTPs; fin > completion {
+			completion = fin
+		}
+	}
+
+	// Execute the data movement. Within a batch, verbs execute in posting
+	// order (RDMA guarantees ordering within one QP).
+	for i := range ops {
+		if err := c.execute(&ops[i]); err != nil {
+			return err
+		}
+	}
+
+	c.clock = completion
+	c.stats.RoundTrips++
+	c.stats.Verbs += uint64(len(ops))
+	return nil
+}
+
+func (c *Client) execute(op *Op) error {
+	n, err := c.f.node(op.Addr.Node())
+	if err != nil {
+		return err
+	}
+	r := n.region
+	off := op.Addr.Offset()
+	switch op.Kind {
+	case Read:
+		r.Read(off, op.Data)
+		c.stats.BytesRead += uint64(len(op.Data))
+	case Write:
+		r.Write(off, op.Data)
+		c.stats.BytesWrite += uint64(len(op.Data))
+	case CAS:
+		op.Old = r.CompareSwap(off, op.Expect, op.Desired)
+		c.stats.BytesWrite += 8
+	case FAA:
+		op.Old = r.FetchAdd(off, op.Delta)
+		c.stats.BytesWrite += 8
+	default:
+		return fmt.Errorf("fabric: unknown verb %d", op.Kind)
+	}
+	c.stats.ByKind[op.Kind]++
+	if c.f.Trace != nil {
+		c.f.Trace(c, op)
+	}
+	return nil
+}
+
+// Read fetches len(dst) bytes at addr in one round trip.
+func (c *Client) Read(addr mem.Addr, dst []byte) error {
+	return c.Batch([]Op{{Kind: Read, Addr: addr, Data: dst}})
+}
+
+// Write stores src at addr in one round trip.
+func (c *Client) Write(addr mem.Addr, src []byte) error {
+	return c.Batch([]Op{{Kind: Write, Addr: addr, Data: src}})
+}
+
+// ReadUint64 fetches the 8-byte word at addr.
+func (c *Client) ReadUint64(addr mem.Addr) (uint64, error) {
+	var buf [8]byte
+	if err := c.Read(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// WriteUint64 stores an 8-byte word at addr. The store is atomic because it
+// fits in one line (RDMA writes up to 8 B are atomic on Mellanox NICs).
+func (c *Client) WriteUint64(addr mem.Addr, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return c.Write(addr, buf[:])
+}
+
+// CompareSwap executes an RDMA CAS and returns the pre-image. The swap
+// succeeded iff the returned value equals expect.
+func (c *Client) CompareSwap(addr mem.Addr, expect, desired uint64) (uint64, error) {
+	ops := []Op{{Kind: CAS, Addr: addr, Expect: expect, Desired: desired}}
+	if err := c.Batch(ops); err != nil {
+		return 0, err
+	}
+	return ops[0].Old, nil
+}
+
+// FetchAdd executes an RDMA FAA and returns the pre-image. Together with
+// ReadUint64 it satisfies mem.RemoteOps, so a mem.Allocator can run over a
+// client and pay real round trips.
+func (c *Client) FetchAdd(addr mem.Addr, delta uint64) (uint64, error) {
+	ops := []Op{{Kind: FAA, Addr: addr, Delta: delta}}
+	if err := c.Batch(ops); err != nil {
+		return 0, err
+	}
+	return ops[0].Old, nil
+}

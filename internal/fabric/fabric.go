@@ -1,0 +1,297 @@
+// Package fabric simulates an RDMA network connecting compute-node clients
+// to memory nodes, replacing the ConnectX-6 testbed of the paper.
+//
+// The simulation is exact in data and virtual in time. Every verb really
+// moves bytes between the client and a mem.Region, with the same atomicity
+// guarantees as one-sided RDMA (8-byte atomics, torn multi-line transfers).
+// Time, however, is tracked on a per-client virtual clock, advanced by a
+// configurable cost model:
+//
+//	completion = max(clock, nicQueue) + RTT + Σ per-op NIC cost
+//
+// where nicQueue is a per-memory-node NIC timeline shared by all clients.
+// When aggregate demand exceeds a NIC's processing rate, the queue start
+// time runs ahead of client clocks and both latency inflation and
+// throughput saturation emerge — the phenomena behind the paper's Fig. 5.
+//
+// Doorbell batching (paper §III-A, [23]) is modelled by Batch: any number
+// of verbs posted together costs a single round-trip latency, while each
+// verb still pays its NIC processing and byte costs.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"sphinx/internal/mem"
+)
+
+// Config is the network cost model. All costs are in picoseconds so that
+// sub-nanosecond per-byte costs stay exact in integer arithmetic.
+type Config struct {
+	// RTTPs is the base round-trip latency for any verb or batch.
+	RTTPs int64
+	// PerVerbPs is the NIC processing cost per verb (per posted work
+	// request), charged on the target memory node's NIC timeline.
+	PerVerbPs int64
+	// PerBytePs is the NIC cost per payload byte, charged likewise.
+	// 40 fs/B ≈ 25 GB/s is stored as 0.04 ps via PerKBPs below; to keep
+	// integers exact we charge per byte in femtoseconds.
+	PerByteFs int64
+	// ClientVerbPs is the CN-side cost of posting one verb (doorbell
+	// write, WQE build, completion poll). It bounds the op rate a single
+	// worker can sustain even on an idle network.
+	ClientVerbPs int64
+}
+
+// DefaultConfig models the paper's testbed: ~2 µs RTT, 100 Gbps-class NIC.
+//
+//   - RTT 2 µs.
+//   - Per-verb NIC cost 8 ns → ≈125 M verbs/s per MN NIC.
+//   - Per-byte cost 40 fs → 25 GB/s per MN NIC.
+//   - Client verb cost 150 ns (WQE post + CQ poll share).
+func DefaultConfig() Config {
+	return Config{
+		RTTPs:        2_000_000,
+		PerVerbPs:    8_000,
+		PerByteFs:    40_000,
+		ClientVerbPs: 150_000,
+	}
+}
+
+// InstantConfig is a zero-cost model for functional tests and examples
+// where timing is irrelevant.
+func InstantConfig() Config { return Config{} }
+
+// Kind enumerates the one-sided verbs.
+type Kind uint8
+
+// The verb set available to clients (paper §II-A).
+const (
+	Read Kind = iota
+	Write
+	CAS
+	FAA
+)
+
+// String names the verb.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "READ"
+	case Write:
+		return "WRITE"
+	case CAS:
+		return "CAS"
+	case FAA:
+		return "FAA"
+	default:
+		return fmt.Sprintf("verb(%d)", uint8(k))
+	}
+}
+
+// Op is one verb within a doorbell batch. For Read, Data is the destination
+// buffer; for Write, the source. For CAS, Expect/Desired are the compare
+// and swap operands; for FAA, Delta is the addend. After execution, Old
+// holds the pre-image for CAS and FAA.
+type Op struct {
+	Kind    Kind
+	Addr    mem.Addr
+	Data    []byte
+	Expect  uint64
+	Desired uint64
+	Delta   uint64
+	Old     uint64
+}
+
+// nicSlotPs is the granularity of the NIC capacity timeline: each slot of
+// virtual time offers nicSlotPs of processing capacity. One microsecond is
+// fine enough that queueing delays resolve well below a round trip.
+const nicSlotPs = 1_000_000
+
+// nic is one memory node's NIC processing timeline, modelled as capacity
+// per virtual-time slot. Unlike a single free-pointer queue, this lets a
+// request whose issue time (virtual clock) lies in the past consume the
+// capacity that was genuinely idle then — necessary because worker
+// goroutines reach the simulated NIC in real-scheduling order, not
+// virtual-time order. Saturation still emerges: when aggregate demand
+// around an instant exceeds slot capacity, requests spill into later
+// slots and completion times stretch.
+type nic struct {
+	mu    sync.Mutex
+	slots map[int64]int64 // slot index → capacity already consumed (ps)
+	// cumulative demand counters, for utilization reports
+	busyPs int64
+	verbs  uint64
+	bytes  uint64
+}
+
+// reserve books cost picoseconds of NIC time no earlier than notBefore and
+// returns the start time of the reservation.
+func (n *nic) reserve(notBefore, cost int64, verbs int, bytes uint64) int64 {
+	n.mu.Lock()
+	if n.slots == nil {
+		n.slots = make(map[int64]int64)
+	}
+	slot := notBefore / nicSlotPs
+	start := int64(-1)
+	rem := cost
+	for rem > 0 {
+		avail := nicSlotPs - n.slots[slot]
+		if avail > 0 {
+			if start < 0 {
+				start = slot * nicSlotPs
+				if notBefore > start {
+					start = notBefore
+				}
+			}
+			take := avail
+			if rem < take {
+				take = rem
+			}
+			n.slots[slot] += take
+			rem -= take
+		}
+		slot++
+	}
+	if start < 0 {
+		start = notBefore
+	}
+	n.busyPs += cost
+	n.verbs += uint64(verbs)
+	n.bytes += bytes
+	n.mu.Unlock()
+	return start
+}
+
+type node struct {
+	region *mem.Region
+	nic    nic
+}
+
+// Fabric is the simulated cluster interconnect plus the set of attached
+// memory nodes. Construct it once, attach memory nodes, then create one
+// Client per worker.
+type Fabric struct {
+	cfg   Config
+	mu    sync.Mutex
+	nodes []*node
+
+	// Trace, if set before any client runs, is invoked after every verb
+	// executes (under no locks). Test-only: used to reconstruct event
+	// orders when debugging protocol races.
+	Trace func(client *Client, op *Op)
+}
+
+// New creates a fabric with the given cost model.
+func New(cfg Config) *Fabric { return &Fabric{cfg: cfg} }
+
+// Config returns the fabric's cost model.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// AddNode attaches a memory node with a region of the given size and
+// returns its ID. The region's allocator header is initialized.
+func (f *Fabric) AddNode(size uint64) mem.NodeID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.nodes) >= mem.MaxNodes {
+		panic("fabric: too many memory nodes")
+	}
+	id := mem.NodeID(len(f.nodes))
+	r := mem.NewRegion(id, size)
+	mem.InitRegionHeader(r)
+	f.nodes = append(f.nodes, &node{region: r})
+	return id
+}
+
+// NumNodes returns the number of attached memory nodes.
+func (f *Fabric) NumNodes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.nodes)
+}
+
+// Region exposes a node's region for bootstrap-time direct access
+// (mem.DirectOps) and white-box tests. Index code must not use it.
+func (f *Fabric) Region(id mem.NodeID) *mem.Region {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodes[id].region
+}
+
+// Regions returns a DirectOps view over all attached regions for
+// bootstrap-time allocation.
+func (f *Fabric) Regions() mem.DirectOps {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := make(map[mem.NodeID]*mem.Region, len(f.nodes))
+	for i, n := range f.nodes {
+		m[mem.NodeID(i)] = n.region
+	}
+	return mem.DirectOps{Regions: m}
+}
+
+func (f *Fabric) node(id mem.NodeID) (*node, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) >= len(f.nodes) {
+		return nil, fmt.Errorf("fabric: unknown memory node %d", id)
+	}
+	return f.nodes[id], nil
+}
+
+// RegionSize returns the size of a node's region, so clients can clamp
+// speculative over-reads (e.g., of variable-size leaves) at the region
+// boundary, as a real RDMA client would clamp at its registered MR length.
+func (f *Fabric) RegionSize(id mem.NodeID) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) >= len(f.nodes) {
+		return 0
+	}
+	return f.nodes[id].region.Size()
+}
+
+// ResetTimelines zeroes every NIC's queue timeline so a new measurement
+// phase starts from an idle network, the way a real experiment separates
+// its load and run phases. Cumulative NIC counters are preserved. Callers
+// must ensure no client is mid-operation.
+func (f *Fabric) ResetTimelines() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range f.nodes {
+		n.nic.mu.Lock()
+		n.nic.slots = nil
+		n.nic.mu.Unlock()
+	}
+}
+
+// NICStats is a snapshot of one memory node's NIC counters.
+type NICStats struct {
+	Node   mem.NodeID
+	BusyPs int64
+	Verbs  uint64
+	Bytes  uint64
+}
+
+// NICStats returns the NIC counters of every node.
+func (f *Fabric) NICStats() []NICStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]NICStats, len(f.nodes))
+	for i, n := range f.nodes {
+		n.nic.mu.Lock()
+		out[i] = NICStats{Node: mem.NodeID(i), BusyPs: n.nic.busyPs, Verbs: n.nic.verbs, Bytes: n.nic.bytes}
+		n.nic.mu.Unlock()
+	}
+	return out
+}
+
+func opBytes(op *Op) uint64 {
+	switch op.Kind {
+	case Read, Write:
+		return uint64(len(op.Data))
+	default:
+		return 8
+	}
+}

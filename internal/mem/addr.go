@@ -1,0 +1,70 @@
+// Package mem provides the memory-node substrate of the simulated
+// disaggregated-memory cluster: global addressing, byte-addressable memory
+// regions with RDMA-like access semantics, and a remote bump allocator with
+// per-class accounting.
+//
+// A memory node (MN) owns a Region. Compute-node clients never touch a
+// Region directly; they go through the fabric package, which models the
+// network cost of each access. The Region's job is to make concurrent
+// one-sided accesses memory-safe for Go while still allowing the torn
+// multi-line reads that real one-sided RDMA exhibits.
+package mem
+
+import "fmt"
+
+// Addr is a global 64-bit address in the disaggregated memory pool:
+//
+//	[63:48] zero (reserved)
+//	[47:40] memory-node ID
+//	[39:0]  byte offset within that node's region
+//
+// The packed form fits in the 48 address bits of an 8-byte hash entry or
+// slot (see internal/wire). The zero Addr is "null": node 0 reserves offset
+// 0 so that no valid object ever encodes to 0.
+type Addr uint64
+
+// Address-packing geometry. Exported so wire can validate that packed
+// fields stay in range.
+const (
+	OffsetBits = 40
+	NodeBits   = 8
+	AddrBits   = OffsetBits + NodeBits // 48: fits in slot/entry address fields
+
+	// MaxOffset is the largest encodable byte offset within one region.
+	MaxOffset = (uint64(1) << OffsetBits) - 1
+	// MaxNodes is the number of addressable memory nodes.
+	MaxNodes = 1 << NodeBits
+)
+
+// NodeID identifies one memory node in the cluster.
+type NodeID uint8
+
+// NewAddr packs a node ID and offset into a global address.
+// It panics if offset exceeds MaxOffset; regions that large cannot be
+// allocated in this simulation, so an overflow is always a program bug.
+func NewAddr(node NodeID, offset uint64) Addr {
+	if offset > MaxOffset {
+		panic(fmt.Sprintf("mem: offset %#x exceeds %d-bit address space", offset, OffsetBits))
+	}
+	return Addr(uint64(node)<<OffsetBits | offset)
+}
+
+// Node returns the memory-node component of the address.
+func (a Addr) Node() NodeID { return NodeID(uint64(a) >> OffsetBits) }
+
+// Offset returns the byte offset within the node's region.
+func (a Addr) Offset() uint64 { return uint64(a) & MaxOffset }
+
+// IsNull reports whether a is the null address.
+func (a Addr) IsNull() bool { return a == 0 }
+
+// Add returns the address n bytes past a, on the same node.
+func (a Addr) Add(n uint64) Addr { return NewAddr(a.Node(), a.Offset()+n) }
+
+// String renders the address as node:offset for diagnostics.
+func (a Addr) String() string {
+	if a.IsNull() {
+		return "null"
+	}
+	return fmt.Sprintf("%d:%#x", a.Node(), a.Offset())
+}

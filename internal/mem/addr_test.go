@@ -1,0 +1,79 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrPackUnpack(t *testing.T) {
+	cases := []struct {
+		node   NodeID
+		offset uint64
+	}{
+		{0, 0},
+		{0, 1},
+		{1, 0},
+		{3, 4096},
+		{255, MaxOffset},
+		{17, 0xdeadbeef},
+	}
+	for _, c := range cases {
+		a := NewAddr(c.node, c.offset)
+		if a.Node() != c.node {
+			t.Errorf("NewAddr(%d,%#x).Node() = %d", c.node, c.offset, a.Node())
+		}
+		if a.Offset() != c.offset {
+			t.Errorf("NewAddr(%d,%#x).Offset() = %#x", c.node, c.offset, a.Offset())
+		}
+	}
+}
+
+func TestAddrPackUnpackProperty(t *testing.T) {
+	f := func(node NodeID, offset uint64) bool {
+		offset &= MaxOffset
+		a := NewAddr(node, offset)
+		return a.Node() == node && a.Offset() == offset
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrFitsAddrBits(t *testing.T) {
+	a := NewAddr(255, MaxOffset)
+	if uint64(a) >= 1<<AddrBits {
+		t.Errorf("max addr %#x does not fit in %d bits", uint64(a), AddrBits)
+	}
+}
+
+func TestAddrNull(t *testing.T) {
+	if !Addr(0).IsNull() {
+		t.Error("zero addr should be null")
+	}
+	if NewAddr(0, 8).IsNull() {
+		t.Error("node 0 offset 8 should not be null")
+	}
+	if NewAddr(1, 0).IsNull() {
+		t.Error("node 1 offset 0 should not be null")
+	}
+	if got := Addr(0).String(); got != "null" {
+		t.Errorf("null String() = %q", got)
+	}
+}
+
+func TestAddrAdd(t *testing.T) {
+	a := NewAddr(7, 100)
+	b := a.Add(28)
+	if b.Node() != 7 || b.Offset() != 128 {
+		t.Errorf("Add: got %v", b)
+	}
+}
+
+func TestAddrOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on offset overflow")
+		}
+	}()
+	NewAddr(0, MaxOffset+1)
+}

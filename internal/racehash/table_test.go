@@ -1,0 +1,113 @@
+package racehash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sphinx/internal/mem"
+)
+
+func TestPackUnpackMeta(t *testing.T) {
+	f := func(depth uint8, off uint64) bool {
+		addr := mem.NewAddr(3, off&mem.MaxOffset)
+		d, a := unpackMeta(packMeta(depth, addr))
+		return d == depth && a == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackDirEntry(t *testing.T) {
+	f := func(depth uint8, off uint64) bool {
+		addr := mem.NewAddr(9, off&mem.MaxOffset)
+		d, a := unpackDirEntry(packDirEntry(depth, addr))
+		return d == depth && a == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketHeaderRoundTrip(t *testing.T) {
+	cases := []struct {
+		depth  uint8
+		suffix uint64
+		locked bool
+	}{
+		{0, 0, false},
+		{1, 1, false},
+		{12, 0xabc, true},
+		{28, (1 << 28) - 1, false},
+	}
+	for _, c := range cases {
+		d, s, l := unpackBucketHeader(packBucketHeader(c.depth, c.suffix, c.locked))
+		if d != c.depth || s != c.suffix || l != c.locked {
+			t.Errorf("round trip (%d,%#x,%v) → (%d,%#x,%v)", c.depth, c.suffix, c.locked, d, s, l)
+		}
+	}
+}
+
+func TestHeaderMatches(t *testing.T) {
+	h := uint64(0b1011)
+	w := packBucketHeader(3, h&7, false)
+	if !headerMatches(w, h) {
+		t.Error("matching header rejected")
+	}
+	if headerMatches(w, h^0b100) {
+		t.Error("mismatching suffix accepted")
+	}
+	if headerMatches(0, h) {
+		t.Error("uninitialized header accepted")
+	}
+	// The split-lock bit must not affect matching.
+	wl := packBucketHeader(3, h&7, true)
+	if !headerMatches(wl, h) {
+		t.Error("locked header rejected")
+	}
+}
+
+func TestBucketPairDistinctAndStable(t *testing.T) {
+	f := func(h uint64) bool {
+		h &= 1<<42 - 1
+		b1, b2 := bucketPair(h)
+		c1, c2 := bucketPair(h)
+		return b1 != b2 && b1 == c1 && b2 == c2 &&
+			b1 >= 0 && b1 < SegBuckets && b2 >= 0 && b2 < SegBuckets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInitialDepth(t *testing.T) {
+	if InitialDepth(1) != 0 {
+		t.Errorf("InitialDepth(1) = %d", InitialDepth(1))
+	}
+	perSeg := SegBuckets * EntriesPerBucket / 2
+	if d := InitialDepth(perSeg + 1); d != 1 {
+		t.Errorf("InitialDepth(%d) = %d, want 1", perSeg+1, d)
+	}
+	d := InitialDepth(1 << 30)
+	if d > MaxGlobalDepth {
+		t.Errorf("depth %d exceeds cap %d", d, MaxGlobalDepth)
+	}
+	if (1<<d)*perSeg < 1<<30 {
+		t.Errorf("depth %d does not cover 2^30 entries at half load", d)
+	}
+	if dHuge := InitialDepth(1 << 62); dHuge != MaxGlobalDepth {
+		t.Errorf("absurd table depth = %d, want capped at %d", dHuge, MaxGlobalDepth)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	if SegmentSize != 4096 {
+		t.Errorf("segment size = %d", SegmentSize)
+	}
+	if BucketSize != mem.LineSize {
+		t.Errorf("bucket size %d must equal the atomicity line size %d", BucketSize, mem.LineSize)
+	}
+	if 8*(1+EntriesPerBucket) != BucketSize {
+		t.Error("bucket layout does not fill exactly one line")
+	}
+}

@@ -1,0 +1,466 @@
+package racehash
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/wire"
+)
+
+// ErrRetryExhausted is returned when a lookup or mutation cannot reach a
+// stable view of the table after many refresh attempts. It indicates a bug
+// (or a pathological hash collision) rather than a transient condition.
+var ErrRetryExhausted = errors.New("racehash: retries exhausted")
+
+const maxAttempts = 64
+
+// Stats counts a view's table interactions.
+type Stats struct {
+	Lookups     uint64
+	Refreshes   uint64
+	Splits      uint64
+	DirDoubles  uint64
+	SplitWaits  uint64
+	Reinserted  uint64 // leftover entries re-inserted after a split
+	StaleChecks uint64 // post-CAS verifications forced by a concurrent split
+}
+
+// View is one client's handle on one memory node's table. It holds the
+// client-side directory cache (paper §IV: "each CN maintains a local
+// directory cache"). A view is single-threaded, like the client it wraps.
+type View struct {
+	t       Table
+	c       *fabric.Client
+	depth   uint8
+	dirAddr mem.Addr
+	dir     []uint64
+	noCache bool
+	stats   Stats
+}
+
+// NewView creates a view; the directory cache is fetched lazily on first
+// use.
+func NewView(t Table, c *fabric.Client) *View { return &View{t: t, c: c} }
+
+// NewViewNoCache creates a view without a client-side directory cache:
+// every bucket-pair resolution reads the meta word and the directory entry
+// remotely (two extra dependent round trips). This is the ablation of the
+// paper's §IV directory cache ("each CN maintains a local directory
+// cache"); splits still use a transient full fetch.
+func NewViewNoCache(t Table, c *fabric.Client) *View {
+	return &View{t: t, c: c, noCache: true}
+}
+
+// Table returns the table this view operates on.
+func (v *View) Table() Table { return v.t }
+
+// Stats returns a snapshot of the view's counters.
+func (v *View) Stats() Stats { return v.stats }
+
+// DirCacheBytes returns the size of the client-side directory cache.
+func (v *View) DirCacheBytes() uint64 { return uint64(len(v.dir)) * 8 }
+
+// refresh (re)loads the meta word and the directory: two dependent round
+// trips, paid only on first use and after a segment split invalidates the
+// cache.
+func (v *View) refresh() error {
+	w, err := v.c.ReadUint64(v.t.Meta.Add(metaWordOff))
+	if err != nil {
+		return err
+	}
+	depth, dirAddr := unpackMeta(w)
+	buf := make([]byte, (uint64(1)<<depth)*8)
+	if err := v.c.Read(dirAddr, buf); err != nil {
+		return err
+	}
+	v.depth = depth
+	v.dirAddr = dirAddr
+	v.dir = make([]uint64, 1<<depth)
+	for i := range v.dir {
+		v.dir[i] = getUint64(buf[i*8:])
+	}
+	v.stats.Refreshes++
+	return nil
+}
+
+func (v *View) ensureDir() error {
+	if v.dir == nil {
+		return v.refresh()
+	}
+	return nil
+}
+
+// segFor resolves a placement hash through the cached directory.
+func (v *View) segFor(h uint64) (seg mem.Addr, localDepth uint8) {
+	w := v.dir[h&depthMask(v.depth)]
+	localDepth, seg = unpackDirEntry(w)
+	return seg, localDepth
+}
+
+// Candidate is a matching hash entry plus the address of the slot holding
+// it, so callers can later CAS that exact slot (type switches, deletes).
+type Candidate struct {
+	Entry wire.HashEntry
+	Slot  mem.Addr
+}
+
+// PreparedRead is a bucket-pair read that a caller can merge into a larger
+// doorbell batch (the paper's parallel multi-prefix read, §III-A). Use
+// Prepare → collect Ops from several PreparedReads → Client.Batch →
+// Candidates on each.
+type PreparedRead struct {
+	view  *View
+	h     uint64
+	addrs [2]mem.Addr
+	bufs  [2][BucketSize]byte
+}
+
+// Prepare resolves the candidate buckets for h through the directory cache
+// and returns the pending read. It costs no network round trips (beyond a
+// first-use directory fetch) — unless the view runs without a directory
+// cache, in which case the resolution itself is two dependent round trips.
+func (v *View) Prepare(h uint64) (*PreparedRead, error) {
+	if v.noCache {
+		return v.prepareUncached(h)
+	}
+	if err := v.ensureDir(); err != nil {
+		return nil, err
+	}
+	seg, _ := v.segFor(h)
+	b1, b2 := bucketPair(h)
+	p := &PreparedRead{view: v, h: h}
+	p.addrs[0] = seg.Add(uint64(b1) * BucketSize)
+	p.addrs[1] = seg.Add(uint64(b2) * BucketSize)
+	return p, nil
+}
+
+// Ops returns the two READ verbs of the prepared bucket-pair fetch.
+func (p *PreparedRead) Ops() []fabric.Op {
+	return []fabric.Op{
+		{Kind: fabric.Read, Addr: p.addrs[0], Data: p.bufs[0][:]},
+		{Kind: fabric.Read, Addr: p.addrs[1], Data: p.bufs[1][:]},
+	}
+}
+
+// Valid reports whether the fetched buckets belong to the hash — i.e. the
+// client's directory cache was fresh. On false the caller must Refresh the
+// view and retry the prepared read.
+func (p *PreparedRead) Valid() bool {
+	return headerMatches(getUint64(p.bufs[0][:]), p.h) &&
+		headerMatches(getUint64(p.bufs[1][:]), p.h)
+}
+
+// Candidates scans the fetched buckets for entries matching fp.
+func (p *PreparedRead) Candidates(fp uint16) []Candidate {
+	var out []Candidate
+	for b := 0; b < 2; b++ {
+		for s := 0; s < EntriesPerBucket; s++ {
+			w := getUint64(p.bufs[b][8*(1+s):])
+			e := wire.DecodeHashEntry(w)
+			if e.Valid && e.FP == fp {
+				out = append(out, Candidate{Entry: e, Slot: p.addrs[b].Add(uint64(8 * (1 + s)))})
+			}
+		}
+	}
+	return out
+}
+
+// locked reports whether either fetched bucket header carries the split
+// lock.
+func (p *PreparedRead) locked() bool {
+	_, _, l1 := unpackBucketHeader(getUint64(p.bufs[0][:]))
+	_, _, l2 := unpackBucketHeader(getUint64(p.bufs[1][:]))
+	return l1 || l2
+}
+
+// header returns the fetched header word of bucket b (0 or 1).
+func (p *PreparedRead) header(b int) uint64 { return getUint64(p.bufs[b][:]) }
+
+// emptySlot returns the address of the first empty entry slot and the
+// header word of its bucket as observed by this read, or ok=false if both
+// buckets are full.
+func (p *PreparedRead) emptySlot() (slot mem.Addr, hdr uint64, ok bool) {
+	for b := 0; b < 2; b++ {
+		for s := 0; s < EntriesPerBucket; s++ {
+			if getUint64(p.bufs[b][8*(1+s):]) == 0 {
+				return p.addrs[b].Add(uint64(8 * (1 + s))), p.header(b), true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// find returns the slot currently holding the exact entry word and its
+// bucket's observed header word, if present.
+func (p *PreparedRead) find(word uint64) (slot mem.Addr, hdr uint64, ok bool) {
+	for b := 0; b < 2; b++ {
+		for s := 0; s < EntriesPerBucket; s++ {
+			if getUint64(p.bufs[b][8*(1+s):]) == word {
+				return p.addrs[b].Add(uint64(8 * (1 + s))), p.header(b), true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// prepareUncached resolves h by reading the meta word and the directory
+// entry remotely.
+func (v *View) prepareUncached(h uint64) (*PreparedRead, error) {
+	w, err := v.c.ReadUint64(v.t.Meta.Add(metaWordOff))
+	if err != nil {
+		return nil, err
+	}
+	depth, dirAddr := unpackMeta(w)
+	dw, err := v.c.ReadUint64(dirAddr.Add((h & depthMask(depth)) * 8))
+	if err != nil {
+		return nil, err
+	}
+	_, seg := unpackDirEntry(dw)
+	// Keep the transient state consistent for split paths that consult
+	// the cached fields.
+	v.depth = depth
+	v.dirAddr = dirAddr
+	b1, b2 := bucketPair(h)
+	p := &PreparedRead{view: v, h: h}
+	p.addrs[0] = seg.Add(uint64(b1) * BucketSize)
+	p.addrs[1] = seg.Add(uint64(b2) * BucketSize)
+	return p, nil
+}
+
+// Refresh discards and refetches the directory cache.
+func (v *View) Refresh() error { return v.refresh() }
+
+// read performs a validated bucket-pair read, refreshing the directory
+// cache as needed. One round trip in the common case.
+func (v *View) read(h uint64) (*PreparedRead, error) {
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		p, err := v.Prepare(h)
+		if err != nil {
+			return nil, err
+		}
+		if err := v.c.Batch(p.Ops()); err != nil {
+			return nil, err
+		}
+		if p.Valid() {
+			return p, nil
+		}
+		if err := v.refresh(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: bucket read for h=%#x", ErrRetryExhausted, h)
+}
+
+// Lookup returns all entries whose fingerprint matches fp in the candidate
+// buckets of h. One round trip with a warm directory cache.
+func (v *View) Lookup(h uint64, fp uint16) ([]Candidate, error) {
+	v.stats.Lookups++
+	p, err := v.read(h)
+	if err != nil {
+		return nil, err
+	}
+	return p.Candidates(fp), nil
+}
+
+// casChecked CASes an entry slot and, in the same doorbell batch, re-reads
+// the slot's bucket header. Only a segment split ever modifies a bucket
+// header, so if the header read back differs in any way from the one
+// observed when the slot was chosen (lock bit set, depth bumped, suffix
+// changed), a split overlapped the CAS and may have missed it; the caller
+// must wait for the split and re-verify. This closes the window between a
+// split's segment snapshot and its old-segment rewrite.
+func (v *View) casChecked(slot mem.Addr, old, new, wantHdr uint64) (won, ambiguous bool, err error) {
+	bucket := mem.NewAddr(slot.Node(), slot.Offset()&^uint64(BucketSize-1))
+	var hdr [8]byte
+	ops := []fabric.Op{
+		{Kind: fabric.CAS, Addr: slot, Expect: old, Desired: new},
+		{Kind: fabric.Read, Addr: bucket, Data: hdr[:]},
+	}
+	if err := v.c.Batch(ops); err != nil {
+		return false, false, err
+	}
+	return ops[0].Old == old, getUint64(hdr[:]) != wantHdr, nil
+}
+
+// waitSplit polls the candidate buckets of h until no split lock is
+// visible, then returns the fresh read.
+func (v *View) waitSplit(h uint64) (*PreparedRead, error) {
+	v.stats.SplitWaits++
+	for attempt := 0; attempt < maxAttempts*16; attempt++ {
+		p, err := v.read(h)
+		if err != nil {
+			return nil, err
+		}
+		if !p.locked() {
+			return p, nil
+		}
+		// Model a brief backoff before polling again; Gosched lets the
+		// goroutine driving the split make progress on a busy machine.
+		v.c.AdvanceClock(500_000) // 0.5 µs
+		runtime.Gosched()
+	}
+	return nil, fmt.Errorf("%w: split lock never cleared for h=%#x", ErrRetryExhausted, h)
+}
+
+// Insert adds an entry for placement hash h. If the entry word is already
+// present the insert is a no-op (idempotent re-insert after an ambiguous
+// race). Full candidate buckets trigger a segment split, for which alloc
+// provides memory.
+func (v *View) Insert(h uint64, e wire.HashEntry, alloc *mem.Allocator) error {
+	word := e.Encode()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		p, err := v.read(h)
+		if err != nil {
+			return err
+		}
+		if p.locked() {
+			if _, err := v.waitSplit(h); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, _, ok := p.find(word); ok {
+			return nil
+		}
+		slot, hdr, ok := p.emptySlot()
+		if !ok {
+			if err := v.split(h, alloc); err != nil {
+				return err
+			}
+			continue
+		}
+		won, ambiguous, err := v.casChecked(slot, 0, word, hdr)
+		if err != nil {
+			return err
+		}
+		if !won {
+			continue // someone claimed the slot; rescan
+		}
+		if !ambiguous {
+			return nil
+		}
+		// A split overlapped the CAS: it may have snapshotted the bucket
+		// before our entry landed and rebuilt the segment without it.
+		// Wait for the split, then verify through the (possibly new)
+		// segment.
+		v.stats.StaleChecks++
+		q, err := v.waitSplit(h)
+		if err != nil {
+			return err
+		}
+		if _, _, ok := q.find(word); ok {
+			return nil
+		}
+		// Lost to the rewrite. Best-effort cleanup of the orphan word in
+		// case it survived in a segment that is no longer this hash's
+		// home, then retry the insert from scratch.
+		if _, err := v.c.CompareSwap(slot, word, 0); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("%w: insert h=%#x", ErrRetryExhausted, h)
+}
+
+// Replace atomically swaps an existing entry for a new one (node type
+// switch, §IV Insert: "the inner node hash table is updated ... performed
+// atomically using an RDMA CAS"). The caller must hold the node-grained
+// lock that serializes competing replaces of the same entry.
+func (v *View) Replace(h uint64, old, new wire.HashEntry) error {
+	oldWord, newWord := old.Encode(), new.Encode()
+	waits := 0
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		p, err := v.read(h)
+		if err != nil {
+			return err
+		}
+		if p.locked() {
+			if _, err := v.waitSplit(h); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, _, ok := p.find(newWord); ok {
+			return nil
+		}
+		slot, hdr, ok := p.find(oldWord)
+		if !ok {
+			// The old entry's own publication can still be in flight: a
+			// node becomes reachable through the tree (and thus
+			// switchable) before its creator's table insert lands. That
+			// insert is guaranteed to complete, so wait for it rather
+			// than failing the switch — on a budget independent of the
+			// CAS retry budget.
+			if waits++; waits > maxAttempts*64 {
+				return fmt.Errorf("%w: replace target never appeared for h=%#x", ErrRetryExhausted, h)
+			}
+			attempt--
+			v.c.AdvanceClock(500_000)
+			runtime.Gosched()
+			continue
+		}
+		won, ambiguous, err := v.casChecked(slot, oldWord, newWord, hdr)
+		if err != nil {
+			return err
+		}
+		if won && !ambiguous {
+			return nil
+		}
+		if won && ambiguous {
+			v.stats.StaleChecks++
+			q, err := v.waitSplit(h)
+			if err != nil {
+				return err
+			}
+			if _, _, ok := q.find(newWord); ok {
+				return nil
+			}
+			// The split captured the pre-CAS image: the old word is live
+			// again somewhere; loop and redo the replace.
+			if _, err := v.c.CompareSwap(slot, newWord, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return fmt.Errorf("%w: replace h=%#x", ErrRetryExhausted, h)
+}
+
+// Remove deletes an existing entry (key delete path). Idempotent: removing
+// an absent entry succeeds.
+func (v *View) Remove(h uint64, old wire.HashEntry) error {
+	oldWord := old.Encode()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		p, err := v.read(h)
+		if err != nil {
+			return err
+		}
+		if p.locked() {
+			if _, err := v.waitSplit(h); err != nil {
+				return err
+			}
+			continue
+		}
+		slot, hdr, ok := p.find(oldWord)
+		if !ok {
+			return nil
+		}
+		won, ambiguous, err := v.casChecked(slot, oldWord, 0, hdr)
+		if err != nil {
+			return err
+		}
+		if won && !ambiguous {
+			return nil
+		}
+		if won && ambiguous {
+			// The split may have resurrected the entry from its pre-CAS
+			// snapshot; loop until a clean read shows it gone.
+			v.stats.StaleChecks++
+			if _, err := v.waitSplit(h); err != nil {
+				return err
+			}
+		}
+	}
+	return fmt.Errorf("%w: remove h=%#x", ErrRetryExhausted, h)
+}

@@ -1,0 +1,411 @@
+package racehash
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/wire"
+)
+
+// testEnv bundles a one-node fabric with a bootstrapped table. Because
+// segment splits recover entry placement from inner-node headers, every
+// test entry must point at a fake node header carrying its placement hash.
+type testEnv struct {
+	f     *fabric.Fabric
+	node  mem.NodeID
+	table Table
+}
+
+func newEnv(t *testing.T, expected int) *testEnv {
+	t.Helper()
+	f := fabric.New(fabric.InstantConfig())
+	node := f.AddNode(64 << 20)
+	alloc := mem.NewAllocator(f.Regions(), 0)
+	table, err := Bootstrap(f.Region(node), alloc, node, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{f: f, node: node, table: table}
+}
+
+// makeEntry fabricates an inner node whose header carries placement hash h
+// and returns a hash entry pointing at it.
+func (e *testEnv) makeEntry(t *testing.T, c *fabric.Client, alloc *mem.Allocator, h uint64, fp uint16) wire.HashEntry {
+	t.Helper()
+	addr, err := alloc.Alloc(e.node, mem.ClassInner, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := wire.NodeHeader{Status: wire.StatusIdle, Type: wire.Node4, Depth: 1, PrefixHash: h}
+	if err := c.WriteUint64(addr, hdr.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	return wire.HashEntry{Valid: true, FP: fp, Type: wire.Node4, Addr: addr}
+}
+
+func hashFP(i int) (uint64, uint16) {
+	h := wire.Hash64([]byte(fmt.Sprintf("prefix-%d", i))) & (1<<42 - 1)
+	fp := wire.FP12([]byte(fmt.Sprintf("prefix-%d", i)))
+	return h, fp
+}
+
+func TestInsertLookup(t *testing.T) {
+	env := newEnv(t, 100)
+	c := env.f.NewClient()
+	alloc := mem.NewAllocator(c, 0)
+	v := NewView(env.table, c)
+
+	h, fp := hashFP(1)
+	e := env.makeEntry(t, c, alloc, h, fp)
+	if err := v.Insert(h, e, alloc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Lookup(h, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Entry != e {
+		t.Fatalf("lookup = %+v, want %+v", got, e)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	env := newEnv(t, 100)
+	c := env.f.NewClient()
+	v := NewView(env.table, c)
+	h, fp := hashFP(999)
+	got, err := v.Lookup(h, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("lookup of absent key returned %+v", got)
+	}
+}
+
+func TestWarmLookupIsOneRoundTrip(t *testing.T) {
+	env := newEnv(t, 100)
+	c := env.f.NewClient()
+	alloc := mem.NewAllocator(c, 0)
+	v := NewView(env.table, c)
+	h, fp := hashFP(2)
+	e := env.makeEntry(t, c, alloc, h, fp)
+	if err := v.Insert(h, e, alloc); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	if _, err := v.Lookup(h, fp); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Stats().Sub(before)
+	if d.RoundTrips != 1 {
+		t.Errorf("warm lookup took %d round trips, want 1 (the paper's §III-A guarantee)", d.RoundTrips)
+	}
+	if d.Verbs != 2 {
+		t.Errorf("warm lookup issued %d verbs, want 2 bucket reads", d.Verbs)
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	env := newEnv(t, 100)
+	c := env.f.NewClient()
+	alloc := mem.NewAllocator(c, 0)
+	v := NewView(env.table, c)
+	h, fp := hashFP(3)
+	e := env.makeEntry(t, c, alloc, h, fp)
+	if err := v.Insert(h, e, alloc); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Insert(h, e, alloc); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.Lookup(h, fp)
+	if len(got) != 1 {
+		t.Fatalf("idempotent insert produced %d entries", len(got))
+	}
+}
+
+func TestReplace(t *testing.T) {
+	env := newEnv(t, 100)
+	c := env.f.NewClient()
+	alloc := mem.NewAllocator(c, 0)
+	v := NewView(env.table, c)
+	h, fp := hashFP(4)
+	old := env.makeEntry(t, c, alloc, h, fp)
+	if err := v.Insert(h, old, alloc); err != nil {
+		t.Fatal(err)
+	}
+	// Node type switch: same prefix, new address and type.
+	newE := env.makeEntry(t, c, alloc, h, fp)
+	newE.Type = wire.Node16
+	if err := v.Replace(h, old, newE); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.Lookup(h, fp)
+	if len(got) != 1 || got[0].Entry != newE {
+		t.Fatalf("after replace: %+v", got)
+	}
+	// Replace is idempotent if the new entry is already installed.
+	if err := v.Replace(h, old, newE); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceMissingEntryFails(t *testing.T) {
+	env := newEnv(t, 100)
+	c := env.f.NewClient()
+	alloc := mem.NewAllocator(c, 0)
+	v := NewView(env.table, c)
+	h, fp := hashFP(5)
+	ghost := env.makeEntry(t, c, alloc, h, fp)
+	other := env.makeEntry(t, c, alloc, h, fp)
+	if err := v.Replace(h, ghost, other); err == nil {
+		t.Error("replace of absent entry succeeded")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	env := newEnv(t, 100)
+	c := env.f.NewClient()
+	alloc := mem.NewAllocator(c, 0)
+	v := NewView(env.table, c)
+	h, fp := hashFP(6)
+	e := env.makeEntry(t, c, alloc, h, fp)
+	if err := v.Insert(h, e, alloc); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Remove(h, e); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.Lookup(h, fp)
+	if len(got) != 0 {
+		t.Fatalf("entry survived remove: %+v", got)
+	}
+	// Removing again is a no-op.
+	if err := v.Remove(h, e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyInsertsForceSplits(t *testing.T) {
+	// Start with a single-segment table and insert far beyond its
+	// capacity: segments must split and the directory must double, and
+	// every entry must remain findable afterwards.
+	env := newEnv(t, 1) // initial depth 0
+	c := env.f.NewClient()
+	alloc := mem.NewAllocator(c, 0)
+	v := NewView(env.table, c)
+
+	const n = 3000
+	entries := make([]wire.HashEntry, n)
+	for i := 0; i < n; i++ {
+		h, fp := hashFP(i)
+		entries[i] = env.makeEntry(t, c, alloc, h, fp)
+		if err := v.Insert(h, entries[i], alloc); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	st := v.Stats()
+	if st.Splits == 0 {
+		t.Error("no segment splits for 3000 entries in a 1-segment table")
+	}
+	if st.DirDoubles == 0 {
+		t.Error("directory never doubled")
+	}
+	for i := 0; i < n; i++ {
+		h, fp := hashFP(i)
+		got, err := v.Lookup(h, fp)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		found := false
+		for _, cand := range got {
+			if cand.Entry == entries[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("entry %d lost after splits", i)
+		}
+	}
+}
+
+func TestFreshViewSeesExistingEntries(t *testing.T) {
+	env := newEnv(t, 1)
+	c1 := env.f.NewClient()
+	alloc := mem.NewAllocator(c1, 0)
+	v1 := NewView(env.table, c1)
+	var hs []uint64
+	var fps []uint16
+	var es []wire.HashEntry
+	for i := 0; i < 800; i++ {
+		h, fp := hashFP(i)
+		e := env.makeEntry(t, c1, alloc, h, fp)
+		if err := v1.Insert(h, e, alloc); err != nil {
+			t.Fatal(err)
+		}
+		hs, fps, es = append(hs, h), append(fps, fp), append(es, e)
+	}
+	// A second client with a cold directory cache must find everything.
+	c2 := env.f.NewClient()
+	v2 := NewView(env.table, c2)
+	for i := range hs {
+		got, err := v2.Lookup(hs[i], fps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, cand := range got {
+			if cand.Entry == es[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("fresh view missed entry %d", i)
+		}
+	}
+}
+
+func TestStaleDirectoryCacheRecovers(t *testing.T) {
+	env := newEnv(t, 1)
+	c1 := env.f.NewClient()
+	alloc1 := mem.NewAllocator(c1, 0)
+	v1 := NewView(env.table, c1)
+	// Warm v2's cache while the table is tiny.
+	c2 := env.f.NewClient()
+	v2 := NewView(env.table, c2)
+	h0, fp0 := hashFP(0)
+	e0 := env.makeEntry(t, c1, alloc1, h0, fp0)
+	if err := v1.Insert(h0, e0, alloc1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.Lookup(h0, fp0); err != nil {
+		t.Fatal(err)
+	}
+	// Grow the table through v1 only.
+	for i := 1; i < 2000; i++ {
+		h, fp := hashFP(i)
+		e := env.makeEntry(t, c1, alloc1, h, fp)
+		if err := v1.Insert(h, e, alloc1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// v2's stale cache must transparently refresh on every lookup.
+	for i := 0; i < 2000; i += 37 {
+		h, fp := hashFP(i)
+		got, err := v2.Lookup(h, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("stale view lost entry %d", i)
+		}
+	}
+	if v2.Stats().Refreshes == 0 {
+		t.Error("stale view never refreshed its directory cache")
+	}
+}
+
+func TestConcurrentInsertsAndLookups(t *testing.T) {
+	env := newEnv(t, 1)
+	const workers = 6
+	const perWorker = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := env.f.NewClient()
+			alloc := mem.NewAllocator(c, 0)
+			v := NewView(env.table, c)
+			for i := 0; i < perWorker; i++ {
+				id := w*perWorker + i
+				h, fp := hashFP(id)
+				e := env.makeEntry(t, c, alloc, h, fp)
+				if err := v.Insert(h, e, alloc); err != nil {
+					errs <- fmt.Errorf("worker %d insert %d: %w", w, i, err)
+					return
+				}
+				if got, err := v.Lookup(h, fp); err != nil || len(got) == 0 {
+					errs <- fmt.Errorf("worker %d lost own entry %d (err=%v)", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Global check from a fresh client.
+	c := env.f.NewClient()
+	v := NewView(env.table, c)
+	for id := 0; id < workers*perWorker; id++ {
+		h, fp := hashFP(id)
+		got, err := v.Lookup(h, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("entry %d missing after concurrent load", id)
+		}
+	}
+}
+
+func TestDirCacheBytesReported(t *testing.T) {
+	env := newEnv(t, 10000)
+	c := env.f.NewClient()
+	v := NewView(env.table, c)
+	if _, err := v.Lookup(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v.DirCacheBytes() == 0 {
+		t.Error("directory cache size not reported")
+	}
+}
+
+func TestInsertLookupProperty(t *testing.T) {
+	env := newEnv(t, 64)
+	c := env.f.NewClient()
+	alloc := mem.NewAllocator(c, 0)
+	v := NewView(env.table, c)
+	inserted := map[uint64]wire.HashEntry{}
+	i := 0
+	prop := func(seed uint64) bool {
+		i++
+		h := wire.Mix64(seed) & (1<<42 - 1)
+		fp := uint16(wire.Mix64(seed^1) & (1<<wire.FPBits - 1))
+		e := env.makeEntry(t, c, alloc, h, fp)
+		if err := v.Insert(h, e, alloc); err != nil {
+			t.Logf("insert: %v", err)
+			return false
+		}
+		inserted[h] = e
+		// Every inserted entry remains findable.
+		for hh, ee := range inserted {
+			cands, err := v.Lookup(hh, ee.FP)
+			if err != nil {
+				return false
+			}
+			found := false
+			for _, cand := range cands {
+				if cand.Entry == ee {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

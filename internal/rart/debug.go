@@ -1,0 +1,59 @@
+package rart
+
+import (
+	"fmt"
+	"strings"
+
+	"sphinx/internal/wire"
+)
+
+// DumpPath walks from root toward key and renders every node and the
+// final leaf for post-mortem debugging of stuck states in tests.
+func (e *Engine) DumpPath(root *Node, key []byte) string {
+	var b strings.Builder
+	n := root
+	for hops := 0; hops < 64; hops++ {
+		fmt.Fprintf(&b, "node %v %v st=%v depth=%d partial=%q eol=%v\n",
+			n.Addr, n.Hdr.Type, n.Hdr.Status, n.Hdr.Depth, n.Partial, n.EOL)
+		m, full := MatchPartial(n, key)
+		if !full {
+			fmt.Fprintf(&b, "  partial mismatch at %d\n", m)
+			return b.String()
+		}
+		depth := int(n.Hdr.Depth)
+		var slot wire.Slot
+		if len(key) == depth {
+			slot = n.EOL
+		} else {
+			var ok bool
+			slot, _, ok = n.Child(key[depth])
+			if !ok {
+				fmt.Fprintf(&b, "  no child for byte %#x\n", key[depth])
+				return b.String()
+			}
+		}
+		fmt.Fprintf(&b, "  slot: %+v\n", slot)
+		if !slot.Present {
+			return b.String()
+		}
+		if slot.Leaf {
+			leafBuf := make([]byte, e.clampRead(slot.Addr, 4096))
+			if err := e.C.Read(slot.Addr, leafBuf); err != nil {
+				fmt.Fprintf(&b, "  leaf read error: %v\n", err)
+				return b.String()
+			}
+			hdr := wire.DecodeLeafHeader(leUint64(leafBuf))
+			k, v, _, ok := wire.DecodeLeaf(leafBuf)
+			fmt.Fprintf(&b, "  leaf %v st=%v units=%d ok=%v key=%q val=%q\n",
+				slot.Addr, hdr.Status, hdr.Units, ok, k, v)
+			return b.String()
+		}
+		child, err := e.ReadNode(slot.Addr, slot.ChildType)
+		if err != nil {
+			fmt.Fprintf(&b, "  node read error: %v\n", err)
+			return b.String()
+		}
+		n = child
+	}
+	return b.String()
+}

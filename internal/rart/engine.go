@@ -1,0 +1,347 @@
+package rart
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"sphinx/internal/consistenthash"
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/wire"
+)
+
+// Errors surfaced to the index layers. ErrNodeInvalid and ErrRestart are
+// retry signals: the descent raced with a structural change and must be
+// redone (paper §III-C: "If the status field is marked Invalid, the reader
+// retries the index operation").
+var (
+	ErrNodeInvalid = errors.New("rart: node invalidated by a type switch")
+	ErrRestart     = errors.New("rart: operation must restart")
+	// ErrNeedParent is returned when a compressed-path split is required
+	// at the node an operation started from, whose parent is unknown
+	// (possible only after a prefix-hash collision in Sphinx's hash-table
+	// jump). The caller restarts the operation from the root path.
+	ErrNeedParent = errors.New("rart: split required above the start node")
+
+	errRetries = errors.New("rart: retries exhausted")
+)
+
+// Config tunes the engine per system.
+type Config struct {
+	// Prealloc256 gives every inner node the footprint of a Node256 and
+	// performs type switches in place, never moving a node — SMART's
+	// design, trading the paper's reported 2.1–3.0× MN memory overhead
+	// for cache-friendly stable addresses.
+	Prealloc256 bool
+	// LeafSpecRead is the speculative first-READ size for leaves of
+	// unknown length. 128 covers a 64-byte value with a ≤40-byte key in
+	// one round trip. 0 selects the default.
+	LeafSpecRead int
+	// MaxRetries bounds retry loops on contended structures.
+	MaxRetries int
+}
+
+const defaultLeafSpecRead = 128
+
+func (c Config) leafSpecRead() int {
+	if c.LeafSpecRead <= 0 {
+		return defaultLeafSpecRead
+	}
+	return c.LeafSpecRead
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries <= 0 {
+		return 256
+	}
+	return c.MaxRetries
+}
+
+// Engine bundles one client's access to the remote tree: verbs, allocator
+// and node placement. Engines are per-worker, like the client they wrap.
+type Engine struct {
+	C     *fabric.Client
+	Alloc *mem.Allocator
+	Ring  *consistenthash.Ring
+	Cfg   Config
+
+	regionSizes map[mem.NodeID]uint64
+}
+
+// NewEngine creates an engine over the given client.
+func NewEngine(c *fabric.Client, alloc *mem.Allocator, ring *consistenthash.Ring, cfg Config) *Engine {
+	return &Engine{C: c, Alloc: alloc, Ring: ring, Cfg: cfg, regionSizes: make(map[mem.NodeID]uint64)}
+}
+
+// NodeHome returns the memory node that owns the inner node for a prefix
+// (consistent hashing, paper §III).
+func (e *Engine) NodeHome(prefix []byte) mem.NodeID { return e.Ring.OwnerKey(prefix) }
+
+// LeafHome returns the memory node that owns the leaf for a key.
+func (e *Engine) LeafHome(key []byte) mem.NodeID { return e.Ring.OwnerKey(key) }
+
+// nodeReadSize returns how many bytes to READ for a node of type t.
+func (e *Engine) nodeReadSize(t wire.NodeType) uint64 {
+	if e.Cfg.Prealloc256 {
+		return wire.NodeSize(wire.Node256)
+	}
+	return wire.NodeSize(t)
+}
+
+// nodeAllocSize returns how many bytes to allocate for a node of type t.
+func (e *Engine) nodeAllocSize(t wire.NodeType) uint64 {
+	if e.Cfg.Prealloc256 {
+		return wire.NodeSize(wire.Node256)
+	}
+	return wire.NodeSize(t)
+}
+
+func (e *Engine) clampRead(addr mem.Addr, want uint64) uint64 {
+	size, ok := e.regionSizes[addr.Node()]
+	if !ok {
+		size = e.C.Fabric().RegionSize(addr.Node())
+		e.regionSizes[addr.Node()] = size
+	}
+	if rem := size - addr.Offset(); want > rem {
+		return rem
+	}
+	return want
+}
+
+// ReadNode fetches and decodes the inner node at addr, whose type is known
+// from the slot or hash entry that referenced it (one round trip). If the
+// node grew in place (Prealloc256 mode) or the hint is stale, the read is
+// retried once at the decoded size.
+func (e *Engine) ReadNode(addr mem.Addr, hint wire.NodeType) (*Node, error) {
+	want := e.nodeReadSize(hint)
+	for attempt := 0; attempt < 2; attempt++ {
+		buf := make([]byte, want)
+		if err := e.C.Read(addr, buf); err != nil {
+			return nil, err
+		}
+		hdr := wire.DecodeNodeHeader(leUint64(buf))
+		if need := wire.NodeSize(hdr.Type); need > want {
+			want = need
+			continue
+		}
+		return Decode(addr, buf)
+	}
+	return nil, fmt.Errorf("%w: node at %v kept growing", errRetries, addr)
+}
+
+// ReadNodeOps prepares a node read for merging into a caller batch.
+func (e *Engine) ReadNodeOps(addr mem.Addr, hint wire.NodeType) ([]fabric.Op, []byte) {
+	buf := make([]byte, e.nodeReadSize(hint))
+	return []fabric.Op{{Kind: fabric.Read, Addr: addr, Data: buf}}, buf
+}
+
+// Leaf is a decoded leaf image. Units is the leaf's allocated footprint in
+// 64-byte units, which bounds what an in-place update may fit.
+type Leaf struct {
+	Addr   mem.Addr
+	Status wire.Status
+	Units  uint8
+	Key    []byte
+	Value  []byte
+}
+
+// ReadLeaf fetches the leaf at addr, retrying torn or locked images.
+// Usually one round trip (speculative over-read); leaves longer than the
+// speculative size cost one more.
+func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
+	want := e.clampRead(addr, uint64(e.Cfg.leafSpecRead()))
+	for attempt := 0; attempt < e.Cfg.maxRetries(); attempt++ {
+		buf := make([]byte, want)
+		if err := e.C.Read(addr, buf); err != nil {
+			return nil, err
+		}
+		hdr := wire.DecodeLeafHeader(leUint64(buf))
+		if hdr.Status == wire.StatusInvalid {
+			// A retired leaf's content may legitimately disagree with its
+			// header (a racing in-place update); Invalid alone is enough
+			// for the caller to restart.
+			return &Leaf{Addr: addr, Status: wire.StatusInvalid, Units: hdr.Units}, nil
+		}
+		if need := uint64(hdr.Units) * wire.LeafUnit; need > uint64(len(buf)) {
+			want = e.clampRead(addr, need)
+			continue
+		}
+		key, val, st, ok := wire.DecodeLeaf(buf)
+		if !ok || st == wire.StatusLocked {
+			// Torn read (a concurrent in-place update) or a locked leaf:
+			// the writer finishes with a single WRITE, so retry shortly.
+			e.C.AdvanceClock(200_000) // 0.2 µs backoff
+			runtime.Gosched()
+			continue
+		}
+		return &Leaf{
+			Addr:   addr,
+			Status: st,
+			Units:  hdr.Units,
+			Key:    append([]byte(nil), key...),
+			Value:  append([]byte(nil), val...),
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: leaf at %v never stabilized", errRetries, addr)
+}
+
+// WriteLeaf allocates and writes a fresh leaf for (key, value) on the
+// key's home node and returns its address.
+func (e *Engine) WriteLeaf(key, value []byte) (mem.Addr, error) {
+	img := wire.EncodeLeaf(wire.StatusIdle, key, value)
+	addr, err := e.Alloc.Alloc(e.LeafHome(key), mem.ClassLeaf, uint64(len(img)))
+	if err != nil {
+		return 0, err
+	}
+	if err := e.C.Write(addr, img); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// WriteNewNode allocates space for a locally built node on the home node
+// of its prefix and writes it, returning the node with its address set.
+func (e *Engine) WriteNewNode(n *Node, prefix []byte) (*Node, error) {
+	addr, err := e.Alloc.Alloc(e.NodeHome(prefix), mem.ClassInner, e.nodeAllocSize(n.Hdr.Type))
+	if err != nil {
+		return nil, err
+	}
+	n.Addr = addr
+	if err := e.C.Write(addr, n.Encode()); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Lock acquires the node-grained lock on the node at addr and returns a
+// fresh image read under the lock. Each attempt is one round trip: the
+// header CAS and a full re-read ride the same doorbell batch, and the CAS
+// executing first means a winning lock guarantees the trailing read is a
+// stable post-lock snapshot (paper §III-C).
+// expectWord, if non-zero, is the header word the caller last observed,
+// letting the first attempt CAS immediately; pass 0 to start with a read.
+func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectWord uint64) (*Node, error) {
+	want := e.nodeReadSize(hint)
+	expect := expectWord
+	// A lock-free descent can observe a node while another writer holds
+	// it. CASing a Locked word to "Locked" would trivially succeed and
+	// steal the lock, so only an Idle observation is usable as a CAS
+	// expectation; anything else starts with a plain read.
+	if expect != 0 && wire.DecodeNodeHeader(expect).Status != wire.StatusIdle {
+		expect = 0
+	}
+	for attempt := 0; attempt < e.Cfg.maxRetries(); attempt++ {
+		buf := make([]byte, want)
+		ops := make([]fabric.Op, 0, 2)
+		casIdx := -1
+		if expect != 0 {
+			casIdx = 0
+			ops = append(ops, fabric.Op{
+				Kind: fabric.CAS, Addr: addr,
+				Expect:  expect,
+				Desired: wire.WithStatus(expect, wire.StatusLocked),
+			})
+		}
+		ops = append(ops, fabric.Op{Kind: fabric.Read, Addr: addr, Data: buf})
+		if err := e.C.Batch(ops); err != nil {
+			return nil, err
+		}
+		if casIdx >= 0 && ops[casIdx].Old == expect {
+			hdr := wire.DecodeNodeHeader(leUint64(buf))
+			if need := wire.NodeSize(hdr.Type); need > uint64(len(buf)) {
+				// Stale size hint; re-read at full size while holding the
+				// lock, under which the image is stable.
+				buf = make([]byte, need)
+				if err := e.C.Read(addr, buf); err != nil {
+					return nil, err
+				}
+			}
+			n, err := Decode(addr, buf)
+			if err != nil {
+				return nil, err
+			}
+			return n, nil
+		}
+		hdr := wire.DecodeNodeHeader(leUint64(buf))
+		switch {
+		case hdr.Status == wire.StatusInvalid:
+			return nil, ErrNodeInvalid
+		case hdr.Status == wire.StatusLocked:
+			expect = 0 // somebody else holds it; poll
+			e.C.AdvanceClock(300_000)
+			runtime.Gosched()
+		default:
+			if need := wire.NodeSize(hdr.Type); need > want {
+				want = need
+			}
+			expect = leUint64(buf)
+		}
+	}
+	return nil, fmt.Errorf("%w: lock on %v", errRetries, addr)
+}
+
+// UnlockOp builds the CAS releasing a lock taken by Lock. It is meant to
+// be piggybacked onto the final doorbell batch of a write operation
+// (paper §IV: "followed by a piggybacked lock release").
+func (e *Engine) UnlockOp(n *Node) fabric.Op {
+	locked := wire.WithStatus(n.HdrWord, wire.StatusLocked)
+	return fabric.Op{
+		Kind: fabric.CAS, Addr: n.Addr,
+		Expect:  locked,
+		Desired: wire.WithStatus(n.HdrWord, wire.StatusIdle),
+	}
+}
+
+// InvalidateOp builds the write retiring a node after a type switch.
+func (e *Engine) InvalidateOp(n *Node) fabric.Op {
+	w := wire.WithStatus(n.HdrWord, wire.StatusInvalid)
+	return fabric.Op{Kind: fabric.Write, Addr: n.Addr, Data: leBytes(w)}
+}
+
+func leUint64(b []byte) uint64 {
+	v := uint64(0)
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func leBytes(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+// MatchPartial compares key against node n's compressed path. It returns
+// the number of partial bytes matched and whether the whole partial (and
+// thus the node's full prefix) is a prefix of key.
+func MatchPartial(n *Node, key []byte) (matched int, full bool) {
+	base := n.Base()
+	if base > len(key) {
+		return 0, false
+	}
+	rest := key[base:]
+	m := 0
+	for m < len(n.Partial) && m < len(rest) && n.Partial[m] == rest[m] {
+		m++
+	}
+	return m, m == len(n.Partial)
+}
+
+// CommonPrefixLen returns the length of the longest common prefix of two
+// keys.
+func CommonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

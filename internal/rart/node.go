@@ -1,0 +1,279 @@
+// Package rart is the remote-ART node engine: the machinery for operating
+// adaptive-radix-tree nodes that live in memory-node memory, shared by all
+// three systems this repository builds (Sphinx, the SMART baseline and the
+// naive DM-ART baseline). It provides decoded node images, one-sided
+// read/write/lock protocols, and the structural operations of §IV of the
+// paper — child installation, node type switches, leaf conversions and
+// compressed-path splits — with the status-field coherence protocol of
+// §III-C.
+//
+// The systems differ in how they *find* a node (hash table + filter vs
+// cached traversal vs root walk) and in what they do when structure
+// changes (Sphinx maintains its inner-node hash table); those parts live
+// in internal/core, internal/smart and internal/artdm. Everything that
+// touches node bytes lives here.
+package rart
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sphinx/internal/mem"
+	"sphinx/internal/wire"
+)
+
+// Node is a decoded inner-node image together with the address it was read
+// from and the raw header word observed (the CAS expectation for locking).
+type Node struct {
+	Addr    mem.Addr
+	Hdr     wire.NodeHeader
+	HdrWord uint64
+	EOL     wire.Slot
+	Partial []byte
+	Index   []byte   // Node48 only: 256-byte child index
+	Slots   []uint64 // raw slot words; len = capacity
+}
+
+// Base returns the length of the full prefix covered before this node's
+// partial bytes: Depth - PartialLen. The node's partial spans key bytes
+// [Base, Depth).
+func (n *Node) Base() int { return int(n.Hdr.Depth) - int(n.Hdr.PartialLen) }
+
+// Decode parses a node image read from addr. The buffer must hold at least
+// the node's encoded size; Decode reports how many bytes the node actually
+// occupies so callers that over-read can tell.
+func Decode(addr mem.Addr, buf []byte) (*Node, error) {
+	if len(buf) < wire.SlotBase {
+		return nil, fmt.Errorf("rart: node image of %d bytes too short", len(buf))
+	}
+	w := binary.LittleEndian.Uint64(buf[wire.HeaderOff:])
+	hdr := wire.DecodeNodeHeader(w)
+	// Reject structurally impossible headers: a torn read or a collided
+	// pointer can surface arbitrary bytes, and callers must get a clean
+	// error to retry on rather than a garbage node.
+	if hdr.PartialLen > wire.MaxPartial {
+		return nil, fmt.Errorf("rart: header partialLen %d exceeds max %d", hdr.PartialLen, wire.MaxPartial)
+	}
+	if int(hdr.PartialLen) > int(hdr.Depth) {
+		return nil, fmt.Errorf("rart: header partialLen %d exceeds depth %d", hdr.PartialLen, hdr.Depth)
+	}
+	if hdr.Status > wire.StatusInvalid {
+		return nil, fmt.Errorf("rart: undefined status %d", hdr.Status)
+	}
+	size := wire.NodeSize(hdr.Type)
+	if uint64(len(buf)) < size {
+		return nil, fmt.Errorf("rart: %v image needs %d bytes, have %d", hdr.Type, size, len(buf))
+	}
+	n := &Node{
+		Addr:    addr,
+		Hdr:     hdr,
+		HdrWord: w,
+		EOL:     wire.DecodeSlot(binary.LittleEndian.Uint64(buf[wire.EOLSlotOff:])),
+		Partial: append([]byte(nil), buf[wire.PartialOff:wire.PartialOff+int(hdr.PartialLen)]...),
+	}
+	if hdr.Type == wire.Node48 {
+		n.Index = append([]byte(nil), buf[wire.SlotBase:wire.SlotBase+wire.Node48IndexSize]...)
+	}
+	cap := hdr.Type.Capacity()
+	n.Slots = make([]uint64, cap)
+	off := int(wire.SlotsOff(hdr.Type))
+	for i := 0; i < cap; i++ {
+		n.Slots[i] = binary.LittleEndian.Uint64(buf[off+8*i:])
+	}
+	return n, nil
+}
+
+// Encode serializes the node into a fresh buffer of its exact size.
+func (n *Node) Encode() []byte {
+	buf := make([]byte, wire.NodeSize(n.Hdr.Type))
+	binary.LittleEndian.PutUint64(buf[wire.HeaderOff:], n.Hdr.Encode())
+	binary.LittleEndian.PutUint64(buf[wire.EOLSlotOff:], n.EOL.Encode())
+	copy(buf[wire.PartialOff:], n.Partial)
+	if n.Hdr.Type == wire.Node48 {
+		copy(buf[wire.SlotBase:], n.Index)
+	}
+	off := int(wire.SlotsOff(n.Hdr.Type))
+	for i, w := range n.Slots {
+		binary.LittleEndian.PutUint64(buf[off+8*i:], w)
+	}
+	return buf
+}
+
+// Child returns the slot for edge byte b and the slot's position, or
+// ok=false if absent.
+func (n *Node) Child(b byte) (slot wire.Slot, idx int, ok bool) {
+	switch n.Hdr.Type {
+	case wire.Node4, wire.Node16:
+		for i, w := range n.Slots {
+			s := wire.DecodeSlot(w)
+			if s.Present && s.KeyByte == b {
+				return s, i, true
+			}
+		}
+	case wire.Node48:
+		// A torn or corrupt image can carry index bytes beyond the slot
+		// array; treat them as absent (callers re-validate and retry).
+		if p := n.Index[b]; p != 0 && int(p) <= len(n.Slots) {
+			s := wire.DecodeSlot(n.Slots[p-1])
+			if s.Present {
+				return s, int(p - 1), true
+			}
+		}
+	case wire.Node256:
+		s := wire.DecodeSlot(n.Slots[b])
+		if s.Present {
+			return s, int(b), true
+		}
+	}
+	return wire.Slot{}, 0, false
+}
+
+// FreeSlot returns the position where a child for edge byte b can be
+// installed, or ok=false if the node is full for that byte.
+func (n *Node) FreeSlot(b byte) (idx int, ok bool) {
+	switch n.Hdr.Type {
+	case wire.Node4, wire.Node16, wire.Node48:
+		for i, w := range n.Slots {
+			if w == 0 {
+				return i, true
+			}
+		}
+		return 0, false
+	case wire.Node256:
+		if n.Slots[b] == 0 {
+			return int(b), true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// NumChildren counts present children.
+func (n *Node) NumChildren() int {
+	c := 0
+	for _, w := range n.Slots {
+		if wire.DecodeSlot(w).Present {
+			c++
+		}
+	}
+	return c
+}
+
+// Children returns present (edge byte, slot) pairs in ascending edge order.
+func (n *Node) Children() []wire.Slot {
+	var out []wire.Slot
+	switch n.Hdr.Type {
+	case wire.Node4, wire.Node16:
+		// Slots are unordered on the wire; collect then sort by key byte.
+		for _, w := range n.Slots {
+			if s := wire.DecodeSlot(w); s.Present {
+				out = append(out, s)
+			}
+		}
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j-1].KeyByte > out[j].KeyByte; j-- {
+				out[j-1], out[j] = out[j], out[j-1]
+			}
+		}
+	case wire.Node48:
+		for b := 0; b < 256; b++ {
+			if p := n.Index[b]; p != 0 && int(p) <= len(n.Slots) {
+				if s := wire.DecodeSlot(n.Slots[p-1]); s.Present {
+					out = append(out, s)
+				}
+			}
+		}
+	case wire.Node256:
+		for b := 0; b < 256; b++ {
+			if s := wire.DecodeSlot(n.Slots[b]); s.Present {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// SlotAddr returns the global address of slot word idx.
+func (n *Node) SlotAddr(idx int) mem.Addr {
+	return n.Addr.Add(wire.SlotsOff(n.Hdr.Type) + 8*uint64(idx))
+}
+
+// EOLAddr returns the global address of the EOL slot word.
+func (n *Node) EOLAddr() mem.Addr { return n.Addr.Add(wire.EOLSlotOff) }
+
+// IndexAddr returns the global address of the Node48 index byte for b.
+func (n *Node) IndexAddr(b byte) mem.Addr {
+	return n.Addr.Add(wire.SlotBase + uint64(b))
+}
+
+// Grown returns a copy of n with the next capacity class, preserving
+// header fields (depth, partial, prefix hash), EOL and children. The copy
+// has no address and Idle status; the caller allocates and publishes it.
+func (n *Node) Grown() *Node {
+	g := &Node{
+		Hdr:     n.Hdr,
+		EOL:     n.EOL,
+		Partial: append([]byte(nil), n.Partial...),
+	}
+	g.Hdr.Type = n.Hdr.Type.Grow()
+	g.Hdr.Status = wire.StatusIdle
+	g.Slots = make([]uint64, g.Hdr.Type.Capacity())
+	if g.Hdr.Type == wire.Node48 {
+		g.Index = make([]byte, wire.Node48IndexSize)
+	}
+	for _, s := range n.Children() {
+		g.addChildLocal(s)
+	}
+	g.HdrWord = g.Hdr.Encode()
+	return g
+}
+
+// addChildLocal inserts into the decoded image only (used when building
+// nodes locally before they are written out).
+func (g *Node) addChildLocal(s wire.Slot) {
+	switch g.Hdr.Type {
+	case wire.Node4, wire.Node16:
+		for i, w := range g.Slots {
+			if w == 0 {
+				g.Slots[i] = s.Encode()
+				return
+			}
+		}
+	case wire.Node48:
+		for i, w := range g.Slots {
+			if w == 0 {
+				g.Slots[i] = s.Encode()
+				g.Index[s.KeyByte] = uint8(i + 1)
+				return
+			}
+		}
+	case wire.Node256:
+		g.Slots[s.KeyByte] = s.Encode()
+		return
+	}
+	panic("rart: addChildLocal on full node")
+}
+
+// NewNode builds a fresh local node image with the given type, depth and
+// partial bytes (full prefix = prefix; partial = its tail).
+func NewNode(t wire.NodeType, prefix []byte, partialLen int) *Node {
+	if partialLen > wire.MaxPartial {
+		panic(fmt.Sprintf("rart: partial of %d exceeds max %d", partialLen, wire.MaxPartial))
+	}
+	n := &Node{
+		Hdr: wire.NodeHeader{
+			Status:     wire.StatusIdle,
+			Type:       t,
+			Depth:      uint16(len(prefix)),
+			PartialLen: uint8(partialLen),
+			PrefixHash: wire.PrefixHash42(prefix),
+		},
+		Partial: append([]byte(nil), prefix[len(prefix)-partialLen:]...),
+		Slots:   make([]uint64, t.Capacity()),
+	}
+	if t == wire.Node48 {
+		n.Index = make([]byte, wire.Node48IndexSize)
+	}
+	n.HdrWord = n.Hdr.Encode()
+	return n
+}

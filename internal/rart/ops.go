@@ -1,0 +1,703 @@
+package rart
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+
+	"sphinx/internal/fabric"
+	"sphinx/internal/wire"
+)
+
+// Hooks let an index system react to tree events during shared operations.
+// Sphinx maintains its inner-node hash table and filter cache through
+// these; the baselines use NopHooks.
+type Hooks interface {
+	// NewInner runs after a fresh inner node with a brand-new full prefix
+	// has been published (leaf conversion or compressed-path split).
+	NewInner(prefix []byte, n *Node) error
+	// TypeSwitched runs after a node was replaced by a larger copy at a
+	// new address. Never called in Prealloc256 mode, where every node is
+	// born with the Node256 footprint and never moves.
+	TypeSwitched(prefix []byte, old *Node, grown *Node) error
+	// SawNode runs for every valid inner node visited during a descent,
+	// with the node's full prefix (Sphinx learns these into its filter).
+	SawNode(prefix []byte, n *Node)
+}
+
+// NopHooks ignores all events.
+type NopHooks struct{}
+
+// NewInner implements Hooks.
+func (NopHooks) NewInner([]byte, *Node) error { return nil }
+
+// TypeSwitched implements Hooks.
+func (NopHooks) TypeSwitched([]byte, *Node, *Node) error { return nil }
+
+// SawNode implements Hooks.
+func (NopHooks) SawNode([]byte, *Node) {}
+
+// PutMode selects upsert semantics for PutFrom.
+type PutMode int
+
+// Put modes.
+const (
+	PutUpsert     PutMode = iota // insert or overwrite
+	PutInsertOnly                // report existed=true without writing if present
+	PutUpdateOnly                // do nothing (existed=false) if absent
+)
+
+// freshType is the capacity class of newly created inner nodes: SMART-style
+// preallocation births every node as a Node256 (stable addresses, no type
+// switches, 2.1–3.0× memory); everything else starts at Node4 and grows.
+func (e *Engine) freshType() wire.NodeType {
+	if e.Cfg.Prealloc256 {
+		return wire.Node256
+	}
+	return wire.Node4
+}
+
+// OnPath verifies that node n really lies on key's path: its partial
+// matches and its stored 42-bit full-prefix hash equals the hash of the
+// corresponding key prefix (the Fig. 3 metadata check). The hash check
+// catches the window during a compressed-path split where a stale parent
+// slot still points at a child whose shortened partial coincidentally
+// matches unrelated key bytes. inconsistent means the observation must be
+// retried; a plain non-match means the key is simply not below n.
+func OnPath(n *Node, key []byte) (match bool, inconsistent bool) {
+	if _, full := MatchPartial(n, key); !full {
+		return false, false
+	}
+	if n.Hdr.PrefixHash != wire.PrefixHash42(key[:n.Hdr.Depth]) {
+		return false, true
+	}
+	return true, false
+}
+
+// SearchFrom descends from start toward key and returns the leaf reached,
+// or nil if the key is not in the tree. The returned leaf's Key can differ
+// from the searched key only when start was located via a collided hash
+// jump; callers that jump (Sphinx) compare and fall back (paper §III-B).
+//
+// The descent is lock-free; it returns ErrRestart when it observes a
+// transient state (invalidated node or leaf) that a retry will resolve.
+func (e *Engine) SearchFrom(start *Node, key []byte, h Hooks) (*Leaf, error) {
+	n := start
+	for hop := 0; hop < wire.MaxDepth+2; hop++ {
+		if n.Hdr.Status == wire.StatusInvalid {
+			return nil, fmt.Errorf("search: node %v invalid: %w", n.Addr, ErrRestart)
+		}
+		match, inconsistent := OnPath(n, key)
+		if inconsistent {
+			return nil, fmt.Errorf("search: node %v off path: %w", n.Addr, ErrRestart)
+		}
+		if !match {
+			return nil, nil
+		}
+		depth := int(n.Hdr.Depth)
+		h.SawNode(key[:depth], n)
+		var slot wire.Slot
+		if len(key) == depth {
+			slot = n.EOL
+			if !slot.Present {
+				return nil, nil
+			}
+		} else {
+			var ok bool
+			slot, _, ok = n.Child(key[depth])
+			if !ok {
+				return nil, nil
+			}
+		}
+		if slot.Leaf {
+			leaf, err := e.ReadLeaf(slot.Addr)
+			if err != nil {
+				return nil, err
+			}
+			if leaf.Status == wire.StatusInvalid {
+				return nil, fmt.Errorf("search: leaf %v invalid: %w", leaf.Addr, ErrRestart)
+			}
+			return leaf, nil
+		}
+		child, err := e.ReadNode(slot.Addr, slot.ChildType)
+		if err != nil {
+			return nil, err
+		}
+		n = child
+	}
+	return nil, fmt.Errorf("%w: descent exceeded max depth", errRetries)
+}
+
+// PutFrom inserts or updates key starting from the given node, per mode.
+// It returns whether the key already existed. ErrRestart and ErrNeedParent
+// bubble up for the caller to re-locate its start node and retry.
+func (e *Engine) PutFrom(start *Node, key, value []byte, mode PutMode, h Hooks) (existed bool, err error) {
+	n := start
+	var parent *Node // nil while n == start
+	for hop := 0; hop < wire.MaxDepth+2; hop++ {
+		if n.Hdr.Status == wire.StatusInvalid {
+			return false, fmt.Errorf("put: node %v invalid: %w", n.Addr, ErrRestart)
+		}
+		match, inconsistent := OnPath(n, key)
+		if inconsistent {
+			return false, fmt.Errorf("put: node %v off path: %w", n.Addr, ErrRestart)
+		}
+		if !match {
+			// Key diverges inside n's compressed path (or ends within
+			// it): split n's partial under a new parent node.
+			if mode == PutUpdateOnly {
+				return false, nil
+			}
+			if parent == nil {
+				return false, ErrNeedParent
+			}
+			return false, e.splitPartial(parent, n, key, value, h)
+		}
+		depth := int(n.Hdr.Depth)
+		h.SawNode(key[:depth], n)
+		var slot wire.Slot
+		eol := len(key) == depth
+		if eol {
+			slot = n.EOL
+		} else {
+			slot, _, _ = n.Child(key[depth])
+		}
+		switch {
+		case !slot.Present:
+			if mode == PutUpdateOnly {
+				return false, nil
+			}
+			return false, e.installLeaf(parent, n, key, value, eol, h)
+		case slot.Leaf:
+			leaf, err := e.ReadLeaf(slot.Addr)
+			if err != nil {
+				return false, err
+			}
+			if leaf.Status == wire.StatusInvalid {
+				return false, fmt.Errorf("put: leaf %v invalid: %w", leaf.Addr, ErrRestart)
+			}
+			if bytes.Equal(leaf.Key, key) {
+				if mode == PutInsertOnly {
+					return true, nil
+				}
+				return true, e.updateLeaf(n, leaf, key, value, eol)
+			}
+			if mode == PutUpdateOnly {
+				return false, nil
+			}
+			// Two distinct keys on one edge: grow the edge into a chain
+			// of inner nodes covering their shared prefix.
+			return false, e.convertLeaf(n, key, value, leaf, h)
+		default:
+			child, err := e.ReadNode(slot.Addr, slot.ChildType)
+			if err != nil {
+				return false, err
+			}
+			parent, n = n, child
+		}
+	}
+	return false, fmt.Errorf("%w: descent exceeded max depth", errRetries)
+}
+
+// lockVerified acquires n's lock and re-verifies that the locked image
+// still has the same depth; callers then re-derive slot state from the
+// fresh image. Returns ErrRestart if the node was invalidated.
+func (e *Engine) lockVerified(n *Node) (*Node, error) {
+	locked, err := e.Lock(n.Addr, n.Hdr.Type, n.HdrWord)
+	if err != nil {
+		if err == ErrNodeInvalid {
+			return nil, fmt.Errorf("lock: node %v invalid: %w", n.Addr, ErrRestart)
+		}
+		return nil, err
+	}
+	if locked.Hdr.Depth != n.Hdr.Depth {
+		if uerr := e.unlock(locked); uerr != nil {
+			return nil, uerr
+		}
+		return nil, fmt.Errorf("lock: node %v depth changed: %w", n.Addr, ErrRestart)
+	}
+	return locked, nil
+}
+
+// installLeaf writes a fresh leaf and links it into node n (paper §IV
+// Insert: write leaf; lock node; install slot with the unlock piggybacked
+// on the same doorbell batch).
+func (e *Engine) installLeaf(parent, n *Node, key, value []byte, eol bool, h Hooks) error {
+	leafAddr, err := e.WriteLeaf(key, value)
+	if err != nil {
+		return err
+	}
+	locked, err := e.lockVerified(n)
+	if err != nil {
+		return err
+	}
+	// The locked image is authoritative: if a competing writer claimed the
+	// edge first, redo the descent (the written leaf is abandoned, as in
+	// any aborted one-sided insert).
+	claimed := false
+	if eol {
+		claimed = locked.EOL.Present
+	} else if _, _, ok := locked.Child(key[int(locked.Hdr.Depth)]); ok {
+		claimed = true
+	}
+	if claimed {
+		if uerr := e.unlock(locked); uerr != nil {
+			return uerr
+		}
+		return fmt.Errorf("install: edge claimed on %v: %w", locked.Addr, ErrRestart)
+	}
+	slot := wire.Slot{Present: true, Leaf: true, Addr: leafAddr}
+	if eol {
+		return e.C.Batch([]fabric.Op{
+			{Kind: fabric.Write, Addr: locked.EOLAddr(), Data: leBytes(slot.Encode())},
+			e.UnlockOp(locked),
+		})
+	}
+	slot.KeyByte = key[int(locked.Hdr.Depth)]
+	idx, ok := locked.FreeSlot(slot.KeyByte)
+	if !ok {
+		return e.growAndInstall(parent, locked, slot, key, h)
+	}
+	ops := []fabric.Op{{Kind: fabric.Write, Addr: locked.SlotAddr(idx), Data: leBytes(slot.Encode())}}
+	if locked.Hdr.Type == wire.Node48 {
+		ops = append(ops, fabric.Op{Kind: fabric.Write, Addr: locked.IndexAddr(slot.KeyByte), Data: []byte{uint8(idx + 1)}})
+	}
+	ops = append(ops, e.UnlockOp(locked))
+	return e.C.Batch(ops)
+}
+
+// growAndInstall performs a node type switch (paper §III-C): a larger copy
+// of the locked node absorbs the new slot, the parent is repointed, the
+// hash table is updated through the hook, and the original is invalidated
+// so that readers holding stale pointers retry.
+func (e *Engine) growAndInstall(parent, locked *Node, slot wire.Slot, key []byte, h Hooks) error {
+	if parent == nil {
+		// Root nodes are born Node256 and cannot fill; only a hash-jump
+		// start node can land here. Restart through a parent-bearing path.
+		if uerr := e.unlock(locked); uerr != nil {
+			return uerr
+		}
+		return ErrNeedParent
+	}
+	prefix := key[:locked.Hdr.Depth]
+	grown := locked.Grown()
+	grown.addChildLocal(slot)
+	grownOut, err := e.WriteNewNode(grown, prefix)
+	if err != nil {
+		return err
+	}
+	lockedParent, err := e.lockVerified(parent)
+	if err != nil {
+		if uerr := e.unlock(locked); uerr != nil {
+			return uerr
+		}
+		return err
+	}
+	edge := key[lockedParent.Hdr.Depth]
+	ps, idx, ok := lockedParent.Child(edge)
+	if !ok || ps.Addr != locked.Addr {
+		if uerr := e.unlockBoth(lockedParent, locked); uerr != nil {
+			return uerr
+		}
+		return fmt.Errorf("grow: parent slot moved on %v: %w", lockedParent.Addr, ErrRestart)
+	}
+	newSlot := wire.Slot{Present: true, KeyByte: edge, ChildType: grownOut.Hdr.Type, Addr: grownOut.Addr}
+	if err := e.C.Batch([]fabric.Op{
+		{Kind: fabric.Write, Addr: lockedParent.SlotAddr(idx), Data: leBytes(newSlot.Encode())},
+		e.UnlockOp(lockedParent),
+	}); err != nil {
+		return err
+	}
+	if err := h.TypeSwitched(prefix, locked, grownOut); err != nil {
+		return err
+	}
+	// Invalid both retires the original and releases any waiters on its
+	// lock into a retry (paper §III-C).
+	return e.C.Batch([]fabric.Op{e.InvalidateOp(locked)})
+}
+
+// convertLeaf replaces a leaf edge of n by a chain of inner nodes covering
+// the common prefix of the existing leaf's key and the new key, ending in
+// a node that holds both. Chains longer than one node arise when the
+// shared prefix exceeds the inline partial capacity.
+func (e *Engine) convertLeaf(n *Node, key, value []byte, oldLeaf *Leaf, h Hooks) error {
+	locked, err := e.lockVerified(n)
+	if err != nil {
+		return err
+	}
+	depth := int(locked.Hdr.Depth)
+	edge := key[depth]
+	ps, idx, ok := locked.Child(edge)
+	if !ok || !ps.Leaf || ps.Addr != oldLeaf.Addr {
+		if uerr := e.unlock(locked); uerr != nil {
+			return uerr
+		}
+		return fmt.Errorf("convert: slot moved on %v: %w", locked.Addr, ErrRestart)
+	}
+
+	cp := CommonPrefixLen(key, oldLeaf.Key)
+	if cp <= depth {
+		// The leaf does not actually extend this node's prefix: the
+		// descent raced with a structural change (or a collided jump
+		// slipped past the hash checks). Redo the operation.
+		if uerr := e.unlock(locked); uerr != nil {
+			return uerr
+		}
+		return fmt.Errorf("convert: leaf %v off path: %w", oldLeaf.Addr, ErrRestart)
+	}
+	newLeafAddr, err := e.WriteLeaf(key, value)
+	if err != nil {
+		return err
+	}
+
+	// Build the chain bottom-up locally: the bottom node at depth cp holds
+	// both leaves; intermediates each cover MaxPartial bytes plus an edge.
+	bottom := NewNode(e.freshType(), key[:cp], min(cp-(depth+1), wire.MaxPartial))
+	place := func(k []byte, addr wire.Slot) {
+		if len(k) == cp {
+			bottom.EOL = addr
+		} else {
+			addr.KeyByte = k[cp]
+			bottom.addChildLocal(addr)
+		}
+	}
+	place(oldLeaf.Key, wire.Slot{Present: true, Leaf: true, Addr: oldLeaf.Addr})
+	place(key, wire.Slot{Present: true, Leaf: true, Addr: newLeafAddr})
+
+	chain := []*Node{bottom} // bottom ... top, each a new prefix
+	for bottom.Base() > depth+1 {
+		childBase := bottom.Base()
+		upper := NewNode(e.freshType(), key[:childBase-1], min(childBase-1-(depth+1), wire.MaxPartial))
+		chain = append(chain, upper)
+		bottom = upper
+	}
+	// Write leaf-most first so every published pointer targets complete
+	// data; link each node into its parent image before writing it.
+	for i := 0; i < len(chain); i++ {
+		node := chain[i]
+		if i > 0 {
+			// chain[i] is the parent of chain[i-1].
+			child := chain[i-1]
+			node.addChildLocal(wire.Slot{
+				Present: true, KeyByte: key[node.Hdr.Depth],
+				ChildType: child.Hdr.Type, Addr: child.Addr,
+			})
+		}
+		if _, err := e.WriteNewNode(node, key[:node.Hdr.Depth]); err != nil {
+			return err
+		}
+	}
+	top := chain[len(chain)-1]
+	newSlot := wire.Slot{Present: true, KeyByte: edge, ChildType: top.Hdr.Type, Addr: top.Addr}
+	if err := e.C.Batch([]fabric.Op{
+		{Kind: fabric.Write, Addr: locked.SlotAddr(idx), Data: leBytes(newSlot.Encode())},
+		e.UnlockOp(locked),
+	}); err != nil {
+		return err
+	}
+	for _, node := range chain {
+		if err := h.NewInner(key[:node.Hdr.Depth], node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitPartial handles a key diverging inside child's compressed path: a
+// new parent node takes over the matched part of the partial, child keeps
+// its full prefix (only its partial shrinks — the coherence property of
+// §III-B), and the new key's leaf hangs off the new parent.
+func (e *Engine) splitPartial(parent, child *Node, key, value []byte, h Hooks) error {
+	lockedChild, err := e.lockVerified(child)
+	if err != nil {
+		return err
+	}
+	// Re-derive the divergence from the locked image.
+	m, full := MatchPartial(lockedChild, key)
+	if full {
+		// The partial changed under us and now matches; redo the descent.
+		if uerr := e.unlock(lockedChild); uerr != nil {
+			return uerr
+		}
+		return fmt.Errorf("split: partial now matches on %v: %w", lockedChild.Addr, ErrRestart)
+	}
+	base := lockedChild.Base()
+	splitAt := base + m // new parent's depth
+
+	lockedParent, err := e.lockVerified(parent)
+	if err != nil {
+		if uerr := e.unlock(lockedChild); uerr != nil {
+			return uerr
+		}
+		return err
+	}
+	edge := key[lockedParent.Hdr.Depth]
+	ps, idx, ok := lockedParent.Child(edge)
+	if !ok || ps.Leaf || ps.Addr != lockedChild.Addr {
+		if uerr := e.unlockBoth(lockedParent, lockedChild); uerr != nil {
+			return uerr
+		}
+		return fmt.Errorf("split: parent slot moved on %v: %w", lockedParent.Addr, ErrRestart)
+	}
+
+	mid := NewNode(e.freshType(), key[:splitAt], splitAt-(int(lockedParent.Hdr.Depth)+1))
+	// Old child hangs off the partial byte where the paths diverge.
+	mid.addChildLocal(wire.Slot{
+		Present: true, KeyByte: lockedChild.Partial[m],
+		ChildType: lockedChild.Hdr.Type, Addr: lockedChild.Addr,
+	})
+	// The new key ends at the split point (EOL) or continues below it.
+	newLeafAddr, err := e.WriteLeaf(key, value)
+	if err != nil {
+		return err
+	}
+	if len(key) == splitAt {
+		mid.EOL = wire.Slot{Present: true, Leaf: true, Addr: newLeafAddr}
+	} else {
+		mid.addChildLocal(wire.Slot{Present: true, Leaf: true, KeyByte: key[splitAt], Addr: newLeafAddr})
+	}
+	if _, err := e.WriteNewNode(mid, key[:splitAt]); err != nil {
+		return err
+	}
+
+	// Shrink the child's partial: header + partial bytes live in the first
+	// 32 bytes (one 64-byte line), so a single WRITE replaces them
+	// atomically for concurrent readers; it also releases the child lock.
+	newHdr := lockedChild.Hdr
+	newHdr.Status = wire.StatusIdle
+	newHdr.PartialLen = uint8(len(lockedChild.Partial) - m - 1)
+	var head [wire.SlotBase]byte
+	binary.LittleEndian.PutUint64(head[wire.HeaderOff:], newHdr.Encode())
+	binary.LittleEndian.PutUint64(head[wire.EOLSlotOff:], lockedChild.EOL.Encode())
+	copy(head[wire.PartialOff:], lockedChild.Partial[m+1:])
+	if err := e.C.Batch([]fabric.Op{
+		{Kind: fabric.Write, Addr: lockedChild.Addr, Data: head[:]},
+	}); err != nil {
+		return err
+	}
+
+	// Publish the new parent and release the old one.
+	newSlot := wire.Slot{Present: true, KeyByte: edge, ChildType: mid.Hdr.Type, Addr: mid.Addr}
+	if err := e.C.Batch([]fabric.Op{
+		{Kind: fabric.Write, Addr: lockedParent.SlotAddr(idx), Data: leBytes(newSlot.Encode())},
+		e.UnlockOp(lockedParent),
+	}); err != nil {
+		return err
+	}
+	return h.NewInner(key[:splitAt], mid)
+}
+
+// updateLeaf applies the paper's update protocol (§III-C, §IV Update):
+// in-place with the checksum scheme when the new value fits the leaf's
+// 64-byte units, out-of-place (new leaf, repointed slot, invalidated old)
+// otherwise.
+func (e *Engine) updateLeaf(n *Node, leaf *Leaf, key, value []byte, eol bool) error {
+	if wire.LeafSize(len(leaf.Key), len(value)) <= uint64(leaf.Units)*wire.LeafUnit {
+		return e.updateLeafInPlace(leaf, value)
+	}
+	// Out-of-place: write the replacement, swing the pointer under the
+	// node lock, retire the old leaf so in-flight readers retry.
+	newAddr, err := e.WriteLeaf(key, value)
+	if err != nil {
+		return err
+	}
+	locked, err := e.lockVerified(n)
+	if err != nil {
+		return err
+	}
+	var slotAddr [1]fabric.Op
+	newSlot := wire.Slot{Present: true, Leaf: true, Addr: newAddr}
+	if eol {
+		if !locked.EOL.Present || locked.EOL.Addr != leaf.Addr {
+			if uerr := e.unlock(locked); uerr != nil {
+				return uerr
+			}
+			return fmt.Errorf("update: EOL moved on %v: %w", locked.Addr, ErrRestart)
+		}
+		slotAddr[0] = fabric.Op{Kind: fabric.Write, Addr: locked.EOLAddr(), Data: leBytes(newSlot.Encode())}
+	} else {
+		ps, idx, ok := locked.Child(key[int(locked.Hdr.Depth)])
+		if !ok || ps.Addr != leaf.Addr {
+			if uerr := e.unlock(locked); uerr != nil {
+				return uerr
+			}
+			return fmt.Errorf("update: slot moved on %v: %w", locked.Addr, ErrRestart)
+		}
+		newSlot.KeyByte = ps.KeyByte
+		slotAddr[0] = fabric.Op{Kind: fabric.Write, Addr: locked.SlotAddr(idx), Data: leBytes(newSlot.Encode())}
+	}
+	if err := e.C.Batch([]fabric.Op{slotAddr[0], e.UnlockOp(locked)}); err != nil {
+		return err
+	}
+	return e.invalidateLeaf(leaf)
+}
+
+// updateLeafInPlace is the checksum-based single-WRITE update (§III-C):
+// lock the leaf with one CAS on its header word, then write the whole new
+// image — new value, new checksum, Idle status — in one WRITE that doubles
+// as the lock release.
+func (e *Engine) updateLeafInPlace(leaf *Leaf, value []byte) error {
+	units := leaf.Units
+	idleWord := wire.LeafHeader{
+		Status: wire.StatusIdle, Units: units,
+		KeyLen: uint16(len(leaf.Key)), ValLen: uint32(len(leaf.Value)),
+	}.Encode()
+	locked := false
+	for attempt := 0; attempt < e.Cfg.maxRetries(); attempt++ {
+		lockedWord := wire.WithStatus(idleWord, wire.StatusLocked)
+		old, err := e.C.CompareSwap(leaf.Addr, idleWord, lockedWord)
+		if err != nil {
+			return err
+		}
+		if old == idleWord {
+			locked = true
+			break
+		}
+		got := wire.DecodeLeafHeader(old)
+		switch got.Status {
+		case wire.StatusInvalid:
+			return fmt.Errorf("update: leaf %v invalidated: %w", leaf.Addr, ErrRestart)
+		case wire.StatusLocked:
+			e.C.AdvanceClock(300_000)
+			runtime.Gosched() // let the lock holder finish its WRITE
+		default:
+			// A concurrent in-place update changed the value length;
+			// adopt the observed header and retry the CAS.
+			idleWord = old
+		}
+	}
+	if !locked {
+		return fmt.Errorf("%w: leaf lock at %v", errRetries, leaf.Addr)
+	}
+	// One WRITE carries the new image with status Idle: value write and
+	// lock release combined (the round trip the paper's scheme saves).
+	// The allocated unit count is preserved so future fit checks see the
+	// real footprint, and the whole footprint is written so stale bytes
+	// cannot survive.
+	img := wire.EncodeLeaf(wire.StatusIdle, leaf.Key, value)
+	if pad := int(units)*wire.LeafUnit - len(img); pad > 0 {
+		img = append(img, make([]byte, pad)...)
+	}
+	h := wire.DecodeLeafHeader(binary.LittleEndian.Uint64(img))
+	h.Units = units
+	binary.LittleEndian.PutUint64(img, h.Encode())
+	return e.C.Write(leaf.Addr, img)
+}
+
+// invalidateLeaf retires a leaf so readers that still hold its address
+// restart their operation. The header keeps the lengths the leaf was read
+// with, so a reader that decodes it sees a checksum-consistent Invalid
+// image.
+func (e *Engine) invalidateLeaf(leaf *Leaf) error {
+	hdr := wire.LeafHeader{
+		Status: wire.StatusInvalid,
+		Units:  leaf.Units,
+		KeyLen: uint16(len(leaf.Key)),
+		ValLen: uint32(len(leaf.Value)),
+	}
+	return e.C.WriteUint64(leaf.Addr, hdr.Encode())
+}
+
+// DeleteFrom removes key, reporting whether it was present (paper §IV
+// Delete: invalidate the leaf, then clear the parent slot).
+func (e *Engine) DeleteFrom(start *Node, key []byte, h Hooks) (bool, error) {
+	n := start
+	for hop := 0; hop < wire.MaxDepth+2; hop++ {
+		if n.Hdr.Status == wire.StatusInvalid {
+			return false, fmt.Errorf("delete: node %v invalid: %w", n.Addr, ErrRestart)
+		}
+		match, inconsistent := OnPath(n, key)
+		if inconsistent {
+			return false, fmt.Errorf("delete: node %v off path: %w", n.Addr, ErrRestart)
+		}
+		if !match {
+			return false, nil
+		}
+		depth := int(n.Hdr.Depth)
+		h.SawNode(key[:depth], n)
+		eol := len(key) == depth
+		var slot wire.Slot
+		if eol {
+			slot = n.EOL
+			if !slot.Present {
+				return false, nil
+			}
+		} else {
+			var ok bool
+			slot, _, ok = n.Child(key[depth])
+			if !ok {
+				return false, nil
+			}
+		}
+		if !slot.Leaf {
+			child, err := e.ReadNode(slot.Addr, slot.ChildType)
+			if err != nil {
+				return false, err
+			}
+			n = child
+			continue
+		}
+		leaf, err := e.ReadLeaf(slot.Addr)
+		if err != nil {
+			return false, err
+		}
+		if leaf.Status == wire.StatusInvalid {
+			return false, fmt.Errorf("delete: leaf %v invalid: %w", leaf.Addr, ErrRestart)
+		}
+		if !bytes.Equal(leaf.Key, key) {
+			return false, nil
+		}
+		locked, err := e.lockVerified(n)
+		if err != nil {
+			return false, err
+		}
+		var clearAddr fabric.Op
+		if eol {
+			if !locked.EOL.Present || locked.EOL.Addr != leaf.Addr {
+				if uerr := e.unlock(locked); uerr != nil {
+					return false, uerr
+				}
+				return false, fmt.Errorf("delete: EOL moved on %v: %w", locked.Addr, ErrRestart)
+			}
+			clearAddr = fabric.Op{Kind: fabric.Write, Addr: locked.EOLAddr(), Data: leBytes(0)}
+		} else {
+			ps, idx, ok := locked.Child(key[depth])
+			if !ok || ps.Addr != leaf.Addr {
+				if uerr := e.unlock(locked); uerr != nil {
+					return false, uerr
+				}
+				return false, fmt.Errorf("delete: slot moved on %v: %w", locked.Addr, ErrRestart)
+			}
+			clearAddr = fabric.Op{Kind: fabric.Write, Addr: locked.SlotAddr(idx), Data: leBytes(0)}
+		}
+		if err := e.invalidateLeaf(leaf); err != nil {
+			return false, err
+		}
+		ops := []fabric.Op{clearAddr}
+		if !eol && locked.Hdr.Type == wire.Node48 {
+			ops = append(ops, fabric.Op{Kind: fabric.Write, Addr: locked.IndexAddr(key[depth]), Data: []byte{0}})
+		}
+		ops = append(ops, e.UnlockOp(locked))
+		if err := e.C.Batch(ops); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("%w: descent exceeded max depth", errRetries)
+}
+
+func (e *Engine) unlock(n *Node) error {
+	return e.C.Batch([]fabric.Op{e.UnlockOp(n)})
+}
+
+func (e *Engine) unlockBoth(a, b *Node) error {
+	return e.C.Batch([]fabric.Op{e.UnlockOp(a), e.UnlockOp(b)})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+package rart
+
+import (
+	"bytes"
+	"errors"
+
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/wire"
+)
+
+// KV is one scan result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// BootstrapRoot creates the tree's root — a Node256 with the empty prefix,
+// so it never type-switches and its address stays valid forever — using
+// direct region access at cluster-setup time.
+func BootstrapRoot(region *mem.Region, alloc *mem.Allocator, node mem.NodeID) (mem.Addr, error) {
+	root := NewNode(wire.Node256, nil, 0)
+	addr, err := alloc.Alloc(node, mem.ClassInner, wire.NodeSize(wire.Node256))
+	if err != nil {
+		return 0, err
+	}
+	region.Write(addr.Offset(), root.Encode())
+	return addr, nil
+}
+
+// prefixMayContain reports whether a subtree whose keys all start with p
+// can intersect [lo, hi].
+func prefixMayContain(p, lo, hi []byte) bool {
+	if lo != nil {
+		m := min(len(p), len(lo))
+		if bytes.Compare(p[:m], lo[:m]) < 0 {
+			return false
+		}
+	}
+	if hi != nil {
+		m := min(len(p), len(hi))
+		switch bytes.Compare(p[:m], hi[:m]) {
+		case 1:
+			return false
+		case 0:
+			if len(p) > len(hi) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func keyInRange(k, lo, hi []byte) bool {
+	if lo != nil && bytes.Compare(k, lo) < 0 {
+		return false
+	}
+	if hi != nil && bytes.Compare(k, hi) > 0 {
+		return false
+	}
+	return true
+}
+
+// errScanDone terminates the traversal once limit results are collected.
+var errScanDone = errors.New("rart: scan limit reached")
+
+// scanner carries one in-order traversal (paper §IV Scan).
+type scanner struct {
+	e       *Engine
+	lo, hi  []byte
+	limit   int
+	batched bool
+	out     []KV
+}
+
+// ScanFrom collects keys in [lo, hi] (inclusive; nil bounds open) in
+// ascending order starting at the root node, stopping after limit results
+// when limit > 0.
+//
+// The traversal is an ordered depth-first walk. With batched=true, each
+// visited inner node's relevant children — leaves and inner nodes alike —
+// are fetched in a single doorbell batch, the mechanism behind the
+// 2.3–3.1× YCSB-E advantage of Sphinx/SMART over the naive ART port
+// (§V-B); with batched=false every child costs its own round trip.
+// Limit-bounded scans therefore touch only the subtrees they emit from.
+func (e *Engine) ScanFrom(root *Node, lo, hi []byte, limit int, batched bool) ([]KV, error) {
+	s := &scanner{e: e, lo: lo, hi: hi, limit: limit, batched: batched}
+	err := s.visit(root, nil)
+	if err != nil && !errors.Is(err, errScanDone) {
+		return nil, err
+	}
+	return s.out, nil
+}
+
+// visit walks one node in key order. prefix is the node's full prefix
+// minus its partial (i.e., up to the parent edge).
+func (s *scanner) visit(n *Node, prefix []byte) error {
+	if n.Hdr.Status == wire.StatusInvalid {
+		return nil // retired mid-scan; its replacement is reachable elsewhere
+	}
+	full := append(append([]byte(nil), prefix...), n.Partial...)
+	if !prefixMayContain(full, s.lo, s.hi) {
+		return nil
+	}
+
+	// Gather the in-range children in key order: the EOL leaf first, then
+	// edges ascending.
+	type childRef struct {
+		slot wire.Slot
+		stub []byte // child's prefix including its edge byte (nil for EOL)
+	}
+	var kids []childRef
+	if n.EOL.Present && n.EOL.Leaf && keyInRange(full, s.lo, s.hi) {
+		kids = append(kids, childRef{slot: n.EOL, stub: full})
+	}
+	for _, sl := range n.Children() {
+		stub := append(append([]byte(nil), full...), sl.KeyByte)
+		if !prefixMayContain(stub, s.lo, s.hi) {
+			continue
+		}
+		kids = append(kids, childRef{slot: sl, stub: stub})
+	}
+	if len(kids) == 0 {
+		return nil
+	}
+
+	// Fetch children lazily in in-order chunks, so a limit-bounded scan
+	// stops without paying for the rest of the frontier. Batched mode
+	// reads each chunk in one doorbell batch; unbatched mode degrades to
+	// one child per round trip (chunk size 1).
+	chunk := scanChunk
+	if !s.batched {
+		chunk = 1
+	}
+	for base := 0; base < len(kids); base += chunk {
+		end := base + chunk
+		if end > len(kids) {
+			end = len(kids)
+		}
+		part := kids[base:end]
+		leaves := make([]*Leaf, len(part))
+		nodes := make([]*Node, len(part))
+
+		var ops []fabric.Op
+		bufs := make([][]byte, len(part))
+		spec := uint64(s.e.Cfg.leafSpecRead())
+		for i, k := range part {
+			var size uint64
+			if k.slot.Leaf {
+				size = s.e.clampRead(k.slot.Addr, spec)
+			} else {
+				size = s.e.nodeReadSize(k.slot.ChildType)
+			}
+			bufs[i] = make([]byte, size)
+			ops = append(ops, fabric.Op{Kind: fabric.Read, Addr: k.slot.Addr, Data: bufs[i]})
+		}
+		if err := s.e.C.Batch(ops); err != nil {
+			return err
+		}
+		for i, k := range part {
+			if k.slot.Leaf {
+				leaves[i] = s.decodeOrReread(k.slot.Addr, bufs[i])
+				if leaves[i] == nil {
+					// Torn, locked or under-read: fall back individually.
+					l, err := s.e.ReadLeaf(k.slot.Addr)
+					if err != nil {
+						return err
+					}
+					leaves[i] = l
+				}
+			} else {
+				nd, err := Decode(k.slot.Addr, bufs[i])
+				if err != nil {
+					nd, err = s.e.ReadNode(k.slot.Addr, k.slot.ChildType)
+					if err != nil {
+						return err
+					}
+				}
+				nodes[i] = nd
+			}
+		}
+
+		// Emit / recurse in order within the chunk.
+		for i, k := range part {
+			if k.slot.Leaf {
+				l := leaves[i]
+				if l.Status == wire.StatusInvalid {
+					continue
+				}
+				if !keyInRange(l.Key, s.lo, s.hi) {
+					continue
+				}
+				s.out = append(s.out, KV{Key: l.Key, Value: l.Value})
+				if s.limit > 0 && len(s.out) >= s.limit {
+					return errScanDone
+				}
+				continue
+			}
+			if err := s.visit(nodes[i], k.stub); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scanChunk is the doorbell-batch size of a batched scan's child fetches:
+// large enough to amortize round trips, small enough that limit-bounded
+// scans do not over-fetch wide nodes.
+const scanChunk = 32
+
+// decodeOrReread parses a speculatively read leaf, returning nil when the
+// image is torn, locked or longer than the speculative read (the caller
+// re-reads those individually).
+func (s *scanner) decodeOrReread(addr mem.Addr, buf []byte) *Leaf {
+	if len(buf) < 8 {
+		return nil
+	}
+	hdr := wire.DecodeLeafHeader(leUint64(buf))
+	if hdr.Status == wire.StatusInvalid {
+		return &Leaf{Addr: addr, Status: wire.StatusInvalid, Units: hdr.Units}
+	}
+	if uint64(hdr.Units)*wire.LeafUnit > uint64(len(buf)) {
+		return nil
+	}
+	key, val, st, ok := wire.DecodeLeaf(buf)
+	if !ok || st != wire.StatusIdle {
+		return nil
+	}
+	return &Leaf{
+		Addr: addr, Status: st, Units: hdr.Units,
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), val...),
+	}
+}

@@ -1,0 +1,46 @@
+package wire
+
+import "sphinx/internal/mem"
+
+// HashEntry is one 8-byte entry of the inner-node hash table (paper Fig. 3
+// and §III-A: "fitting within just 8 bytes"). It maps an inner node's full
+// prefix to the node's address plus enough metadata — a 12-bit fingerprint
+// and the node type — for the client to pick the right entry out of a
+// bucket and size the subsequent node READ without an extra round trip.
+//
+//	bit  63      valid
+//	bits 51..62  12-bit prefix fingerprint (FP12)
+//	bits 48..50  node type
+//	bits  0..47  inner-node address
+//
+// A zero word is an empty entry, so freshly allocated buckets are empty.
+type HashEntry struct {
+	Valid bool
+	FP    uint16 // FPBits wide
+	Type  NodeType
+	Addr  mem.Addr
+}
+
+// Encode packs the entry into its 8-byte word.
+func (e HashEntry) Encode() uint64 {
+	if !e.Valid {
+		return 0
+	}
+	return uint64(1)<<63 |
+		uint64(e.FP&(1<<FPBits-1))<<51 |
+		uint64(e.Type&7)<<48 |
+		uint64(e.Addr)&(1<<mem.AddrBits-1)
+}
+
+// DecodeHashEntry unpacks an entry word.
+func DecodeHashEntry(w uint64) HashEntry {
+	if w>>63 == 0 {
+		return HashEntry{}
+	}
+	return HashEntry{
+		Valid: true,
+		FP:    uint16(w >> 51 & (1<<FPBits - 1)),
+		Type:  NodeType(w >> 48 & 7),
+		Addr:  mem.Addr(w & (1<<mem.AddrBits - 1)),
+	}
+}

@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"fmt"
+
+	"sphinx/internal/mem"
+)
+
+// NodeType is the adaptive capacity class of an ART inner node (paper
+// §II-B): 4, 16, 48 or 256 child slots.
+type NodeType uint8
+
+// Inner node capacity classes.
+const (
+	Node4 NodeType = iota
+	Node16
+	Node48
+	Node256
+)
+
+// Capacity returns the number of child slots of the node type.
+func (t NodeType) Capacity() int {
+	switch t {
+	case Node4:
+		return 4
+	case Node16:
+		return 16
+	case Node48:
+		return 48
+	case Node256:
+		return 256
+	default:
+		panic(fmt.Sprintf("wire: bad node type %d", t))
+	}
+}
+
+// Grow returns the next larger node type. Growing Node256 is impossible
+// (it already has a slot per byte) and panics.
+func (t NodeType) Grow() NodeType {
+	if t >= Node256 {
+		panic("wire: cannot grow Node256")
+	}
+	return t + 1
+}
+
+// String names the node type.
+func (t NodeType) String() string {
+	switch t {
+	case Node4:
+		return "Node4"
+	case Node16:
+		return "Node16"
+	case Node48:
+		return "Node48"
+	case Node256:
+		return "Node256"
+	default:
+		return fmt.Sprintf("NodeType(%d)", uint8(t))
+	}
+}
+
+// Status is the state word shared by inner nodes and leaves (paper Fig. 3).
+// It doubles as the node-grained lock: writers CAS Idle→Locked.
+type Status uint8
+
+// Node and leaf states.
+const (
+	StatusIdle    Status = iota // readable, unlocked
+	StatusLocked                // a writer holds the node-grained lock
+	StatusInvalid               // node retired by a type switch or delete; readers retry
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusIdle:
+		return "Idle"
+	case StatusLocked:
+		return "Locked"
+	case StatusInvalid:
+		return "Invalid"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Inner node layout. The header word packs all per-node metadata into
+// 8 bytes so it can be read and CAS'd atomically:
+//
+//	bits  0..1   status
+//	bits  2..3   node type
+//	bits  4..15  depth: length of the node's full prefix, in bytes
+//	bits 16..20  partialLen: number of path-compressed bytes (≤ MaxPartial)
+//	bits 21..62  42-bit full-prefix hash
+//	bit  63      spare
+//
+// Following the header word: the EOL slot (8 B) holding the leaf whose key
+// equals the node's full prefix exactly (this is how keys that are proper
+// prefixes of other keys are stored without terminator bytes), then the
+// inline partial bytes (MaxPartial), then the child slots. Node48 inserts a
+// 256-byte child index between the partial bytes and the slots.
+const (
+	HeaderOff  = 0
+	EOLSlotOff = 8
+	PartialOff = 16
+	MaxPartial = 16
+	SlotBase   = PartialOff + MaxPartial // 32
+
+	Node48IndexSize = 256
+
+	// MaxDepth is the longest representable full prefix, bounding key
+	// length at 4095 bytes.
+	MaxDepth = 1<<12 - 1
+)
+
+// NodeHeader is the decoded header word of an inner node.
+type NodeHeader struct {
+	Status     Status
+	Type       NodeType
+	Depth      uint16 // full-prefix length in bytes
+	PartialLen uint8
+	PrefixHash uint64 // PrefixHashBits wide
+}
+
+// Encode packs the header into its 8-byte word.
+func (h NodeHeader) Encode() uint64 {
+	if h.Depth > MaxDepth {
+		panic(fmt.Sprintf("wire: depth %d exceeds max %d", h.Depth, MaxDepth))
+	}
+	if h.PartialLen > MaxPartial {
+		panic(fmt.Sprintf("wire: partialLen %d exceeds max %d", h.PartialLen, MaxPartial))
+	}
+	return uint64(h.Status)&3 |
+		uint64(h.Type)&3<<2 |
+		uint64(h.Depth)<<4 |
+		uint64(h.PartialLen)<<16 |
+		(h.PrefixHash&(1<<PrefixHashBits-1))<<21
+}
+
+// DecodeNodeHeader unpacks a header word.
+func DecodeNodeHeader(w uint64) NodeHeader {
+	return NodeHeader{
+		Status:     Status(w & 3),
+		Type:       NodeType(w >> 2 & 3),
+		Depth:      uint16(w >> 4 & MaxDepth),
+		PartialLen: uint8(w >> 16 & 31),
+		PrefixHash: w >> 21 & (1<<PrefixHashBits - 1),
+	}
+}
+
+// WithStatus returns the header word w with its status field replaced;
+// used to build CAS operands for lock acquisition and release.
+func WithStatus(w uint64, s Status) uint64 { return w&^uint64(3) | uint64(s)&3 }
+
+// NodeSize returns the total on-wire size in bytes of an inner node of the
+// given type (paper §III-A quotes 40–2056 B for the original ART; ours are
+// 64–2080 B because of the EOL slot).
+func NodeSize(t NodeType) uint64 {
+	n := uint64(SlotBase)
+	if t == Node48 {
+		n += Node48IndexSize
+	}
+	return n + 8*uint64(t.Capacity())
+}
+
+// SlotsOff returns the byte offset of the child-slot array within a node
+// of the given type.
+func SlotsOff(t NodeType) uint64 {
+	if t == Node48 {
+		return SlotBase + Node48IndexSize
+	}
+	return SlotBase
+}
+
+// Slot is one child pointer of an inner node, packed into 8 bytes:
+//
+//	bit  63      present
+//	bit  62      leaf (child is a leaf node rather than an inner node)
+//	bits 54..61  key byte labelling the edge to the child
+//	bits 51..53  child node type (inner children only): lets a client size
+//	             the next READ exactly, keeping descent at one round trip
+//	             per level
+//	bits  0..47  child address (mem.AddrBits wide)
+//
+// A zero word is an empty slot, so freshly allocated nodes are born empty.
+type Slot struct {
+	Present   bool
+	Leaf      bool
+	KeyByte   byte
+	ChildType NodeType
+	Addr      mem.Addr
+}
+
+// Encode packs the slot into its 8-byte word.
+func (s Slot) Encode() uint64 {
+	if !s.Present {
+		return 0
+	}
+	w := uint64(1)<<63 | uint64(s.KeyByte)<<54 | uint64(s.ChildType&7)<<51 |
+		uint64(s.Addr)&(1<<mem.AddrBits-1)
+	if s.Leaf {
+		w |= 1 << 62
+	}
+	return w
+}
+
+// DecodeSlot unpacks a slot word.
+func DecodeSlot(w uint64) Slot {
+	if w>>63 == 0 {
+		return Slot{}
+	}
+	return Slot{
+		Present:   true,
+		Leaf:      w>>62&1 == 1,
+		KeyByte:   byte(w >> 54),
+		ChildType: NodeType(w >> 51 & 7),
+		Addr:      mem.Addr(w & (1<<mem.AddrBits - 1)),
+	}
+}

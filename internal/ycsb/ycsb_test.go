@@ -1,0 +1,237 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sphinx/internal/dataset"
+)
+
+func TestZipfianRange(t *testing.T) {
+	z := NewZipfian(1000, DefaultTheta)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		if v := z.Draw(rng); v >= 1000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+		if v := z.DrawScrambled(rng); v >= 1000 {
+			t.Fatalf("scrambled draw %d out of range", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	// With theta 0.99 over 10k items, the most popular rank should absorb
+	// a noticeable share and the head should dominate.
+	z := NewZipfian(10000, DefaultTheta)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 10000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(rng)]++
+	}
+	if counts[0] < draws/20 {
+		t.Errorf("rank 0 drew %d of %d; not skewed enough", counts[0], draws)
+	}
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if float64(head)/draws < 0.4 {
+		t.Errorf("top-100 share %.2f; zipf(0.99) should concentrate", float64(head)/draws)
+	}
+	// Monotone-ish head: rank 0 ≥ rank 1 ≥ rank 10 within noise.
+	if counts[0] < counts[10] {
+		t.Error("rank 0 less popular than rank 10")
+	}
+}
+
+func TestZipfianScrambledSpreads(t *testing.T) {
+	// Scrambling must spread the hottest ranks across the key space: the
+	// top-2 scrambled values should usually not be adjacent indices.
+	z := NewZipfian(100000, DefaultTheta)
+	rng := rand.New(rand.NewSource(3))
+	counts := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		counts[z.DrawScrambled(rng)]++
+	}
+	type kc struct {
+		k uint64
+		c int
+	}
+	var all []kc
+	for k, c := range counts {
+		all = append(all, kc{k, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	if len(all) < 2 {
+		t.Fatal("degenerate draw")
+	}
+	d := int64(all[0].k) - int64(all[1].k)
+	if d < 0 {
+		d = -d
+	}
+	if d <= 1 {
+		t.Errorf("two hottest scrambled keys adjacent (%d, %d)", all[0].k, all[1].k)
+	}
+}
+
+func TestUniformTheta0(t *testing.T) {
+	// theta → 0 approaches uniform; sanity-check tail mass exists.
+	z := NewZipfian(1000, 0.01)
+	rng := rand.New(rand.NewSource(4))
+	tail := 0
+	for i := 0; i < 100000; i++ {
+		if z.Draw(rng) >= 500 {
+			tail++
+		}
+	}
+	if tail < 30000 {
+		t.Errorf("tail mass %d too small for near-uniform draw", tail)
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	keys := dataset.GenerateU64(1000, 1)
+	for _, w := range All {
+		ks := NewKeySpace(keys, dataset.Novel(dataset.U64, 9))
+		z := NewZipfian(uint64(len(keys)), DefaultTheta)
+		g := NewGenerator(w, ks, z, 7)
+		counts := map[OpKind]int{}
+		const ops = 20000
+		for i := 0; i < ops; i++ {
+			op := g.Next()
+			counts[op.Kind]++
+			if op.Kind == OpScan && (op.ScanLen < 1 || op.ScanLen > MaxScanLen) {
+				t.Fatalf("scan len %d out of range", op.ScanLen)
+			}
+			if op.Kind != OpScan && op.ScanLen != 0 {
+				t.Fatal("non-scan op carries a scan length")
+			}
+			if len(op.Key) == 0 {
+				t.Fatal("empty key generated")
+			}
+		}
+		within := func(got, wantP int) bool {
+			want := ops * wantP / 100
+			slack := ops / 50 // ±2%
+			return got >= want-slack && got <= want+slack
+		}
+		if !within(counts[OpRead], w.ReadP) || !within(counts[OpUpdate], w.UpdateP) ||
+			!within(counts[OpInsert], w.InsertP) || !within(counts[OpScan], w.ScanP) {
+			t.Errorf("workload %s mix off: %v", w.Name, counts)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"LOAD", "A", "B", "C", "D", "E"} {
+		w, err := ByName(name)
+		if err != nil || w.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, w, err)
+		}
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestLatestDistributionFollowsInserts(t *testing.T) {
+	keys := dataset.GenerateU64(1000, 1)
+	ks := NewKeySpace(keys, dataset.Novel(dataset.U64, 5))
+	z := NewZipfian(uint64(len(keys)), DefaultTheta)
+	g := NewGenerator(Workload{Name: "D", ReadP: 50, InsertP: 50, Latest: true}, ks, z, 8)
+	inserted := map[string]bool{}
+	readsOfNew := 0
+	reads := 0
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpInsert:
+			inserted[string(op.Key)] = true
+		case OpRead:
+			reads++
+			if inserted[string(op.Key)] {
+				readsOfNew++
+			}
+		}
+	}
+	// With 50% inserts and latest-skewed reads, a large share of reads
+	// must target keys inserted during the run.
+	if float64(readsOfNew)/float64(reads) < 0.3 {
+		t.Errorf("only %d/%d reads hit fresh keys; latest distribution broken", readsOfNew, reads)
+	}
+}
+
+func TestKeySpaceStableIndexing(t *testing.T) {
+	keys := dataset.GenerateU64(100, 1)
+	ks := NewKeySpace(keys, dataset.Novel(dataset.U64, 6))
+	k1 := ks.TakeInsert()
+	k2 := ks.TakeInsert()
+	if string(ks.Key(100)) != string(k1) || string(ks.Key(101)) != string(k2) {
+		t.Error("Key(idx) does not replay TakeInsert order")
+	}
+	if ks.Total() != 102 {
+		t.Errorf("Total = %d", ks.Total())
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	keys := dataset.GenerateU64(500, 1)
+	run := func() []string {
+		ks := NewKeySpace(keys, dataset.Novel(dataset.U64, 2))
+		z := NewZipfian(uint64(len(keys)), DefaultTheta)
+		g := NewGenerator(WorkloadA, ks, z, 99)
+		var ops []string
+		for i := 0; i < 500; i++ {
+			op := g.Next()
+			ops = append(ops, fmt.Sprintf("%v:%x", op.Kind, op.Key))
+		}
+		return ops
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different op streams")
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRead.String() != "READ" || OpScan.String() != "SCAN" {
+		t.Error("op names wrong")
+	}
+}
+
+func TestThetaControlsSkew(t *testing.T) {
+	// Higher theta concentrates more mass on the head.
+	headShare := func(theta float64) float64 {
+		z := NewZipfian(10000, theta)
+		rng := rand.New(rand.NewSource(5))
+		head := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if z.Draw(rng) < 100 {
+				head++
+			}
+		}
+		return float64(head) / draws
+	}
+	low, high := headShare(0.5), headShare(0.99)
+	if high <= low {
+		t.Errorf("theta 0.99 head share %.3f not above theta 0.5's %.3f", high, low)
+	}
+}
+
+func TestZipfianLargePopulation(t *testing.T) {
+	// Construction over a large population must stay correct (zeta sum).
+	z := NewZipfian(5_000_000, DefaultTheta)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 10000; i++ {
+		if v := z.Draw(rng); v >= 5_000_000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+	}
+}

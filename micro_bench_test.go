@@ -1,0 +1,117 @@
+// Micro-benchmarks for the data structures under the index: these measure
+// real CPU work (unlike the figure benchmarks, whose interesting output is
+// virtual network time).
+package sphinx_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sphinx/internal/art"
+	"sphinx/internal/cuckoo"
+	"sphinx/internal/dataset"
+	"sphinx/internal/wire"
+	"sphinx/internal/ycsb"
+)
+
+func BenchmarkCuckooInsert(b *testing.B) {
+	f := cuckoo.New(b.N+1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(wire.Mix64(uint64(i)))
+	}
+}
+
+func BenchmarkCuckooContains(b *testing.B) {
+	f := cuckoo.New(1<<16, 1)
+	for i := 0; i < 1<<16; i++ {
+		f.Insert(wire.Mix64(uint64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(wire.Mix64(uint64(i & (1<<16 - 1))))
+	}
+}
+
+func BenchmarkZipfianDraw(b *testing.B) {
+	z := ycsb.NewZipfian(1_000_000, ycsb.DefaultTheta)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.DrawScrambled(rng)
+	}
+}
+
+func BenchmarkWireLeafEncode(b *testing.B) {
+	key := []byte("james.garcia@gmail.com")
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire.EncodeLeaf(wire.StatusIdle, key, val)
+	}
+}
+
+func BenchmarkWireLeafDecode(b *testing.B) {
+	buf := wire.EncodeLeaf(wire.StatusIdle, []byte("james.garcia@gmail.com"), make([]byte, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := wire.DecodeLeaf(buf); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkPrefixHash(b *testing.B) {
+	key := []byte("james.garcia@gmail.com")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire.PrefixHash42(key)
+	}
+}
+
+func BenchmarkLocalARTInsert(b *testing.B) {
+	keys := dataset.GenerateEmail(100_000, 1)
+	var t art.Tree
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(keys[i%len(keys)], keys[i%len(keys)])
+	}
+}
+
+func BenchmarkLocalARTGet(b *testing.B) {
+	keys := dataset.GenerateEmail(100_000, 1)
+	var t art.Tree
+	for _, k := range keys {
+		t.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkLocalARTScan100(b *testing.B) {
+	var t art.Tree
+	for i := 0; i < 100_000; i++ {
+		t.Insert([]byte(fmt.Sprintf("scan%07d", i)), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := []byte(fmt.Sprintf("scan%07d", (i*37)%90_000))
+		n := 0
+		t.Scan(lo, nil, func(k, v []byte) bool {
+			n++
+			return n < 100
+		})
+	}
+}
+
+func BenchmarkEmailGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dataset.GenerateEmail(1000, int64(i))
+	}
+}

@@ -1,0 +1,175 @@
+package sphinx
+
+import (
+	"sphinx/internal/artdm"
+	"sphinx/internal/core"
+	"sphinx/internal/fabric"
+	"sphinx/internal/rart"
+	"sphinx/internal/smart"
+)
+
+// Session is one worker's handle on the cluster's index: it owns a network
+// endpoint (virtual clock, verb counters) and shares its compute node's
+// caches. Sessions are not safe for concurrent use — create one per
+// goroutine, as the paper's systems create one context per coroutine.
+type Session struct {
+	cn *ComputeNode
+	fc *fabric.Client
+
+	sphinx *core.Client
+	smart  *smart.Client
+	art    *artdm.Client
+}
+
+// NewSession opens a session on this compute node.
+func (cn *ComputeNode) NewSession() *Session {
+	c := cn.cluster
+	fc := c.f.NewClient()
+	s := &Session{cn: cn, fc: fc}
+	switch c.cfg.System {
+	case SystemSphinx:
+		s.sphinx = core.NewClient(c.sphinxShared, fc, core.Options{Filter: cn.filter})
+	case SystemSMART:
+		s.smart = smart.NewClient(c.smartShared, fc, smart.Options{Cache: cn.cache})
+	case SystemART:
+		s.art = artdm.NewClient(c.artShared, fc, rart.Config{})
+	}
+	return s
+}
+
+// Get returns the value stored for key.
+func (s *Session) Get(key []byte) (value []byte, ok bool, err error) {
+	switch {
+	case s.sphinx != nil:
+		return s.sphinx.Search(key)
+	case s.smart != nil:
+		return s.smart.Search(key)
+	default:
+		return s.art.Search(key)
+	}
+}
+
+// Put stores value for key, overwriting any existing value.
+func (s *Session) Put(key, value []byte) error {
+	var err error
+	switch {
+	case s.sphinx != nil:
+		_, err = s.sphinx.Insert(key, value)
+	case s.smart != nil:
+		_, err = s.smart.Insert(key, value)
+	default:
+		_, err = s.art.Insert(key, value)
+	}
+	return err
+}
+
+// Update overwrites the value of an existing key, reporting whether the
+// key was present; absent keys are left absent.
+func (s *Session) Update(key, value []byte) (bool, error) {
+	switch {
+	case s.sphinx != nil:
+		return s.sphinx.Update(key, value)
+	case s.smart != nil:
+		return s.smart.Update(key, value)
+	default:
+		return s.art.Update(key, value)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Session) Delete(key []byte) (bool, error) {
+	switch {
+	case s.sphinx != nil:
+		return s.sphinx.Delete(key)
+	case s.smart != nil:
+		return s.smart.Delete(key)
+	default:
+		return s.art.Delete(key)
+	}
+}
+
+// Scan returns key-value pairs in [lo, hi] (inclusive; nil bounds are
+// open) in ascending key order, at most limit pairs when limit > 0.
+func (s *Session) Scan(lo, hi []byte, limit int) ([]KV, error) {
+	var kvs []rart.KV
+	var err error
+	switch {
+	case s.sphinx != nil:
+		kvs, err = s.sphinx.Scan(lo, hi, limit)
+	case s.smart != nil:
+		kvs, err = s.smart.Scan(lo, hi, limit)
+	default:
+		kvs, err = s.art.Scan(lo, hi, limit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}
+
+// Stats summarizes the session's network activity.
+type Stats struct {
+	RoundTrips   uint64
+	Verbs        uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	// ClockPs is the session's virtual clock: the network time its
+	// operations have consumed (0 under TimingInstant).
+	ClockPs int64
+}
+
+// Stats returns a snapshot of the session's counters.
+func (s *Session) Stats() Stats {
+	st := s.fc.Stats()
+	return Stats{
+		RoundTrips:   st.RoundTrips,
+		Verbs:        st.Verbs,
+		BytesRead:    st.BytesRead,
+		BytesWritten: st.BytesWrite,
+		ClockPs:      s.fc.Clock(),
+	}
+}
+
+// SphinxCounters are Sphinx-specific per-session counters: how operations
+// were routed (filter cache vs parallel fallback vs root walk) and how
+// often the probabilistic machinery misfired.
+type SphinxCounters struct {
+	Searches, Inserts, Updates, Deletes, Scans uint64
+	// FilterHits counts operations routed by a filter-cache hit — the
+	// three-round-trip warm path.
+	FilterHits uint64
+	// FilterFallbacks counts parallel multi-prefix hash reads (filter
+	// disabled or useless).
+	FilterFallbacks uint64
+	// RootStarts counts operations that fell back to a root descent.
+	RootStarts uint64
+	// FalsePositives counts filter claims the index refuted (<1% of
+	// probes per the paper).
+	FalsePositives uint64
+	// CollisionRetries counts the leaf-level common-prefix detections of
+	// §III-B (<0.01% of operations per the paper).
+	CollisionRetries uint64
+	// Restarts counts coherence-protocol retries (invalidated nodes or
+	// leaves observed mid-change).
+	Restarts uint64
+}
+
+// SphinxStats returns Sphinx-specific counters; ok is false for other
+// systems.
+func (s *Session) SphinxStats() (SphinxCounters, bool) {
+	if s.sphinx == nil {
+		return SphinxCounters{}, false
+	}
+	st := s.sphinx.Stats()
+	return SphinxCounters{
+		Searches: st.Searches, Inserts: st.Inserts, Updates: st.Updates,
+		Deletes: st.Deletes, Scans: st.Scans,
+		FilterHits: st.FilterHits, FilterFallbacks: st.FilterFallbacks,
+		RootStarts: st.RootStarts, FalsePositives: st.FalsePositives,
+		CollisionRetries: st.CollisionRetry, Restarts: st.Restarts,
+	}, true
+}

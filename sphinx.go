@@ -1,0 +1,243 @@
+// Package sphinx is a reproduction of "Sphinx: A High-Performance Hybrid
+// Index for Disaggregated Memory With Succinct Filter Cache" (DAC 2025):
+// a range index for variable-length keys whose data lives on memory nodes
+// reached only through one-sided RDMA-style verbs.
+//
+// The package bundles three index systems over a simulated
+// disaggregated-memory cluster:
+//
+//   - SystemSphinx — the paper's contribution: an adaptive radix tree whose
+//     inner nodes are additionally indexed by a memory-side hash table
+//     (one 8-byte entry per node, keyed by full prefix) and filtered by a
+//     compute-side cuckoo "succinct filter cache", making a warm search
+//     cost three network round trips regardless of tree depth;
+//   - SystemSMART — the state-of-the-art baseline it compares against
+//     (node-caching ART with Node-256 preallocation);
+//   - SystemART — the original adaptive radix tree ported naively.
+//
+// # Usage
+//
+//	cluster, _ := sphinx.NewCluster(sphinx.Config{})
+//	cn := cluster.NewComputeNode()
+//	s := cn.NewSession()
+//	s.Put([]byte("LYRICS"), []byte("value"))
+//	v, ok, _ := s.Get([]byte("LYRICS"))
+//	kvs, _ := s.Scan([]byte("LYR"), []byte("LZ"), 100)
+//
+// Sessions are single-goroutine handles (one per worker); sessions of the
+// same ComputeNode share that CN's caches, exactly as workers share a
+// machine in the paper's testbed. The cluster itself is a pure in-process
+// simulation: data movement is real, network time is virtual, and every
+// session reports its round-trip and byte counts.
+package sphinx
+
+import (
+	"fmt"
+
+	"sphinx/internal/artdm"
+	"sphinx/internal/consistenthash"
+	"sphinx/internal/core"
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/smart"
+)
+
+// System selects the index implementation a cluster runs.
+type System int
+
+// Available index systems.
+const (
+	SystemSphinx System = iota
+	SystemSMART
+	SystemART
+)
+
+// String names the system.
+func (s System) String() string {
+	switch s {
+	case SystemSphinx:
+		return "Sphinx"
+	case SystemSMART:
+		return "SMART"
+	case SystemART:
+		return "ART"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Timing selects the network cost model.
+type Timing int
+
+// Timing models.
+const (
+	// TimingRDMA models the paper's testbed: 2 µs round trips, 100 Gbps-
+	// class NICs with per-verb and per-byte costs, and NIC contention.
+	// Virtual clocks and operation latencies are meaningful.
+	TimingRDMA Timing = iota
+	// TimingInstant makes every verb free. Functionality only — use it
+	// for examples and tests where time is irrelevant.
+	TimingInstant
+)
+
+// Config describes a cluster. The zero value is a usable Sphinx cluster
+// with three memory nodes and paper-like network timing.
+type Config struct {
+	// System picks the index implementation (default SystemSphinx).
+	System System
+	// MemoryNodes is the number of memory nodes (default 3, as in §V-A).
+	MemoryNodes int
+	// MemoryPerNode is each memory node's region size in bytes
+	// (default 256 MiB).
+	MemoryPerNode uint64
+	// ExpectedKeys sizes the inner-node hash tables (they resize beyond
+	// it); default 100 000.
+	ExpectedKeys int
+	// CacheBytes is the per-compute-node cache budget: the succinct
+	// filter cache for Sphinx, the node cache for SMART (default 16 MiB).
+	CacheBytes uint64
+	// Timing selects the network cost model.
+	Timing Timing
+	// Seed makes cache behaviour deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryNodes == 0 {
+		c.MemoryNodes = 3
+	}
+	if c.MemoryPerNode == 0 {
+		c.MemoryPerNode = 256 << 20
+	}
+	if c.ExpectedKeys == 0 {
+		c.ExpectedKeys = 100_000
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 16 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// KV is one key-value pair returned by Scan.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Cluster is a simulated disaggregated-memory cluster hosting one index.
+type Cluster struct {
+	cfg  Config
+	f    *fabric.Fabric
+	ring *consistenthash.Ring
+
+	sphinxShared core.Shared
+	smartShared  smart.Shared
+	artShared    artdm.Shared
+
+	nextCN int
+}
+
+// NewCluster builds the memory nodes, interconnect and an empty index.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	var netCfg fabric.Config
+	switch cfg.Timing {
+	case TimingRDMA:
+		netCfg = fabric.DefaultConfig()
+	case TimingInstant:
+		netCfg = fabric.InstantConfig()
+	default:
+		return nil, fmt.Errorf("sphinx: unknown timing model %d", cfg.Timing)
+	}
+	f := fabric.New(netCfg)
+	nodes := make([]mem.NodeID, cfg.MemoryNodes)
+	for i := range nodes {
+		nodes[i] = f.AddNode(cfg.MemoryPerNode)
+	}
+	ring := consistenthash.New(nodes, 0)
+	cl := &Cluster{cfg: cfg, f: f, ring: ring}
+
+	var err error
+	switch cfg.System {
+	case SystemSphinx:
+		cl.sphinxShared, err = core.Bootstrap(f, ring, cfg.ExpectedKeys)
+	case SystemSMART:
+		cl.smartShared, err = smart.Bootstrap(f, ring)
+	case SystemART:
+		cl.artShared, err = artdm.Bootstrap(f, ring)
+	default:
+		err = fmt.Errorf("sphinx: unknown system %v", cfg.System)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// System returns the cluster's index system.
+func (c *Cluster) System() System { return c.cfg.System }
+
+// MemoryUsage reports the MN-side memory footprint by object class.
+type MemoryUsage struct {
+	InnerNodeBytes uint64
+	LeafBytes      uint64
+	HashTableBytes uint64
+	MetadataBytes  uint64
+	TotalBytes     uint64
+}
+
+// MemoryUsage sums allocation counters across all memory nodes.
+func (c *Cluster) MemoryUsage() (MemoryUsage, error) {
+	var u MemoryUsage
+	ops := c.f.Regions()
+	for _, node := range c.ring.Nodes() {
+		nu, err := mem.ReadUsage(ops, node)
+		if err != nil {
+			return u, err
+		}
+		u.MetadataBytes += nu.ByClass[mem.ClassMeta]
+		u.InnerNodeBytes += nu.ByClass[mem.ClassInner]
+		u.LeafBytes += nu.ByClass[mem.ClassLeaf]
+		u.HashTableBytes += nu.ByClass[mem.ClassHash]
+	}
+	u.TotalBytes = u.MetadataBytes + u.InnerNodeBytes + u.LeafBytes + u.HashTableBytes
+	return u, nil
+}
+
+// ComputeNode models one compute-side machine: its sessions share the
+// CN-local cache (the succinct filter cache for Sphinx, the node cache
+// for SMART), while each session owns its own network endpoint.
+type ComputeNode struct {
+	cluster *Cluster
+	id      int
+	filter  *core.FilterCache
+	cache   *smart.NodeCache
+}
+
+// NewComputeNode adds a compute node to the cluster.
+func (c *Cluster) NewComputeNode() *ComputeNode {
+	cn := &ComputeNode{cluster: c, id: c.nextCN}
+	c.nextCN++
+	switch c.cfg.System {
+	case SystemSphinx:
+		cn.filter = core.NewFilterCacheBytes(c.cfg.CacheBytes, uint64(c.cfg.Seed+int64(cn.id))|1)
+	case SystemSMART:
+		cn.cache = smart.NewNodeCache(c.cfg.CacheBytes)
+	}
+	return cn
+}
+
+// CacheBytes reports the CN cache's current memory footprint.
+func (cn *ComputeNode) CacheBytes() uint64 {
+	switch {
+	case cn.filter != nil:
+		return cn.filter.SizeBytes()
+	case cn.cache != nil:
+		return cn.cache.Stats().UsedBytes
+	default:
+		return 0
+	}
+}

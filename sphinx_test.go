@@ -1,0 +1,167 @@
+package sphinx
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFacadeAllSystems(t *testing.T) {
+	for _, sys := range []System{SystemSphinx, SystemSMART, SystemART} {
+		t.Run(sys.String(), func(t *testing.T) {
+			cluster, err := NewCluster(Config{System: sys, Timing: TimingInstant})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := cluster.NewComputeNode().NewSession()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("key-%04d", i))
+				if err := s.Put(k, []byte(fmt.Sprint(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("key-%04d", i))
+				v, ok, err := s.Get(k)
+				if err != nil || !ok || string(v) != fmt.Sprint(i) {
+					t.Fatalf("Get(%q) = %q,%v,%v", k, v, ok, err)
+				}
+			}
+			kvs, err := s.Scan([]byte("key-0050"), []byte("key-0059"), 0)
+			if err != nil || len(kvs) != 10 {
+				t.Fatalf("scan: %d,%v", len(kvs), err)
+			}
+			for i := 1; i < len(kvs); i++ {
+				if bytes.Compare(kvs[i-1].Key, kvs[i].Key) >= 0 {
+					t.Fatal("scan unsorted")
+				}
+			}
+			if ok, err := s.Update([]byte("key-0001"), []byte("updated")); err != nil || !ok {
+				t.Fatalf("update: %v %v", ok, err)
+			}
+			if v, _, _ := s.Get([]byte("key-0001")); string(v) != "updated" {
+				t.Fatalf("after update: %q", v)
+			}
+			if ok, err := s.Delete([]byte("key-0001")); err != nil || !ok {
+				t.Fatalf("delete: %v %v", ok, err)
+			}
+			if _, ok, _ := s.Get([]byte("key-0001")); ok {
+				t.Fatal("deleted key still present")
+			}
+		})
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	cluster, err := NewCluster(Config{Timing: TimingRDMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cluster.NewComputeNode().NewSession()
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.RoundTrips == 0 || st.ClockPs == 0 {
+		t.Errorf("stats not accumulating: %+v", st)
+	}
+	sc, ok := s.SphinxStats()
+	if !ok || sc.Searches != 1 || sc.Inserts != 1 {
+		t.Errorf("sphinx counters: %+v ok=%v", sc, ok)
+	}
+	mu, err := cluster.MemoryUsage()
+	if err != nil || mu.TotalBytes == 0 {
+		t.Errorf("memory usage: %+v err=%v", mu, err)
+	}
+	if mu.HashTableBytes == 0 {
+		t.Error("Sphinx cluster reports no hash-table memory")
+	}
+}
+
+func TestFacadeSharedFilterAcrossSessions(t *testing.T) {
+	cluster, err := NewCluster(Config{Timing: TimingInstant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := cluster.NewComputeNode()
+	writer := cn.NewSession()
+	for i := 0; i < 100; i++ {
+		if err := writer.Put([]byte(fmt.Sprintf("shared/%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A sibling session on the same CN benefits from the shared filter.
+	reader := cn.NewSession()
+	for i := 0; i < 100; i++ {
+		if _, ok, err := reader.Get([]byte(fmt.Sprintf("shared/%03d", i))); err != nil || !ok {
+			t.Fatalf("reader miss %d: %v", i, err)
+		}
+	}
+	sc, _ := reader.SphinxStats()
+	if sc.FilterHits == 0 {
+		t.Error("sibling session never hit the shared filter cache")
+	}
+	if cn.CacheBytes() == 0 {
+		t.Error("CN cache reports zero bytes")
+	}
+}
+
+func TestFacadeConcurrentSessions(t *testing.T) {
+	cluster, err := NewCluster(Config{Timing: TimingRDMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cns = 3
+	const perCN = 4
+	nodes := make([]*ComputeNode, cns)
+	for i := range nodes {
+		nodes[i] = cluster.NewComputeNode()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, cns*perCN)
+	for c := 0; c < cns; c++ {
+		for w := 0; w < perCN; w++ {
+			wg.Add(1)
+			go func(c, w int) {
+				defer wg.Done()
+				s := nodes[c].NewSession()
+				for i := 0; i < 150; i++ {
+					k := []byte(fmt.Sprintf("c%d-w%d-%04d", c, w, i))
+					if err := s.Put(k, []byte("v")); err != nil {
+						errs <- err
+						return
+					}
+					if _, ok, err := s.Get(k); err != nil || !ok {
+						errs <- fmt.Errorf("readback %s: ok=%v err=%v", k, ok, err)
+						return
+					}
+				}
+			}(c, w)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cluster, err := NewCluster(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.System() != SystemSphinx {
+		t.Error("default system is not Sphinx")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if SystemSphinx.String() != "Sphinx" || SystemSMART.String() != "SMART" || SystemART.String() != "ART" {
+		t.Error("system names wrong")
+	}
+}
