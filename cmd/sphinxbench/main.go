@@ -16,6 +16,7 @@ import (
 
 	"sphinx/internal/bench"
 	"sphinx/internal/dataset"
+	"sphinx/internal/fabric"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	only := flag.String("dataset", "", "restrict to one dataset: u64 or email")
 	theta := flag.Float64("theta", 0.99, "zipfian request skew (paper: 0.99)")
 	stats := flag.Bool("stats", false, "print Sphinx routing diagnostics per run")
+	faults := flag.Int("faults", 0, "inject fabric faults at this per-64k rate per batch (transient + timeout); 0 disables")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|valsweep|all\n", os.Args[0])
@@ -47,6 +49,13 @@ func main() {
 		MNs:          *mns,
 		CNs:          *cns,
 		Theta:        *theta,
+	}
+	if *faults > 0 {
+		base.Faults = &fabric.FaultPlan{
+			Seed:            uint64(*seed),
+			TransientPer64k: uint32(*faults),
+			TimeoutPer64k:   uint32(*faults) / 2,
+		}
 	}
 	var cfgs []bench.Config
 	switch *only {
@@ -141,15 +150,26 @@ func main() {
 }
 
 // printDiags dumps Sphinx routing diagnostics after an experiment when
-// requested (filter hit rates, false positives, restarts).
+// requested (filter hit rates, false positives, restarts). Fault and
+// recovery counters print whenever a run saw faults or lock recovery,
+// independent of the -stats flag.
 func printDiags(results []bench.Result, enabled bool) {
-	if !enabled {
-		return
+	if enabled {
+		fmt.Println("# sphinx diagnostics")
+		for _, r := range results {
+			if d := r.Diag(); d != "" {
+				fmt.Printf("%-14s %-8s %-6s %s\n", r.System, r.Workload, r.Dataset, d)
+			}
+		}
 	}
-	fmt.Println("# sphinx diagnostics")
+	header := false
 	for _, r := range results {
-		if d := r.Diag(); d != "" {
-			fmt.Printf("%-14s %-8s %-6s %s\n", r.System, r.Workload, r.Dataset, d)
+		if fl := r.FaultLine(); fl != "" {
+			if !header {
+				fmt.Println("# fault recovery")
+				header = true
+			}
+			fmt.Printf("%-14s %-8s %-6s %s\n", r.System, r.Workload, r.Dataset, fl)
 		}
 	}
 }

@@ -11,7 +11,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"runtime"
 
 	"sphinx/internal/consistenthash"
 	"sphinx/internal/fabric"
@@ -56,18 +55,10 @@ func NewClient(shared Shared, c *fabric.Client, cfg rart.Config) *Client {
 // Engine exposes the underlying engine (stats, fabric client).
 func (c *Client) Engine() *rart.Engine { return c.eng }
 
-const maxOpRetries = 256
-
 // retriable reports whether an operation should re-run from the root.
 func retriable(err error) bool {
-	return errors.Is(err, rart.ErrRestart) || errors.Is(err, rart.ErrNeedParent)
-}
-
-// backoff models a short client-side pause before re-running an operation
-// that lost a race, and yields so the winning goroutine can finish.
-func (c *Client) backoff() {
-	c.eng.C.AdvanceClock(500_000) // 0.5 µs
-	runtime.Gosched()
+	return errors.Is(err, rart.ErrRestart) || errors.Is(err, rart.ErrNeedParent) ||
+		errors.Is(err, fabric.ErrTransient) || errors.Is(err, fabric.ErrTimeout)
 }
 
 func (c *Client) readRoot() (*rart.Node, error) {
@@ -76,15 +67,17 @@ func (c *Client) readRoot() (*rart.Node, error) {
 
 // Search returns the value for key.
 func (c *Client) Search(key []byte) ([]byte, bool, error) {
-	for attempt := 0; attempt < maxOpRetries; attempt++ {
+	for bo := c.eng.Backoff(); ; {
 		root, err := c.readRoot()
-		if err != nil {
-			return nil, false, err
+		var leaf *rart.Leaf
+		if err == nil {
+			leaf, err = c.eng.SearchFrom(root, key, rart.NopHooks{})
 		}
-		leaf, err := c.eng.SearchFrom(root, key, rart.NopHooks{})
 		if retriable(err) {
-			c.backoff()
-			continue
+			if bo.Wait() {
+				continue
+			}
+			return nil, false, fmt.Errorf("%w: artdm search for %q", rart.ErrRetriesExhausted, key)
 		}
 		if err != nil {
 			return nil, false, err
@@ -96,7 +89,6 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 		}
 		return leaf.Value, true, nil
 	}
-	return nil, false, fmt.Errorf("artdm: search retries exhausted for %q", key)
 }
 
 // Insert stores value for key (upsert). It reports whether the key
@@ -116,45 +108,58 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 		return false, fmt.Errorf("artdm: key length %d out of range", len(key))
 	}
 	var last error
-	for attempt := 0; attempt < maxOpRetries; attempt++ {
+	for bo := c.eng.Backoff(); ; {
 		root, err := c.readRoot()
-		if err != nil {
-			return false, err
+		var existed bool
+		if err == nil {
+			existed, err = c.eng.PutFrom(root, key, value, mode, rart.NopHooks{})
 		}
-		existed, err := c.eng.PutFrom(root, key, value, mode, rart.NopHooks{})
 		if retriable(err) {
 			last = err
-			c.backoff()
-			continue
+			if bo.Wait() {
+				continue
+			}
+			return false, fmt.Errorf("%w: artdm put for %q (last: %v)", rart.ErrRetriesExhausted, key, last)
 		}
 		return existed, err
 	}
-	return false, fmt.Errorf("artdm: put retries exhausted for %q (last: %v)", key, last)
 }
 
 // Delete removes key, reporting whether it was present.
 func (c *Client) Delete(key []byte) (bool, error) {
-	for attempt := 0; attempt < maxOpRetries; attempt++ {
+	for bo := c.eng.Backoff(); ; {
 		root, err := c.readRoot()
-		if err != nil {
-			return false, err
+		var ok bool
+		if err == nil {
+			ok, err = c.eng.DeleteFrom(root, key, rart.NopHooks{})
 		}
-		ok, err := c.eng.DeleteFrom(root, key, rart.NopHooks{})
 		if retriable(err) {
-			c.backoff()
-			continue
+			if bo.Wait() {
+				continue
+			}
+			return false, fmt.Errorf("%w: artdm delete for %q", rart.ErrRetriesExhausted, key)
 		}
 		return ok, err
 	}
-	return false, fmt.Errorf("artdm: delete retries exhausted for %q", key)
 }
 
 // Scan returns up to limit keys in [lo, hi], ascending. The naive port
 // reads one node per round trip — no doorbell batching.
 func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
-	root, err := c.readRoot()
-	if err != nil {
-		return nil, err
+	for bo := c.eng.Backoff(); ; {
+		root, err := c.readRoot()
+		var kvs []rart.KV
+		if err == nil {
+			kvs, err = c.eng.ScanFrom(root, lo, hi, limit, false)
+		}
+		if err == nil {
+			return kvs, nil
+		}
+		if !retriable(err) {
+			return nil, err
+		}
+		if !bo.Wait() {
+			return nil, fmt.Errorf("%w: artdm scan", rart.ErrRetriesExhausted)
+		}
 	}
-	return c.eng.ScanFrom(root, lo, hi, limit, false)
 }

@@ -91,6 +91,13 @@ type Config struct {
 	SphinxCache uint64
 	SmartCache  uint64
 	SmartCCache uint64
+
+	// Faults, when non-nil, is installed on the fabric at cluster
+	// creation: every phase (load and run) then exercises the retry,
+	// backoff and recovery paths, and each result's fault/recovery
+	// counters (Result.FaultLine) become nonzero. See
+	// docs/failure-model.md.
+	Faults *fabric.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +175,9 @@ type Cluster struct {
 func NewCluster(sys System, cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	f := fabric.New(cfg.Net)
+	if cfg.Faults != nil {
+		f.SetFaultPlan(cfg.Faults)
+	}
 	nodes := make([]mem.NodeID, cfg.MNs)
 	perMN := uint64(64<<20) + uint64(cfg.Keys)*6*1024/uint64(cfg.MNs)
 	for i := range nodes {
@@ -231,6 +241,7 @@ func (s sphinxIndex) Delete(k []byte) (bool, error)         { return s.c.Delete(
 func (s sphinxIndex) ScanN(lo []byte, n int) ([]rart.KV, error) {
 	return s.c.Scan(lo, nil, n)
 }
+func (s sphinxIndex) engine() *rart.Engine { return s.c.Engine() }
 
 type smartIndex struct{ c *smart.Client }
 
@@ -241,6 +252,7 @@ func (s smartIndex) Delete(k []byte) (bool, error)         { return s.c.Delete(k
 func (s smartIndex) ScanN(lo []byte, n int) ([]rart.KV, error) {
 	return s.c.Scan(lo, nil, n)
 }
+func (s smartIndex) engine() *rart.Engine { return s.c.Engine() }
 
 type artIndex struct{ c *artdm.Client }
 
@@ -251,6 +263,7 @@ func (s artIndex) Delete(k []byte) (bool, error)         { return s.c.Delete(k) 
 func (s artIndex) ScanN(lo []byte, n int) ([]rart.KV, error) {
 	return s.c.Scan(lo, nil, n)
 }
+func (s artIndex) engine() *rart.Engine { return s.c.Engine() }
 
 // NewIndex mounts the cluster's system for one worker on the given compute
 // node. The returned index is single-worker; CN-level caches are shared.

@@ -8,6 +8,7 @@ import (
 	"sphinx/internal/core"
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
+	"sphinx/internal/rart"
 	"sphinx/internal/ycsb"
 )
 
@@ -37,6 +38,18 @@ type Result struct {
 	SphinxFPPerKOp       float64
 	SphinxRestartsPerKOp float64
 	SphinxCollisions     uint64
+
+	// Fault and recovery accounting, all systems: nonzero only when a
+	// fault plan is active or locks were contended. Restarts counts
+	// operation-level re-descents; the rest count injected fabric faults
+	// survived and the stuck-lock recovery work performed.
+	Restarts        uint64
+	TransientFaults uint64
+	Timeouts        uint64
+	NodeDownRejects uint64
+	LockSteals      uint64
+	LeafLockBreaks  uint64
+	DeleteRepairs   uint64
 }
 
 // Diag renders the Sphinx diagnostics line, or "" for other systems.
@@ -46,6 +59,19 @@ func (r Result) Diag() string {
 	}
 	return fmt.Sprintf("    [sphinx] filter-hit %.1f%%  falsePos %.2f/kop  restarts %.2f/kop  collisions %d",
 		r.SphinxFilterHitPct, r.SphinxFPPerKOp, r.SphinxRestartsPerKOp, r.SphinxCollisions)
+}
+
+// FaultLine renders the fault/recovery counters, or "" when the run saw
+// neither injected faults nor lock recovery.
+func (r Result) FaultLine() string {
+	if r.Restarts == 0 && r.TransientFaults == 0 && r.Timeouts == 0 &&
+		r.NodeDownRejects == 0 && r.LockSteals == 0 && r.LeafLockBreaks == 0 &&
+		r.DeleteRepairs == 0 {
+		return ""
+	}
+	return fmt.Sprintf("    [faults] restarts %d  transients %d  timeouts %d  nodeDown %d  lockSteals %d  leafBreaks %d  deleteRepairs %d",
+		r.Restarts, r.TransientFaults, r.Timeouts, r.NodeDownRejects,
+		r.LockSteals, r.LeafLockBreaks, r.DeleteRepairs)
 }
 
 // header returns the column header matching Result.Row.
@@ -103,6 +129,7 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 	}
 	r := cl.summarize("LOAD", workers, clients, lats)
 	cl.attachSphinxDiag(&r, idxs)
+	attachRecoveryDiag(&r, idxs)
 	return r, nil
 }
 
@@ -162,6 +189,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 	}
 	r := cl.summarize(w.Name, workers, clients, lats)
 	cl.attachSphinxDiag(&r, idxs)
+	attachRecoveryDiag(&r, idxs)
 	return r, nil
 }
 
@@ -185,6 +213,23 @@ func (cl *Cluster) attachSphinxDiag(r *Result, idxs []Index) {
 	r.SphinxFPPerKOp = 1000 * float64(agg.FalsePositives) / float64(r.Ops)
 	r.SphinxRestartsPerKOp = 1000 * float64(agg.Restarts) / float64(r.Ops)
 	r.SphinxCollisions = agg.CollisionRetry
+	r.Restarts = agg.Restarts
+}
+
+// attachRecoveryDiag aggregates node-engine lock-recovery counters; every
+// system's index wrapper exposes its engine.
+func attachRecoveryDiag(r *Result, idxs []Index) {
+	var agg rart.EngineStats
+	for _, ix := range idxs {
+		if ex, ok := ix.(interface{ engine() *rart.Engine }); ok {
+			if e := ex.engine(); e != nil {
+				agg = agg.Add(e.Stats())
+			}
+		}
+	}
+	r.LockSteals = agg.LockSteals
+	r.LeafLockBreaks = agg.LeafLockBreaks
+	r.DeleteRepairs = agg.DeleteRepairs
 }
 
 // summarize folds per-worker clocks, latencies and network stats into a
@@ -234,6 +279,9 @@ func (cl *Cluster) summarize(workload string, workers int, clients []*fabric.Cli
 		r.VerbsPerOp = float64(net.Verbs) / float64(ops)
 		r.BytesPerOp = float64(net.BytesRead+net.BytesWrite) / float64(ops)
 	}
+	r.TransientFaults = net.Transients
+	r.Timeouts = net.Timeouts
+	r.NodeDownRejects = net.NodeDownRejects
 	return r
 }
 

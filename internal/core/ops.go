@@ -4,13 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"runtime"
 
+	"sphinx/internal/fabric"
 	"sphinx/internal/rart"
 	"sphinx/internal/wire"
 )
-
-const maxOpRetries = 256
 
 // hooks wires tree events into Sphinx's side structures: descent
 // discoveries feed the filter cache; structural changes maintain the inner
@@ -60,14 +58,14 @@ func (c *Client) checkKey(key []byte) error {
 	return nil
 }
 
+// retriable reports whether an error is worth re-running the operation
+// for: a lost structural race, or an injected fabric fault that a later
+// attempt can outlive. Budget exhaustion and client crashes are terminal.
 func retriable(err error) bool {
-	return errors.Is(err, rart.ErrRestart)
-}
-
-// backoff models a short client pause before retrying a raced operation.
-func (c *Client) backoff() {
-	c.eng.C.AdvanceClock(500_000) // 0.5 µs
-	runtime.Gosched()
+	return errors.Is(err, rart.ErrRestart) ||
+		errors.Is(err, fabric.ErrTransient) ||
+		errors.Is(err, fabric.ErrTimeout) ||
+		errors.Is(err, fabric.ErrNodeDown)
 }
 
 // Search returns the value stored for key (paper §IV Search). Warm path:
@@ -79,38 +77,42 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 	}
 	c.stats.Searches++
 	maxLen := len(key)
-	for attempt := 0; attempt < maxOpRetries; attempt++ {
+	var last error
+	for bo := c.eng.Backoff(); ; {
 		start, startLen, err := c.locate(key, maxLen)
-		if err != nil {
-			return nil, false, err
-		}
-		leaf, err := c.eng.SearchFrom(start, key, hooks{c})
-		switch {
-		case retriable(err):
-			c.stats.Restarts++
-			c.backoff()
-			maxLen = len(key)
-			continue
-		case err != nil:
-			return nil, false, err
-		case leaf == nil:
-			return nil, false, nil
-		}
-		if !bytes.Equal(leaf.Key, key) {
-			if cp := rart.CommonPrefixLen(leaf.Key, key); cp < startLen {
-				// The start node was not on the key's path after all: the
-				// filter fingerprint and the 42-bit prefix hash both
-				// collided. Unlearn and retry with a shorter prefix
-				// (paper §III-B's leaf-level detection).
-				c.noteCollision(key, startLen)
-				maxLen = startLen - 1
-				continue
+		if err == nil {
+			var leaf *rart.Leaf
+			leaf, err = c.eng.SearchFrom(start, key, hooks{c})
+			if err == nil {
+				if leaf == nil {
+					return nil, false, nil
+				}
+				if !bytes.Equal(leaf.Key, key) {
+					if cp := rart.CommonPrefixLen(leaf.Key, key); cp < startLen {
+						// The start node was not on the key's path after
+						// all: the filter fingerprint and the 42-bit prefix
+						// hash both collided. Unlearn and retry with a
+						// shorter prefix (paper §III-B's leaf-level
+						// detection).
+						c.noteCollision(key, startLen)
+						maxLen = startLen - 1
+						continue
+					}
+					return nil, false, nil
+				}
+				return leaf.Value, true, nil
 			}
-			return nil, false, nil
 		}
-		return leaf.Value, true, nil
+		if !retriable(err) {
+			return nil, false, err
+		}
+		c.stats.Restarts++
+		last = err
+		maxLen = len(key)
+		if !bo.Wait() {
+			return nil, false, exhausted("search", key, last)
+		}
 	}
-	return nil, false, fmt.Errorf("core: search retries exhausted for %q", key)
 }
 
 func (c *Client) noteCollision(key []byte, startLen int) {
@@ -140,32 +142,38 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 		return false, err
 	}
 	maxLen := len(key)
-	for attempt := 0; attempt < maxOpRetries; attempt++ {
+	var last error
+	for bo := c.eng.Backoff(); ; {
 		start, startLen, err := c.locate(key, maxLen)
-		if err != nil {
-			return false, err
-		}
-		existed, err := c.eng.PutFrom(start, key, value, mode, hooks{c})
-		switch {
-		case errors.Is(err, rart.ErrNeedParent):
-			// A split is needed at or above the jump target; redo the
-			// operation through a path that knows the parent.
-			if startLen > 0 {
-				maxLen = startLen - 1
+		if err == nil {
+			var existed bool
+			existed, err = c.eng.PutFrom(start, key, value, mode, hooks{c})
+			switch {
+			case errors.Is(err, rart.ErrNeedParent):
+				// A split is needed at or above the jump target; redo the
+				// operation through a path that knows the parent.
+				if startLen > 0 {
+					maxLen = startLen - 1
+				}
+			case retriable(err):
+				c.stats.Restarts++
+				maxLen = len(key)
+			case err != nil:
+				return false, err
+			default:
+				return existed, nil
 			}
-			c.backoff()
-			continue
-		case retriable(err):
+		} else if retriable(err) {
 			c.stats.Restarts++
-			c.backoff()
 			maxLen = len(key)
-			continue
-		case err != nil:
+		} else {
 			return false, err
 		}
-		return existed, nil
+		last = err
+		if !bo.Wait() {
+			return false, exhausted("put", key, last)
+		}
 	}
-	return false, fmt.Errorf("core: put retries exhausted for %q", key)
 }
 
 // Delete removes key (paper §IV Delete), reporting whether it was present.
@@ -175,47 +183,78 @@ func (c *Client) Delete(key []byte) (bool, error) {
 	}
 	c.stats.Deletes++
 	maxLen := len(key)
-	for attempt := 0; attempt < maxOpRetries; attempt++ {
+	var last error
+	for bo := c.eng.Backoff(); ; {
 		start, startLen, err := c.locate(key, maxLen)
-		if err != nil {
-			return false, err
-		}
-		ok, err := c.eng.DeleteFrom(start, key, hooks{c})
-		switch {
-		case retriable(err):
-			c.stats.Restarts++
-			c.backoff()
-			maxLen = len(key)
-			continue
-		case err != nil:
-			return false, err
-		}
-		if !ok && startLen > 0 {
-			// The jump may have landed beside the key (hash collision):
-			// deletes must not report absence on a collided path, so
-			// confirm through a shallower start once.
-			leafCheck, cerr := c.eng.SearchFrom(start, key, hooks{c})
-			if cerr == nil && leafCheck != nil && !bytes.Equal(leafCheck.Key, key) {
-				if cp := rart.CommonPrefixLen(leafCheck.Key, key); cp < startLen {
-					c.noteCollision(key, startLen)
-					maxLen = startLen - 1
-					continue
+		if err == nil {
+			var ok bool
+			ok, err = c.eng.DeleteFrom(start, key, hooks{c})
+			if err == nil {
+				if !ok && startLen > 0 {
+					// The jump may have landed beside the key (hash
+					// collision): deletes must not report absence on a
+					// collided path, so confirm through a shallower start
+					// once.
+					leafCheck, cerr := c.eng.SearchFrom(start, key, hooks{c})
+					if cerr == nil && leafCheck != nil && !bytes.Equal(leafCheck.Key, key) {
+						if cp := rart.CommonPrefixLen(leafCheck.Key, key); cp < startLen {
+							c.noteCollision(key, startLen)
+							maxLen = startLen - 1
+							continue
+						}
+					}
 				}
+				return ok, nil
 			}
 		}
-		return ok, nil
+		if !retriable(err) {
+			return false, err
+		}
+		c.stats.Restarts++
+		last = err
+		maxLen = len(key)
+		if !bo.Wait() {
+			return false, exhausted("delete", key, last)
+		}
 	}
-	return false, fmt.Errorf("core: delete retries exhausted for %q", key)
 }
 
 // Scan returns up to limit key-value pairs in [lo, hi], ascending (paper
 // §IV Scan: root-anchored traversal with doorbell-batched node and leaf
-// reads).
+// reads). A nil or empty bound means unbounded on that side; limit 0 means
+// unlimited. Malformed arguments fail with ErrInvalidScan before any round
+// trip is paid.
 func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
 	c.stats.Scans++
-	root, err := c.readRoot()
-	if err != nil {
-		return nil, err
+	if len(lo) == 0 {
+		lo = nil
 	}
-	return c.eng.ScanFrom(root, lo, hi, limit, true)
+	if len(hi) == 0 {
+		hi = nil
+	}
+	if limit < 0 {
+		return nil, fmt.Errorf("%w: negative limit %d", ErrInvalidScan, limit)
+	}
+	if lo != nil && hi != nil && bytes.Compare(lo, hi) > 0 {
+		return nil, fmt.Errorf("%w: lo %q > hi %q", ErrInvalidScan, lo, hi)
+	}
+	var last error
+	for bo := c.eng.Backoff(); ; {
+		root, err := c.readRoot()
+		if err == nil {
+			var kvs []rart.KV
+			kvs, err = c.eng.ScanFrom(root, lo, hi, limit, true)
+			if err == nil {
+				return kvs, nil
+			}
+		}
+		if !retriable(err) {
+			return nil, err
+		}
+		c.stats.Restarts++
+		last = err
+		if !bo.Wait() {
+			return nil, exhausted("scan", lo, last)
+		}
+	}
 }

@@ -1,0 +1,97 @@
+package fabric
+
+import "runtime"
+
+// BackoffPolicy is the shared capped-exponential-backoff-with-jitter used
+// by every retry loop in the client stack (lock acquisition, torn-leaf
+// re-reads, operation-level restarts). Waits are virtual — they advance
+// the client's clock — and jitter comes from the client's deterministic
+// stream, so a retry schedule is reproducible for a given fault-plan seed.
+type BackoffPolicy struct {
+	// BasePs is the first wait. Defaults to 250 ns.
+	BasePs int64
+	// CapPs bounds a single wait. Defaults to 16 µs (8 RTTs).
+	CapPs int64
+	// Budget is the number of waits before the loop gives up and the
+	// operation fails with a retries-exhausted error. Defaults to 256.
+	Budget int
+}
+
+// Default backoff parameters (virtual time).
+const (
+	DefaultBackoffBasePs = 250_000
+	DefaultBackoffCapPs  = 16_000_000
+	DefaultBackoffBudget = 256
+)
+
+func (p BackoffPolicy) basePs() int64 {
+	if p.BasePs <= 0 {
+		return DefaultBackoffBasePs
+	}
+	return p.BasePs
+}
+
+func (p BackoffPolicy) capPs() int64 {
+	if p.CapPs <= 0 {
+		return DefaultBackoffCapPs
+	}
+	return p.CapPs
+}
+
+func (p BackoffPolicy) budget() int {
+	if p.Budget <= 0 {
+		return DefaultBackoffBudget
+	}
+	return p.Budget
+}
+
+// Start begins one retry sequence for the given client.
+func (p BackoffPolicy) Start(c *Client) *Backoff {
+	return &Backoff{pol: p, c: c}
+}
+
+// Backoff is the state of one retry sequence.
+type Backoff struct {
+	pol      BackoffPolicy
+	c        *Client
+	attempts int
+	waitedPs int64
+}
+
+// Attempts returns how many waits have been taken.
+func (b *Backoff) Attempts() int { return b.attempts }
+
+// WaitedPs returns the cumulative virtual time spent waiting in this
+// sequence; lock-steal logic compares it against the lease duration.
+func (b *Backoff) WaitedPs() int64 { return b.waitedPs }
+
+// ResetWatch restarts the cumulative-wait measurement (used when a watched
+// lock changed hands, so the lease observation starts over).
+func (b *Backoff) ResetWatch() { b.waitedPs = 0 }
+
+// Wait blocks (virtually) before the next retry: an exponentially growing,
+// capped, jittered pause on the client's clock. It returns false once the
+// retry budget is exhausted, in which case the caller must give up.
+func (b *Backoff) Wait() bool {
+	if b.attempts >= b.pol.budget() {
+		return false
+	}
+	step := b.pol.basePs()
+	cap := b.pol.capPs()
+	if shift := b.attempts; shift < 20 {
+		step <<= uint(shift)
+	} else {
+		step = cap
+	}
+	if step > cap || step <= 0 {
+		step = cap
+	}
+	// Full jitter over [step/2, step]: desynchronizes competing clients
+	// while keeping each client's schedule deterministic.
+	wait := step/2 + int64(b.c.Rand64()%uint64(step/2+1))
+	b.c.AdvanceClock(wait)
+	b.waitedPs += wait
+	b.attempts++
+	runtime.Gosched()
+	return true
+}

@@ -10,13 +10,20 @@ import (
 
 // Stats accumulates one client's network accounting. Round trips and bytes
 // are the quantities the paper's analysis is phrased in (§III), so the
-// index implementations are validated against them directly in tests.
+// index implementations are validated against them directly in tests. The
+// fault counters record what the installed FaultPlan injected against this
+// client; they stay zero on a fault-free fabric.
 type Stats struct {
 	RoundTrips uint64
 	Verbs      uint64
 	BytesRead  uint64
 	BytesWrite uint64
 	ByKind     [4]uint64
+
+	Transients      uint64 // batches failed with ErrTransient
+	Timeouts        uint64 // batches whose completion was lost (ErrTimeout)
+	NodeDownRejects uint64 // batches rejected by a node-down window
+	Delays          uint64 // latency spikes injected
 }
 
 // Sub returns s - t, field-wise; used to measure a single index operation.
@@ -28,6 +35,10 @@ func (s Stats) Sub(t Stats) Stats {
 	for i := range s.ByKind {
 		s.ByKind[i] -= t.ByKind[i]
 	}
+	s.Transients -= t.Transients
+	s.Timeouts -= t.Timeouts
+	s.NodeDownRejects -= t.NodeDownRejects
+	s.Delays -= t.Delays
 	return s
 }
 
@@ -40,6 +51,10 @@ func (s Stats) Add(t Stats) Stats {
 	for i := range s.ByKind {
 		s.ByKind[i] += t.ByKind[i]
 	}
+	s.Transients += t.Transients
+	s.Timeouts += t.Timeouts
+	s.NodeDownRejects += t.NodeDownRejects
+	s.Delays += t.Delays
 	return s
 }
 
@@ -49,9 +64,18 @@ func (s Stats) Add(t Stats) Stats {
 // paper's systems).
 type Client struct {
 	f       *Fabric
+	id      int
 	clock   int64 // picoseconds of virtual time
 	stats   Stats
 	noBatch bool
+
+	// Fault-injection state: the plan snapshot taken at creation, the
+	// private deterministic random stream, the count of verbs actually
+	// posted (for crash points), and whether the client has crashed.
+	plan    *FaultPlan
+	rng     uint64
+	posted  uint64
+	crashed bool
 }
 
 // SetNoBatch disables doorbell batching for this client: every verb in a
@@ -60,8 +84,38 @@ type Client struct {
 // still execute in posting order.
 func (c *Client) SetNoBatch(v bool) { c.noBatch = v }
 
-// NewClient creates a client with clock zero.
-func (f *Fabric) NewClient() *Client { return &Client{f: f} }
+// NewClient creates a client with clock zero. Client IDs are assigned in
+// creation order; together with the fault plan's seed they determine the
+// client's private fault and jitter stream.
+func (f *Fabric) NewClient() *Client {
+	f.mu.Lock()
+	id := f.nextID
+	f.nextID++
+	plan := f.plan
+	f.mu.Unlock()
+	var seed uint64
+	if plan != nil {
+		seed = plan.Seed
+	}
+	return &Client{
+		f: f, id: id, plan: plan,
+		rng: mix64(seed + 0x9e3779b97f4a7c15*(uint64(id)+1)),
+	}
+}
+
+// ID returns the client's fabric-unique ID (also its lock-lease owner ID).
+func (c *Client) ID() int { return c.id }
+
+// Rand64 draws from the client's private deterministic stream; retry
+// policies use it for jitter so backoff sequences are reproducible.
+func (c *Client) Rand64() uint64 { return splitmix64(&c.rng) }
+
+// Kill marks the client crashed: every subsequent verb fails with
+// ErrClientCrashed. Tests use it to abandon a client mid-protocol.
+func (c *Client) Kill() { c.crashed = true }
+
+// Crashed reports whether the client has passed its crash point.
+func (c *Client) Crashed() bool { return c.crashed }
 
 // Clock returns the client's virtual time in picoseconds.
 func (c *Client) Clock() int64 { return c.clock }
@@ -87,6 +141,9 @@ func (c *Client) Fabric() *Fabric { return c.f }
 func (c *Client) Batch(ops []Op) error {
 	if len(ops) == 0 {
 		return nil
+	}
+	if c.crashed {
+		return faultErr(ErrClientCrashed, "client %d", c.id)
 	}
 	if c.noBatch && len(ops) > 1 {
 		for i := range ops {
@@ -123,6 +180,66 @@ func (c *Client) Batch(ops []Op) error {
 	// Deterministic reservation order keeps runs reproducible.
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 
+	// Fault decisions happen before any byte moves, in a fixed order, so
+	// the injected sequence is a pure function of (plan seed, client ID,
+	// batch sequence) and never of goroutine scheduling.
+	execUpTo := len(ops)
+	var faultRes error
+	var extraPs int64
+	if plan := c.plan; plan != nil {
+		if limit, ok := plan.CrashAfterVerbs[c.id]; ok && c.posted+uint64(len(ops)) > limit {
+			// The batch carrying the Nth posted verb executes only up to
+			// it; the client is dead from here on, taking any locks it
+			// holds to the grave.
+			rem := 0
+			if limit > c.posted {
+				rem = int(limit - c.posted)
+			}
+			for i := 0; i < rem; i++ {
+				if err := c.execute(&ops[i]); err != nil {
+					return err
+				}
+			}
+			c.posted = limit
+			c.crashed = true
+			return faultErr(ErrClientCrashed, "client %d crashed after verb %d", c.id, limit)
+		}
+		for _, id := range order {
+			if w, down := plan.downNode(id, c.clock); down {
+				c.stats.NodeDownRejects++
+				if n, err := c.f.node(id); err == nil {
+					n.nic.chargeFault()
+				}
+				// The rejected attempt still costs a round trip of waiting.
+				c.clock += cfg.RTTPs
+				return faultErr(ErrNodeDown, "node %d down [%dps,%dps)", id, w.FromPs, w.ToPs)
+			}
+		}
+		// Seeded rolls, always three per batch and always in this order,
+		// so one roll's outcome never shifts the stream of the others.
+		rT, rTo, rD := splitmix64(&c.rng), splitmix64(&c.rng), splitmix64(&c.rng)
+		switch {
+		case uint32(rT&0xffff) < plan.TransientPer64k:
+			execUpTo = int((rT >> 16) % uint64(len(ops)))
+			c.stats.Transients++
+			faultRes = faultErr(ErrTransient, "verb %d/%d %v", execUpTo, len(ops), ops[execUpTo].Kind)
+		case uint32(rTo&0xffff) < plan.TimeoutPer64k:
+			c.stats.Timeouts++
+			extraPs = plan.timeoutPs()
+			faultRes = faultErr(ErrTimeout, "batch of %d verbs", len(ops))
+		case uint32(rD&0xffff) < plan.DelayPer64k:
+			c.stats.Delays++
+			extraPs = plan.delayPs()
+		}
+		if faultRes != nil {
+			for _, id := range order {
+				if n, err := c.f.node(id); err == nil {
+					n.nic.chargeFault()
+				}
+			}
+		}
+	}
+
 	completion := start
 	for _, id := range order {
 		n, err := c.f.node(id)
@@ -137,17 +254,20 @@ func (c *Client) Batch(ops []Op) error {
 	}
 
 	// Execute the data movement. Within a batch, verbs execute in posting
-	// order (RDMA guarantees ordering within one QP).
-	for i := range ops {
+	// order (RDMA guarantees ordering within one QP). A transient fault
+	// truncates execution at the failing verb; a timeout executes fully
+	// but the client never learns the outcome.
+	for i := 0; i < execUpTo; i++ {
 		if err := c.execute(&ops[i]); err != nil {
 			return err
 		}
 	}
 
-	c.clock = completion
+	c.posted += uint64(execUpTo)
+	c.clock = completion + extraPs
 	c.stats.RoundTrips++
-	c.stats.Verbs += uint64(len(ops))
-	return nil
+	c.stats.Verbs += uint64(execUpTo)
+	return faultRes
 }
 
 func (c *Client) execute(op *Op) error {

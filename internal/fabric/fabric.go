@@ -124,6 +124,14 @@ type nic struct {
 	busyPs int64
 	verbs  uint64
 	bytes  uint64
+	faults uint64 // injected faults charged to batches targeting this NIC
+}
+
+// chargeFault counts one injected fault against this NIC.
+func (n *nic) chargeFault() {
+	n.mu.Lock()
+	n.faults++
+	n.mu.Unlock()
 }
 
 // reserve books cost picoseconds of NIC time no earlier than notBefore and
@@ -173,9 +181,11 @@ type node struct {
 // memory nodes. Construct it once, attach memory nodes, then create one
 // Client per worker.
 type Fabric struct {
-	cfg   Config
-	mu    sync.Mutex
-	nodes []*node
+	cfg    Config
+	mu     sync.Mutex
+	nodes  []*node
+	plan   *FaultPlan
+	nextID int
 
 	// Trace, if set before any client runs, is invoked after every verb
 	// executes (under no locks). Test-only: used to reconstruct event
@@ -188,6 +198,23 @@ func New(cfg Config) *Fabric { return &Fabric{cfg: cfg} }
 
 // Config returns the fabric's cost model.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// SetFaultPlan installs a fault schedule. Call it before creating the
+// clients that should observe it: each client derives its deterministic
+// fault stream from the plan's seed at creation time. A nil plan (the
+// default) injects nothing and adds no per-verb overhead.
+func (f *Fabric) SetFaultPlan(p *FaultPlan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan = p
+}
+
+// FaultPlan returns the installed fault schedule, or nil.
+func (f *Fabric) FaultPlan() *FaultPlan {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.plan
+}
 
 // AddNode attaches a memory node with a region of the given size and
 // returns its ID. The region's allocator header is initialized.
@@ -272,6 +299,7 @@ type NICStats struct {
 	BusyPs int64
 	Verbs  uint64
 	Bytes  uint64
+	Faults uint64 // injected faults on batches targeting this NIC
 }
 
 // NICStats returns the NIC counters of every node.
@@ -281,7 +309,7 @@ func (f *Fabric) NICStats() []NICStats {
 	out := make([]NICStats, len(f.nodes))
 	for i, n := range f.nodes {
 		n.nic.mu.Lock()
-		out[i] = NICStats{Node: mem.NodeID(i), BusyPs: n.nic.busyPs, Verbs: n.nic.verbs, Bytes: n.nic.bytes}
+		out[i] = NICStats{Node: mem.NodeID(i), BusyPs: n.nic.busyPs, Verbs: n.nic.verbs, Bytes: n.nic.bytes, Faults: n.nic.faults}
 		n.nic.mu.Unlock()
 	}
 	return out

@@ -1,0 +1,132 @@
+// Fault injection: a deterministic, seeded fault model the fabric consults
+// on every doorbell batch, so the client stack's retry and recovery paths
+// can be exercised reproducibly (docs/failure-model.md).
+//
+// Faults are decided per client from a private splitmix64 stream seeded by
+// (plan seed, client ID), so the fault sequence one client observes depends
+// only on the plan and on that client's own batch sequence — never on
+// goroutine scheduling. The same seed therefore yields the same fault
+// sequence, and for a single-threaded workload the same final index state.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"sphinx/internal/mem"
+)
+
+// Typed fault errors. ErrTransient, ErrTimeout and ErrNodeDown are
+// retriable: higher layers back off and redo the operation. ErrClientCrashed
+// is terminal: the client is dead and every subsequent verb fails.
+var (
+	// ErrTransient is a verb that the NIC completed with an error (RNR
+	// NAK, ECC hiccup, dropped ACK on a reliable QP after retries). Verbs
+	// posted before the failing one in the same batch have executed; the
+	// failing verb and everything after it have not.
+	ErrTransient = errors.New("fabric: transient verb failure")
+	// ErrTimeout is a lost completion: the batch executed on the memory
+	// node, but the client never saw the CQE. The client's clock advances
+	// by the timeout before it gives up — the outcome is in doubt.
+	ErrTimeout = errors.New("fabric: completion timed out")
+	// ErrNodeDown is returned for any verb targeting a memory node inside
+	// one of the plan's down windows. Nothing executes.
+	ErrNodeDown = errors.New("fabric: memory node down")
+	// ErrClientCrashed is returned once a client passed its planned crash
+	// point (and forever after): the compute node died mid-operation.
+	ErrClientCrashed = errors.New("fabric: client crashed")
+)
+
+// DownWindow marks one memory node unreachable for a window of virtual
+// time. The window is judged against the observing client's clock, keeping
+// the decision deterministic per client.
+type DownWindow struct {
+	Node   mem.NodeID
+	FromPs int64
+	ToPs   int64
+}
+
+// FaultPlan is a seeded, reproducible fault schedule. Probabilities are
+// per doorbell batch, in parts per 65536, decided from the per-client
+// stream in a fixed order (transient, timeout, delay) so outcomes never
+// depend on which roll fired first. The zero plan injects nothing.
+//
+// Install a plan with Fabric.SetFaultPlan before creating clients.
+type FaultPlan struct {
+	Seed uint64
+
+	// TransientPer64k is the chance (out of 65536) that a batch fails
+	// with ErrTransient after a prefix of its verbs executed.
+	TransientPer64k uint32
+	// TimeoutPer64k is the chance that a batch executes fully but its
+	// completion is lost (ErrTimeout).
+	TimeoutPer64k uint32
+	// TimeoutPs is how much the client's clock advances waiting for a
+	// lost completion. Defaults to DefaultTimeoutPs.
+	TimeoutPs int64
+	// DelayPer64k is the chance of a latency spike: the batch succeeds
+	// but completes DelayPs late.
+	DelayPer64k uint32
+	// DelayPs is the extra completion latency of a spike. Defaults to
+	// DefaultDelayPs.
+	DelayPs int64
+
+	// Down lists node-down windows.
+	Down []DownWindow
+
+	// CrashAfterVerbs kills a client (by ID) after it has posted the
+	// given number of verbs: the batch containing the Nth verb executes
+	// only up to verb N, then the client is dead — including any verbs
+	// that would have released locks it holds.
+	CrashAfterVerbs map[int]uint64
+}
+
+// Default fault timing parameters (virtual time).
+const (
+	DefaultTimeoutPs = 8_000_000  // 8 µs: ~4 RTTs of waiting before giving up
+	DefaultDelayPs   = 20_000_000 // 20 µs spike, an order above the base RTT
+)
+
+func (p *FaultPlan) timeoutPs() int64 {
+	if p.TimeoutPs <= 0 {
+		return DefaultTimeoutPs
+	}
+	return p.TimeoutPs
+}
+
+func (p *FaultPlan) delayPs() int64 {
+	if p.DelayPs <= 0 {
+		return DefaultDelayPs
+	}
+	return p.DelayPs
+}
+
+// downNode returns the down window covering (node, nowPs), if any.
+func (p *FaultPlan) downNode(node mem.NodeID, nowPs int64) (DownWindow, bool) {
+	for _, w := range p.Down {
+		if w.Node == node && nowPs >= w.FromPs && nowPs < w.ToPs {
+			return w, true
+		}
+	}
+	return DownWindow{}, false
+}
+
+// splitmix64 is the per-client deterministic fault/jitter stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// mix64 scrambles a seed; used to derive per-client streams.
+func mix64(v uint64) uint64 {
+	s := v
+	return splitmix64(&s)
+}
+
+// faultErr wraps a typed fault error with batch context.
+func faultErr(base error, format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), base)
+}

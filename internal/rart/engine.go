@@ -3,7 +3,6 @@ package rart
 import (
 	"errors"
 	"fmt"
-	"runtime"
 
 	"sphinx/internal/consistenthash"
 	"sphinx/internal/fabric"
@@ -24,7 +23,9 @@ var (
 	// jump). The caller restarts the operation from the root path.
 	ErrNeedParent = errors.New("rart: split required above the start node")
 
-	errRetries = errors.New("rart: retries exhausted")
+	// ErrRetriesExhausted is the terminal error of every bounded retry
+	// loop in the engine; callers test it with errors.Is.
+	ErrRetriesExhausted = errors.New("rart: retries exhausted")
 )
 
 // Config tunes the engine per system.
@@ -38,11 +39,36 @@ type Config struct {
 	// unknown length. 128 covers a 64-byte value with a ≤40-byte key in
 	// one round trip. 0 selects the default.
 	LeafSpecRead int
-	// MaxRetries bounds retry loops on contended structures.
+	// MaxRetries bounds retry loops on contended structures (it is the
+	// default budget of the Backoff policy).
 	MaxRetries int
+	// LeasePs is the lock lease duration: a waiter that observes the
+	// same lock holder for this much of its own virtual time presumes
+	// the holder dead and steals the lock. It must comfortably exceed
+	// the longest time a live client can hold a lock (a few round trips
+	// plus injected timeouts). 0 selects the default.
+	LeasePs int64
+	// Backoff tunes the shared capped-exponential-backoff-with-jitter
+	// policy used by the engine's retry loops. Zero fields select the
+	// fabric defaults, with MaxRetries as the budget.
+	Backoff fabric.BackoffPolicy
 }
 
-const defaultLeafSpecRead = 128
+const (
+	defaultLeafSpecRead = 128
+	// defaultLeasePs is 500 µs of virtual time: three orders above a
+	// round trip and far beyond any live lock hold, yet short enough
+	// that waiters recover from a crashed holder within one backoff
+	// budget.
+	defaultLeasePs = 500_000_000
+)
+
+func (c Config) leasePs() int64 {
+	if c.LeasePs <= 0 {
+		return defaultLeasePs
+	}
+	return c.LeasePs
+}
 
 func (c Config) leafSpecRead() int {
 	if c.LeafSpecRead <= 0 {
@@ -67,6 +93,48 @@ type Engine struct {
 	Cfg   Config
 
 	regionSizes map[mem.NodeID]uint64
+	stats       EngineStats
+}
+
+// EngineStats counts the engine's lock-recovery events.
+type EngineStats struct {
+	// LockSteals is the number of node leases this client took over from
+	// an apparently dead holder (including reclaiming its own lease after
+	// a fault between acquisition and release).
+	LockSteals uint64
+	// LeafLockBreaks is the number of stuck leaf locks this client broke
+	// after watching them for a full lease.
+	LeafLockBreaks uint64
+	// DeleteRepairs is the number of interrupted deletes this client
+	// finished on another client's behalf (a slot still pointing at an
+	// invalidated leaf).
+	DeleteRepairs uint64
+	// PublishRetries is the number of faulted steps re-driven while
+	// publishing a node type switch (grow) to completion.
+	PublishRetries uint64
+}
+
+// Add returns s + t, field-wise; used to aggregate workers.
+func (s EngineStats) Add(t EngineStats) EngineStats {
+	s.LockSteals += t.LockSteals
+	s.LeafLockBreaks += t.LeafLockBreaks
+	s.DeleteRepairs += t.DeleteRepairs
+	s.PublishRetries += t.PublishRetries
+	return s
+}
+
+// Stats returns a snapshot of the engine's recovery counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Backoff starts one retry sequence under the engine's policy; the
+// index layers above use it for their operation-level restart loops so
+// every retry in the stack follows one schedule.
+func (e *Engine) Backoff() *fabric.Backoff {
+	pol := e.Cfg.Backoff
+	if pol.Budget == 0 {
+		pol.Budget = e.Cfg.maxRetries()
+	}
+	return pol.Start(e.C)
 }
 
 // NewEngine creates an engine over the given client.
@@ -127,7 +195,7 @@ func (e *Engine) ReadNode(addr mem.Addr, hint wire.NodeType) (*Node, error) {
 		}
 		return Decode(addr, buf)
 	}
-	return nil, fmt.Errorf("%w: node at %v kept growing", errRetries, addr)
+	return nil, fmt.Errorf("%w: node at %v kept growing", ErrRetriesExhausted, addr)
 }
 
 // ReadNodeOps prepares a node read for merging into a caller batch.
@@ -148,15 +216,22 @@ type Leaf struct {
 
 // ReadLeaf fetches the leaf at addr, retrying torn or locked images.
 // Usually one round trip (speculative over-read); leaves longer than the
-// speculative size cost one more.
+// speculative size cost one more. A leaf whose lock never clears — the
+// holder crashed between its lock CAS and its single image WRITE — is
+// broken after a full lease of watching: the content under a held leaf
+// lock is still the old, checksum-valid image, so CASing the status back
+// to Idle restores the leaf exactly (docs/failure-model.md).
 func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
 	want := e.clampRead(addr, uint64(e.Cfg.leafSpecRead()))
-	for attempt := 0; attempt < e.Cfg.maxRetries(); attempt++ {
+	bo := e.Backoff()
+	var watching uint64
+	for {
 		buf := make([]byte, want)
 		if err := e.C.Read(addr, buf); err != nil {
 			return nil, err
 		}
-		hdr := wire.DecodeLeafHeader(leUint64(buf))
+		hdrWord := leUint64(buf)
+		hdr := wire.DecodeLeafHeader(hdrWord)
 		if hdr.Status == wire.StatusInvalid {
 			// A retired leaf's content may legitimately disagree with its
 			// header (a racing in-place update); Invalid alone is enough
@@ -170,9 +245,27 @@ func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
 		key, val, st, ok := wire.DecodeLeaf(buf)
 		if !ok || st == wire.StatusLocked {
 			// Torn read (a concurrent in-place update) or a locked leaf:
-			// the writer finishes with a single WRITE, so retry shortly.
-			e.C.AdvanceClock(200_000) // 0.2 µs backoff
-			runtime.Gosched()
+			// a live writer finishes with a single WRITE, so retry shortly.
+			if hdr.Status == wire.StatusLocked {
+				if hdrWord != watching {
+					watching = hdrWord
+					bo.ResetWatch()
+				} else if bo.WaitedPs() >= e.Cfg.leasePs() {
+					old, err := e.C.CompareSwap(addr, hdrWord, wire.WithStatus(hdrWord, wire.StatusIdle))
+					if err != nil {
+						return nil, err
+					}
+					if old == hdrWord {
+						e.stats.LeafLockBreaks++
+					}
+					watching = 0
+					bo.ResetWatch()
+					continue
+				}
+			}
+			if !bo.Wait() {
+				return nil, fmt.Errorf("%w: leaf at %v never stabilized", ErrRetriesExhausted, addr)
+			}
 			continue
 		}
 		return &Leaf{
@@ -183,7 +276,6 @@ func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
 			Value:  append([]byte(nil), val...),
 		}, nil
 	}
-	return nil, fmt.Errorf("%w: leaf at %v never stabilized", errRetries, addr)
 }
 
 // WriteLeaf allocates and writes a fresh leaf for (key, value) on the
@@ -214,33 +306,42 @@ func (e *Engine) WriteNewNode(n *Node, prefix []byte) (*Node, error) {
 	return n, nil
 }
 
-// Lock acquires the node-grained lock on the node at addr and returns a
-// fresh image read under the lock. Each attempt is one round trip: the
-// header CAS and a full re-read ride the same doorbell batch, and the CAS
-// executing first means a winning lock guarantees the trailing read is a
-// stable post-lock snapshot (paper §III-C).
-// expectWord, if non-zero, is the header word the caller last observed,
-// letting the first attempt CAS immediately; pass 0 to start with a read.
-func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectWord uint64) (*Node, error) {
+// Lock acquires the node-grained lease lock on the node at addr and
+// returns a fresh image read under the lock. Each attempt is one round
+// trip: the lease-word CAS and a full re-read ride the same doorbell
+// batch, and the CAS executing first means a winning lock guarantees the
+// trailing read is a stable post-lock snapshot (paper §III-C).
+//
+// The lock is a lease (docs/failure-model.md): acquisition CASes the lease
+// word from 0 to (owner, stamp). A waiter that observes the *same* held
+// lease word for a full Config.LeasePs of its own virtual waiting time
+// presumes the holder crashed and CAS-steals the word — the exact-value
+// CAS lets at most one waiter win, and a concurrent release or steal makes
+// a stale attempt fail harmlessly. A client that finds its own lease on
+// the node (left behind by a fault between its acquisition and release)
+// reclaims it immediately.
+//
+// expectLease is the lease word the caller last observed (from a decoded
+// image), letting a first attempt on a free or self-owned lock CAS
+// immediately; pass 0 when unknown.
+func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectLease uint64) (*Node, error) {
 	want := e.nodeReadSize(hint)
-	expect := expectWord
-	// A lock-free descent can observe a node while another writer holds
-	// it. CASing a Locked word to "Locked" would trivially succeed and
-	// steal the lock, so only an Idle observation is usable as a CAS
-	// expectation; anything else starts with a plain read.
-	if expect != 0 && wire.DecodeNodeHeader(expect).Status != wire.StatusIdle {
-		expect = 0
-	}
-	for attempt := 0; attempt < e.Cfg.maxRetries(); attempt++ {
+	owner := uint16(e.C.ID())
+	leaseAddr := addr.Add(wire.LeaseOff)
+	bo := e.Backoff()
+	expect := expectLease
+	tryCAS := expect == 0 || wire.LeaseOwnedBy(expect, owner)
+	watching := expectLease
+	for {
 		buf := make([]byte, want)
 		ops := make([]fabric.Op, 0, 2)
 		casIdx := -1
-		if expect != 0 {
+		if tryCAS {
 			casIdx = 0
 			ops = append(ops, fabric.Op{
-				Kind: fabric.CAS, Addr: addr,
+				Kind: fabric.CAS, Addr: leaseAddr,
 				Expect:  expect,
-				Desired: wire.WithStatus(expect, wire.StatusLocked),
+				Desired: wire.EncodeLease(owner, e.C.Clock()+e.Cfg.leasePs()),
 			})
 		}
 		ops = append(ops, fabric.Op{Kind: fabric.Read, Addr: addr, Data: buf})
@@ -248,7 +349,15 @@ func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectWord uint64) (*No
 			return nil, err
 		}
 		if casIdx >= 0 && ops[casIdx].Old == expect {
+			if expect != 0 {
+				e.stats.LockSteals++
+			}
 			hdr := wire.DecodeNodeHeader(leUint64(buf))
+			if hdr.Status == wire.StatusInvalid {
+				// Retired while we raced for the lock. Nobody revives a
+				// retired node, so the lease we hold on it is moot.
+				return nil, ErrNodeInvalid
+			}
 			if need := wire.NodeSize(hdr.Type); need > uint64(len(buf)) {
 				// Stale size hint; re-read at full size while holding the
 				// lock, under which the image is stable.
@@ -264,32 +373,45 @@ func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectWord uint64) (*No
 			return n, nil
 		}
 		hdr := wire.DecodeNodeHeader(leUint64(buf))
-		switch {
-		case hdr.Status == wire.StatusInvalid:
+		if hdr.Status == wire.StatusInvalid {
 			return nil, ErrNodeInvalid
-		case hdr.Status == wire.StatusLocked:
-			expect = 0 // somebody else holds it; poll
-			e.C.AdvanceClock(300_000)
-			runtime.Gosched()
+		}
+		if need := wire.NodeSize(hdr.Type); need > want {
+			want = need
+		}
+		lease := leUint64(buf[wire.LeaseOff:])
+		switch {
+		case lease == 0:
+			tryCAS, expect = true, 0
+		case wire.LeaseOwnedBy(lease, owner):
+			// Our own abandoned lease: reclaim without waiting it out.
+			tryCAS, expect = true, lease
+		case lease == watching && bo.WaitedPs() >= e.Cfg.leasePs():
+			// Same holder for a full lease of our waiting: presume dead.
+			tryCAS, expect = true, lease
 		default:
-			if need := wire.NodeSize(hdr.Type); need > want {
-				want = need
+			if lease != watching {
+				watching = lease
+				bo.ResetWatch()
 			}
-			expect = leUint64(buf)
+			tryCAS = false
+		}
+		if !bo.Wait() {
+			return nil, fmt.Errorf("%w: lock on %v", ErrRetriesExhausted, addr)
 		}
 	}
-	return nil, fmt.Errorf("%w: lock on %v", errRetries, addr)
 }
 
-// UnlockOp builds the CAS releasing a lock taken by Lock. It is meant to
+// UnlockOp builds the CAS releasing a lease taken by Lock. It is meant to
 // be piggybacked onto the final doorbell batch of a write operation
-// (paper §IV: "followed by a piggybacked lock release").
+// (paper §IV: "followed by a piggybacked lock release"). The CAS expects
+// our exact lease word, so a release after our lock was presumed dead and
+// stolen fails harmlessly instead of unlocking the thief.
 func (e *Engine) UnlockOp(n *Node) fabric.Op {
-	locked := wire.WithStatus(n.HdrWord, wire.StatusLocked)
 	return fabric.Op{
-		Kind: fabric.CAS, Addr: n.Addr,
-		Expect:  locked,
-		Desired: wire.WithStatus(n.HdrWord, wire.StatusIdle),
+		Kind: fabric.CAS, Addr: n.LeaseAddr(),
+		Expect:  n.LeaseWord,
+		Desired: 0,
 	}
 }
 

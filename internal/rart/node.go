@@ -23,15 +23,17 @@ import (
 )
 
 // Node is a decoded inner-node image together with the address it was read
-// from and the raw header word observed (the CAS expectation for locking).
+// from, the raw header word observed, and the raw lease word (the node lock
+// — the CAS expectation for acquiring, stealing or releasing it).
 type Node struct {
-	Addr    mem.Addr
-	Hdr     wire.NodeHeader
-	HdrWord uint64
-	EOL     wire.Slot
-	Partial []byte
-	Index   []byte   // Node48 only: 256-byte child index
-	Slots   []uint64 // raw slot words; len = capacity
+	Addr      mem.Addr
+	Hdr       wire.NodeHeader
+	HdrWord   uint64
+	LeaseWord uint64
+	EOL       wire.Slot
+	Partial   []byte
+	Index     []byte   // Node48 only: 256-byte child index
+	Slots     []uint64 // raw slot words; len = capacity
 }
 
 // Base returns the length of the full prefix covered before this node's
@@ -65,11 +67,12 @@ func Decode(addr mem.Addr, buf []byte) (*Node, error) {
 		return nil, fmt.Errorf("rart: %v image needs %d bytes, have %d", hdr.Type, size, len(buf))
 	}
 	n := &Node{
-		Addr:    addr,
-		Hdr:     hdr,
-		HdrWord: w,
-		EOL:     wire.DecodeSlot(binary.LittleEndian.Uint64(buf[wire.EOLSlotOff:])),
-		Partial: append([]byte(nil), buf[wire.PartialOff:wire.PartialOff+int(hdr.PartialLen)]...),
+		Addr:      addr,
+		Hdr:       hdr,
+		HdrWord:   w,
+		LeaseWord: binary.LittleEndian.Uint64(buf[wire.LeaseOff:]),
+		EOL:       wire.DecodeSlot(binary.LittleEndian.Uint64(buf[wire.EOLSlotOff:])),
+		Partial:   append([]byte(nil), buf[wire.PartialOff:wire.PartialOff+int(hdr.PartialLen)]...),
 	}
 	if hdr.Type == wire.Node48 {
 		n.Index = append([]byte(nil), buf[wire.SlotBase:wire.SlotBase+wire.Node48IndexSize]...)
@@ -87,6 +90,7 @@ func Decode(addr mem.Addr, buf []byte) (*Node, error) {
 func (n *Node) Encode() []byte {
 	buf := make([]byte, wire.NodeSize(n.Hdr.Type))
 	binary.LittleEndian.PutUint64(buf[wire.HeaderOff:], n.Hdr.Encode())
+	binary.LittleEndian.PutUint64(buf[wire.LeaseOff:], n.LeaseWord)
 	binary.LittleEndian.PutUint64(buf[wire.EOLSlotOff:], n.EOL.Encode())
 	copy(buf[wire.PartialOff:], n.Partial)
 	if n.Hdr.Type == wire.Node48 {
@@ -200,6 +204,9 @@ func (n *Node) SlotAddr(idx int) mem.Addr {
 
 // EOLAddr returns the global address of the EOL slot word.
 func (n *Node) EOLAddr() mem.Addr { return n.Addr.Add(wire.EOLSlotOff) }
+
+// LeaseAddr returns the global address of the lease (lock) word.
+func (n *Node) LeaseAddr() mem.Addr { return n.Addr.Add(wire.LeaseOff) }
 
 // IndexAddr returns the global address of the Node48 index byte for b.
 func (n *Node) IndexAddr(b byte) mem.Addr {

@@ -3,10 +3,11 @@ package rart
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"runtime"
 
 	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
 	"sphinx/internal/wire"
 )
 
@@ -116,6 +117,16 @@ func (e *Engine) SearchFrom(start *Node, key []byte, h Hooks) (*Leaf, error) {
 				return nil, err
 			}
 			if leaf.Status == wire.StatusInvalid {
+				// An invalid leaf still linked from a slot is a delete that
+				// faulted between committing (invalidating the leaf) and
+				// clearing the slot. Finish it; the key is absent.
+				cleared, cerr := e.completeDelete(n, key, leaf.Addr)
+				if cerr != nil {
+					return nil, cerr
+				}
+				if cleared {
+					return nil, nil
+				}
 				return nil, fmt.Errorf("search: leaf %v invalid: %w", leaf.Addr, ErrRestart)
 			}
 			return leaf, nil
@@ -126,7 +137,7 @@ func (e *Engine) SearchFrom(start *Node, key []byte, h Hooks) (*Leaf, error) {
 		}
 		n = child
 	}
-	return nil, fmt.Errorf("%w: descent exceeded max depth", errRetries)
+	return nil, fmt.Errorf("%w: descent exceeded max depth", ErrRetriesExhausted)
 }
 
 // PutFrom inserts or updates key starting from the given node, per mode.
@@ -175,6 +186,12 @@ func (e *Engine) PutFrom(start *Node, key, value []byte, mode PutMode, h Hooks) 
 				return false, err
 			}
 			if leaf.Status == wire.StatusInvalid {
+				// Residue of an interrupted delete (see completeDelete).
+				// Repair, then restart: the retried descent sees a free
+				// slot and installs normally.
+				if _, cerr := e.completeDelete(n, key, leaf.Addr); cerr != nil {
+					return false, cerr
+				}
 				return false, fmt.Errorf("put: leaf %v invalid: %w", leaf.Addr, ErrRestart)
 			}
 			if bytes.Equal(leaf.Key, key) {
@@ -197,14 +214,14 @@ func (e *Engine) PutFrom(start *Node, key, value []byte, mode PutMode, h Hooks) 
 			parent, n = n, child
 		}
 	}
-	return false, fmt.Errorf("%w: descent exceeded max depth", errRetries)
+	return false, fmt.Errorf("%w: descent exceeded max depth", ErrRetriesExhausted)
 }
 
 // lockVerified acquires n's lock and re-verifies that the locked image
 // still has the same depth; callers then re-derive slot state from the
 // fresh image. Returns ErrRestart if the node was invalidated.
 func (e *Engine) lockVerified(n *Node) (*Node, error) {
-	locked, err := e.Lock(n.Addr, n.Hdr.Type, n.HdrWord)
+	locked, err := e.Lock(n.Addr, n.Hdr.Type, n.LeaseWord)
 	if err != nil {
 		if err == ErrNodeInvalid {
 			return nil, fmt.Errorf("lock: node %v invalid: %w", n.Addr, ErrRestart)
@@ -303,18 +320,81 @@ func (e *Engine) growAndInstall(parent, locked *Node, slot wire.Slot, key []byte
 		return fmt.Errorf("grow: parent slot moved on %v: %w", lockedParent.Addr, ErrRestart)
 	}
 	newSlot := wire.Slot{Present: true, KeyByte: edge, ChildType: grownOut.Hdr.Type, Addr: grownOut.Addr}
-	if err := e.C.Batch([]fabric.Op{
+
+	// Publish phase: parent slot → grown, hash entry → grown, original →
+	// invalid. Abandoning this sequence midway would leave the retired
+	// original valid yet reachable through its stale hash entry, and every
+	// later jump-started descent would miss children only the grown copy
+	// has (a permanent false absence). So once the parent slot is
+	// verified, the publish runs to completion under its own backoff.
+	if err := e.completeBatch([]fabric.Op{
 		{Kind: fabric.Write, Addr: lockedParent.SlotAddr(idx), Data: leBytes(newSlot.Encode())},
 		e.UnlockOp(lockedParent),
 	}); err != nil {
 		return err
 	}
-	if err := h.TypeSwitched(prefix, locked, grownOut); err != nil {
+	if err := e.completeHook(func() error { return h.TypeSwitched(prefix, locked, grownOut) }); err != nil {
 		return err
 	}
-	// Invalid both retires the original and releases any waiters on its
-	// lock into a retry (paper §III-C).
-	return e.C.Batch([]fabric.Op{e.InvalidateOp(locked)})
+	// Invalidation both retires the original and releases any waiters on
+	// its lock into a retry (paper §III-C).
+	return e.completeBatch([]fabric.Op{e.InvalidateOp(locked)})
+}
+
+// completeBatch drives one doorbell batch to completion. Only for use
+// past an operation's commit point, where abandoning the batch would
+// strand the structure mid-protocol. A timeout means every verb executed
+// and only the completion was lost, so it counts as done and is never
+// re-issued — re-issuing could clobber state the batch's own trailing
+// unlock already handed to another client. A transient fault failed
+// mid-batch without releasing anything (the unlock, when present, is the
+// last verb), so re-issuing is safe.
+func (e *Engine) completeBatch(ops []fabric.Op) error {
+	bo := e.Backoff()
+	for {
+		err := e.C.Batch(ops)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, fabric.ErrTimeout):
+			e.stats.PublishRetries++
+			return nil
+		case errors.Is(err, fabric.ErrTransient) || errors.Is(err, fabric.ErrNodeDown):
+			e.stats.PublishRetries++
+			if !bo.Wait() {
+				return fmt.Errorf("%w: publish batch", ErrRetriesExhausted)
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// completeHook drives a side-structure publication (a hash-table insert
+// or swap) to completion across fabric faults. By the time these hooks
+// run, the new nodes are already reachable through the tree, and other
+// clients' protocols rely on the publication eventually landing — a later
+// type switch waits for the node's hash entry before swapping it, so an
+// abandoned insert would wedge every grow of that node. The hooks are
+// idempotent (the table insert returns early on an already-present entry),
+// so re-execution is safe.
+func (e *Engine) completeHook(run func() error) error {
+	bo := e.Backoff()
+	for {
+		err := run()
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, fabric.ErrTransient) || errors.Is(err, fabric.ErrTimeout) ||
+			errors.Is(err, fabric.ErrNodeDown):
+			e.stats.PublishRetries++
+			if !bo.Wait() {
+				return fmt.Errorf("%w: hook publication", ErrRetriesExhausted)
+			}
+		default:
+			return err
+		}
+	}
 }
 
 // convertLeaf replaces a leaf edge of n by a chain of inner nodes covering
@@ -390,14 +470,18 @@ func (e *Engine) convertLeaf(n *Node, key, value []byte, oldLeaf *Leaf, h Hooks)
 	}
 	top := chain[len(chain)-1]
 	newSlot := wire.Slot{Present: true, KeyByte: edge, ChildType: top.Hdr.Type, Addr: top.Addr}
-	if err := e.C.Batch([]fabric.Op{
+	// The swing is the commit point; it and the hash publications below
+	// must land even across faults, or a later type switch of a chain node
+	// would wait forever for its hash entry.
+	if err := e.completeBatch([]fabric.Op{
 		{Kind: fabric.Write, Addr: locked.SlotAddr(idx), Data: leBytes(newSlot.Encode())},
 		e.UnlockOp(locked),
 	}); err != nil {
 		return err
 	}
 	for _, node := range chain {
-		if err := h.NewInner(key[:node.Hdr.Depth], node); err != nil {
+		node := node
+		if err := e.completeHook(func() error { return h.NewInner(key[:node.Hdr.Depth], node) }); err != nil {
 			return err
 		}
 	}
@@ -471,7 +555,11 @@ func (e *Engine) splitPartial(parent, child *Node, key, value []byte, h Hooks) e
 	binary.LittleEndian.PutUint64(head[wire.HeaderOff:], newHdr.Encode())
 	binary.LittleEndian.PutUint64(head[wire.EOLSlotOff:], lockedChild.EOL.Encode())
 	copy(head[wire.PartialOff:], lockedChild.Partial[m+1:])
-	if err := e.C.Batch([]fabric.Op{
+	// The head write is the commit point: once the child's partial has
+	// shrunk, descents through the old parent slot fail the prefix-hash
+	// check until mid is published, so the rest of the sequence must land
+	// even across faults.
+	if err := e.completeBatch([]fabric.Op{
 		{Kind: fabric.Write, Addr: lockedChild.Addr, Data: head[:]},
 	}); err != nil {
 		return err
@@ -479,13 +567,13 @@ func (e *Engine) splitPartial(parent, child *Node, key, value []byte, h Hooks) e
 
 	// Publish the new parent and release the old one.
 	newSlot := wire.Slot{Present: true, KeyByte: edge, ChildType: mid.Hdr.Type, Addr: mid.Addr}
-	if err := e.C.Batch([]fabric.Op{
+	if err := e.completeBatch([]fabric.Op{
 		{Kind: fabric.Write, Addr: lockedParent.SlotAddr(idx), Data: leBytes(newSlot.Encode())},
 		e.UnlockOp(lockedParent),
 	}); err != nil {
 		return err
 	}
-	return h.NewInner(key[:splitAt], mid)
+	return e.completeHook(func() error { return h.NewInner(key[:splitAt], mid) })
 }
 
 // updateLeaf applies the paper's update protocol (§III-C, §IV Update):
@@ -536,7 +624,9 @@ func (e *Engine) updateLeaf(n *Node, leaf *Leaf, key, value []byte, eol bool) er
 // updateLeafInPlace is the checksum-based single-WRITE update (§III-C):
 // lock the leaf with one CAS on its header word, then write the whole new
 // image — new value, new checksum, Idle status — in one WRITE that doubles
-// as the lock release.
+// as the lock release. A lock that never clears (its holder crashed before
+// the WRITE; the old image is intact underneath) is broken after a full
+// lease of watching, like ReadLeaf does.
 func (e *Engine) updateLeafInPlace(leaf *Leaf, value []byte) error {
 	units := leaf.Units
 	idleWord := wire.LeafHeader{
@@ -544,7 +634,9 @@ func (e *Engine) updateLeafInPlace(leaf *Leaf, value []byte) error {
 		KeyLen: uint16(len(leaf.Key)), ValLen: uint32(len(leaf.Value)),
 	}.Encode()
 	locked := false
-	for attempt := 0; attempt < e.Cfg.maxRetries(); attempt++ {
+	bo := e.Backoff()
+	var watching uint64
+	for {
 		lockedWord := wire.WithStatus(idleWord, wire.StatusLocked)
 		old, err := e.C.CompareSwap(leaf.Addr, idleWord, lockedWord)
 		if err != nil {
@@ -559,16 +651,32 @@ func (e *Engine) updateLeafInPlace(leaf *Leaf, value []byte) error {
 		case wire.StatusInvalid:
 			return fmt.Errorf("update: leaf %v invalidated: %w", leaf.Addr, ErrRestart)
 		case wire.StatusLocked:
-			e.C.AdvanceClock(300_000)
-			runtime.Gosched() // let the lock holder finish its WRITE
+			if old != watching {
+				watching = old
+				bo.ResetWatch()
+			} else if bo.WaitedPs() >= e.Cfg.leasePs() {
+				// Stuck lock: restore Idle over the intact old image and
+				// retry the acquisition CAS from that word.
+				if broke, err := e.C.CompareSwap(leaf.Addr, old, wire.WithStatus(old, wire.StatusIdle)); err != nil {
+					return err
+				} else if broke == old {
+					e.stats.LeafLockBreaks++
+				}
+				idleWord = wire.WithStatus(old, wire.StatusIdle)
+				watching = 0
+				bo.ResetWatch()
+			}
 		default:
 			// A concurrent in-place update changed the value length;
 			// adopt the observed header and retry the CAS.
 			idleWord = old
 		}
+		if !bo.Wait() {
+			break
+		}
 	}
 	if !locked {
-		return fmt.Errorf("%w: leaf lock at %v", errRetries, leaf.Addr)
+		return fmt.Errorf("%w: leaf lock at %v", ErrRetriesExhausted, leaf.Addr)
 	}
 	// One WRITE carries the new image with status Idle: value write and
 	// lock release combined (the round trip the paper's scheme saves).
@@ -643,6 +751,15 @@ func (e *Engine) DeleteFrom(start *Node, key []byte, h Hooks) (bool, error) {
 			return false, err
 		}
 		if leaf.Status == wire.StatusInvalid {
+			// Residue of an interrupted delete (see completeDelete): finish
+			// the clear. Either way the key is already deleted.
+			cleared, cerr := e.completeDelete(n, key, leaf.Addr)
+			if cerr != nil {
+				return false, cerr
+			}
+			if cleared {
+				return false, nil
+			}
 			return false, fmt.Errorf("delete: leaf %v invalid: %w", leaf.Addr, ErrRestart)
 		}
 		if !bytes.Equal(leaf.Key, key) {
@@ -679,12 +796,58 @@ func (e *Engine) DeleteFrom(start *Node, key []byte, h Hooks) (bool, error) {
 			ops = append(ops, fabric.Op{Kind: fabric.Write, Addr: locked.IndexAddr(key[depth]), Data: []byte{0}})
 		}
 		ops = append(ops, e.UnlockOp(locked))
-		if err := e.C.Batch(ops); err != nil {
+		// The invalidation above was the commit point; drive the clear to
+		// completion so the slot does not linger pointing at a dead leaf
+		// (completeDelete repairs that state, but only when a descent
+		// happens to revisit this edge).
+		if err := e.completeBatch(ops); err != nil {
 			return false, err
 		}
 		return true, nil
 	}
-	return false, fmt.Errorf("%w: descent exceeded max depth", errRetries)
+	return false, fmt.Errorf("%w: descent exceeded max depth", ErrRetriesExhausted)
+}
+
+// completeDelete finishes an interrupted delete on behalf of whoever
+// started it. A slot that still points at an invalidated leaf can only be
+// the residue of a delete that faulted between its commit point (the leaf
+// invalidation) and the slot clear: out-of-place updates repoint the slot
+// before retiring the old leaf, so under the node lock the pairing is
+// unambiguous. Clearing the slot here unblocks every descent through this
+// edge — without the repair, the tree answers ErrRestart on this key
+// forever. Reports whether it cleared the slot; false means the edge
+// moved on and the caller should restart its descent.
+func (e *Engine) completeDelete(n *Node, key []byte, leafAddr mem.Addr) (bool, error) {
+	locked, err := e.lockVerified(n)
+	if err != nil {
+		return false, err
+	}
+	depth := int(locked.Hdr.Depth)
+	var ops []fabric.Op
+	switch {
+	case depth > len(key):
+		// The node was restructured past this key; nothing to repair here.
+	case depth == len(key):
+		if locked.EOL.Present && locked.EOL.Leaf && locked.EOL.Addr == leafAddr {
+			ops = append(ops, fabric.Op{Kind: fabric.Write, Addr: locked.EOLAddr(), Data: leBytes(0)})
+		}
+	default:
+		if ps, idx, ok := locked.Child(key[depth]); ok && ps.Leaf && ps.Addr == leafAddr {
+			ops = append(ops, fabric.Op{Kind: fabric.Write, Addr: locked.SlotAddr(idx), Data: leBytes(0)})
+			if locked.Hdr.Type == wire.Node48 {
+				ops = append(ops, fabric.Op{Kind: fabric.Write, Addr: locked.IndexAddr(key[depth]), Data: []byte{0}})
+			}
+		}
+	}
+	cleared := len(ops) > 0
+	ops = append(ops, e.UnlockOp(locked))
+	if err := e.C.Batch(ops); err != nil {
+		return false, err
+	}
+	if cleared {
+		e.stats.DeleteRepairs++
+	}
+	return cleared, nil
 }
 
 func (e *Engine) unlock(n *Node) error {

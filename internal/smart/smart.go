@@ -23,7 +23,6 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"sphinx/internal/consistenthash"
@@ -69,7 +68,7 @@ type cacheEntry struct {
 	node *rart.Node // treated as immutable once cached
 }
 
-const cachedNodeCost = 32 + 8*256 // wire.NodeSize(Node256)
+const cachedNodeCost = wire.SlotBase + 8*256 // wire.NodeSize(Node256)
 
 // NewNodeCache creates a cache with the given byte budget.
 func NewNodeCache(budget uint64) *NodeCache {
@@ -206,15 +205,10 @@ func (c *Client) Cache() *NodeCache { return c.cache }
 // ClientStats returns the client's counters.
 func (c *Client) ClientStats() Stats { return c.stats }
 
-const maxOpRetries = 256
-
 func retriable(err error) bool {
-	return errors.Is(err, rart.ErrRestart)
-}
-
-func (c *Client) backoff() {
-	c.eng.C.AdvanceClock(500_000)
-	runtime.Gosched()
+	return errors.Is(err, rart.ErrRestart) ||
+		errors.Is(err, fabric.ErrTransient) ||
+		errors.Is(err, fabric.ErrTimeout)
 }
 
 // hooks caches every inner node fetched during remote traversals.
@@ -295,16 +289,18 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 		return nil, false, err
 	}
 	c.stats.Searches++
-	for attempt := 0; attempt < maxOpRetries; attempt++ {
+	for bo := c.eng.Backoff(); ; {
 		start, _, err := c.jump(key)
-		if err != nil {
-			return nil, false, err
+		var leaf *rart.Leaf
+		if err == nil {
+			leaf, err = c.eng.SearchFrom(start, key, hooks{c})
 		}
-		leaf, err := c.eng.SearchFrom(start, key, hooks{c})
 		if retriable(err) {
 			c.stats.Restarts++
-			c.backoff()
-			continue
+			if bo.Wait() {
+				continue
+			}
+			return nil, false, fmt.Errorf("%w: smart search for %q", rart.ErrRetriesExhausted, key)
 		}
 		if err != nil {
 			return nil, false, err
@@ -314,7 +310,6 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 		}
 		return leaf.Value, true, nil
 	}
-	return nil, false, fmt.Errorf("smart: search retries exhausted for %q", key)
 }
 
 // Insert stores value for key (upsert), reporting whether it existed.
@@ -333,12 +328,12 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 	if err := c.checkKey(key); err != nil {
 		return false, err
 	}
-	for attempt := 0; attempt < maxOpRetries; attempt++ {
+	for bo := c.eng.Backoff(); ; {
 		start, depth, err := c.jump(key)
-		if err != nil {
-			return false, err
+		var existed bool
+		if err == nil {
+			existed, err = c.eng.PutFrom(start, key, value, mode, hooks{c})
 		}
-		existed, err := c.eng.PutFrom(start, key, value, mode, hooks{c})
 		switch {
 		case errors.Is(err, rart.ErrNeedParent):
 			// A split is needed at the jump target; its parent is not
@@ -347,18 +342,17 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 			if depth == 0 {
 				return false, fmt.Errorf("smart: split required at root for %q", key)
 			}
-			c.backoff()
-			continue
 		case retriable(err):
 			c.stats.Restarts++
-			c.backoff()
-			continue
 		case err != nil:
 			return false, err
+		default:
+			return existed, nil
 		}
-		return existed, nil
+		if !bo.Wait() {
+			return false, fmt.Errorf("%w: smart put for %q", rart.ErrRetriesExhausted, key)
+		}
 	}
-	return false, fmt.Errorf("smart: put retries exhausted for %q", key)
 }
 
 // Delete removes key, reporting whether it was present.
@@ -367,20 +361,21 @@ func (c *Client) Delete(key []byte) (bool, error) {
 		return false, err
 	}
 	c.stats.Deletes++
-	for attempt := 0; attempt < maxOpRetries; attempt++ {
+	for bo := c.eng.Backoff(); ; {
 		start, _, err := c.jump(key)
-		if err != nil {
-			return false, err
+		var ok bool
+		if err == nil {
+			ok, err = c.eng.DeleteFrom(start, key, hooks{c})
 		}
-		ok, err := c.eng.DeleteFrom(start, key, hooks{c})
 		if retriable(err) {
 			c.stats.Restarts++
-			c.backoff()
-			continue
+			if bo.Wait() {
+				continue
+			}
+			return false, fmt.Errorf("%w: smart delete for %q", rart.ErrRetriesExhausted, key)
 		}
 		return ok, err
 	}
-	return false, fmt.Errorf("smart: delete retries exhausted for %q", key)
 }
 
 // Scan returns up to limit keys in [lo, hi], ascending, using doorbell
@@ -388,11 +383,23 @@ func (c *Client) Delete(key []byte) (bool, error) {
 // YCSB-E for exactly this reason).
 func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
 	c.stats.Scans++
-	root, err := c.eng.ReadNode(c.shared.Root, wire.Node256)
-	if err != nil {
-		return nil, err
+	for bo := c.eng.Backoff(); ; {
+		root, err := c.eng.ReadNode(c.shared.Root, wire.Node256)
+		var kvs []rart.KV
+		if err == nil {
+			kvs, err = c.eng.ScanFrom(root, lo, hi, limit, true)
+		}
+		if err == nil {
+			return kvs, nil
+		}
+		if !retriable(err) {
+			return nil, err
+		}
+		c.stats.Restarts++
+		if !bo.Wait() {
+			return nil, fmt.Errorf("%w: smart scan", rart.ErrRetriesExhausted)
+		}
 	}
-	return c.eng.ScanFrom(root, lo, hi, limit, true)
 }
 
 func (c *Client) checkKey(key []byte) error {

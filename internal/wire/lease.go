@@ -1,0 +1,44 @@
+package wire
+
+// Lease word: the node-grained write lock (docs/failure-model.md). A zero
+// word means unlocked. A non-zero word records who holds the lock and a
+// stamp of the holder's virtual clock at acquisition:
+//
+//	bits  0..47  stamp: holder's clock + lease duration, in ps (truncated)
+//	bits 48..63  owner: holder's client ID + 1 (so a held lease is never 0)
+//
+// The lock is acquired and released with RDMA CAS on this word, which also
+// makes it stealable: a waiter that has watched the *same* lease word for a
+// full lease duration of its own virtual time concludes the holder is dead
+// and CASes the word from the observed value to its own. The CAS-on-exact-
+// value protocol means at most one waiter wins a steal, and a release or a
+// competing steal in the meantime makes the stale steal fail harmlessly.
+//
+// The stamp is diagnostic and an ABA uniquifier (two acquisitions by one
+// client virtually never carry the same clock); expiry is judged on the
+// waiter's clock by watching, not by comparing cross-client clocks, so
+// clock drift between clients cannot cause a false steal.
+const (
+	LeaseStampBits = 48
+	leaseStampMask = 1<<LeaseStampBits - 1
+)
+
+// EncodeLease packs a held lease word for the given owner and stamp.
+func EncodeLease(owner uint16, stampPs int64) uint64 {
+	return uint64(owner+1)<<LeaseStampBits | uint64(stampPs)&leaseStampMask
+}
+
+// DecodeLease unpacks a lease word. held is false for the zero (unlocked)
+// word, in which case owner and stamp are meaningless.
+func DecodeLease(w uint64) (owner uint16, stampPs int64, held bool) {
+	if w == 0 {
+		return 0, 0, false
+	}
+	return uint16(w>>LeaseStampBits) - 1, int64(w & leaseStampMask), true
+}
+
+// LeaseOwnedBy reports whether w is a held lease belonging to owner.
+func LeaseOwnedBy(w uint64, owner uint16) bool {
+	o, _, held := DecodeLease(w)
+	return held && o == owner
+}

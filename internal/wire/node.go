@@ -94,17 +94,19 @@ func (s Status) String() string {
 //	bits 21..62  42-bit full-prefix hash
 //	bit  63      spare
 //
-// Following the header word: the EOL slot (8 B) holding the leaf whose key
-// equals the node's full prefix exactly (this is how keys that are proper
-// prefixes of other keys are stored without terminator bytes), then the
-// inline partial bytes (MaxPartial), then the child slots. Node48 inserts a
-// 256-byte child index between the partial bytes and the slots.
+// Following the header word: the lease word (8 B, the node-grained write
+// lock — see EncodeLease), then the EOL slot (8 B) holding the leaf whose
+// key equals the node's full prefix exactly (this is how keys that are
+// proper prefixes of other keys are stored without terminator bytes), then
+// the inline partial bytes (MaxPartial), then the child slots. Node48
+// inserts a 256-byte child index between the partial bytes and the slots.
 const (
 	HeaderOff  = 0
-	EOLSlotOff = 8
-	PartialOff = 16
+	LeaseOff   = 8
+	EOLSlotOff = 16
+	PartialOff = 24
 	MaxPartial = 16
-	SlotBase   = PartialOff + MaxPartial // 32
+	SlotBase   = PartialOff + MaxPartial // 40
 
 	Node48IndexSize = 256
 
@@ -154,7 +156,7 @@ func WithStatus(w uint64, s Status) uint64 { return w&^uint64(3) | uint64(s)&3 }
 
 // NodeSize returns the total on-wire size in bytes of an inner node of the
 // given type (paper §III-A quotes 40–2056 B for the original ART; ours are
-// 64–2080 B because of the EOL slot).
+// 72–2088 B because of the EOL slot and the lease word).
 func NodeSize(t NodeType) uint64 {
 	n := uint64(SlotBase)
 	if t == Node48 {

@@ -37,10 +37,10 @@ func TestNodeSize(t *testing.T) {
 		t    NodeType
 		want uint64
 	}{
-		{Node4, 32 + 4*8},
-		{Node16, 32 + 16*8},
-		{Node48, 32 + 256 + 48*8},
-		{Node256, 32 + 256*8},
+		{Node4, 40 + 4*8},
+		{Node16, 40 + 16*8},
+		{Node48, 40 + 256 + 48*8},
+		{Node256, 40 + 256*8},
 	}
 	for _, c := range cases {
 		if got := NodeSize(c.t); got != c.want {
@@ -48,17 +48,17 @@ func TestNodeSize(t *testing.T) {
 		}
 	}
 	// The paper's motivation quotes inner nodes of 40–2056 bytes; ours are
-	// 64–2080 (one extra EOL slot + larger partial). Sanity-bound them.
+	// 72–2088 (EOL slot + lease word + larger partial). Sanity-bound them.
 	if NodeSize(Node256) > 2100 {
 		t.Errorf("Node256 size %d grew beyond paper-comparable bounds", NodeSize(Node256))
 	}
 }
 
 func TestSlotsOff(t *testing.T) {
-	if SlotsOff(Node4) != 32 || SlotsOff(Node16) != 32 || SlotsOff(Node256) != 32 {
-		t.Error("SlotsOff for non-48 nodes must be 32")
+	if SlotsOff(Node4) != 40 || SlotsOff(Node16) != 40 || SlotsOff(Node256) != 40 {
+		t.Error("SlotsOff for non-48 nodes must be 40")
 	}
-	if SlotsOff(Node48) != 32+256 {
+	if SlotsOff(Node48) != 40+256 {
 		t.Errorf("SlotsOff(Node48) = %d", SlotsOff(Node48))
 	}
 }
