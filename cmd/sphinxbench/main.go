@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"sphinx/internal/bench"
 	"sphinx/internal/dataset"
@@ -31,8 +32,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print Sphinx routing diagnostics per run")
 	faults := flag.Int("faults", 0, "inject fabric faults at this per-64k rate per batch (transient + timeout); 0 disables")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
+	depth := flag.Int("depth", 1, "per-worker issue depth: in-flight ops per worker with coalesced doorbell batches (Sphinx-family only; pipeline sweeps its own)")
+	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json reports into this directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|valsweep|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|valsweep|pipeline|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,6 +52,7 @@ func main() {
 		MNs:          *mns,
 		CNs:          *cns,
 		Theta:        *theta,
+		Depth:        *depth,
 	}
 	if *faults > 0 {
 		base.Faults = &fabric.FaultPlan{
@@ -73,47 +77,51 @@ func main() {
 	}
 
 	var collected []bench.Result
+	reports := map[string]*bench.JSONReport{}
+	report := func(name string) *bench.JSONReport {
+		if reports[name] == nil {
+			rep := bench.NewJSONReport(name, base)
+			reports[name] = &rep
+		}
+		return reports[name]
+	}
 	run := func(name string) error {
 		for _, cfg := range cfgs {
+			var results []bench.Result
+			var err error
 			switch name {
 			case "fig4":
-				results, err := bench.Fig4(cfg, nil, os.Stdout)
-				if err != nil {
-					return err
-				}
+				results, err = bench.Fig4(cfg, nil, os.Stdout)
 				printDiags(results, *stats)
-				collected = append(collected, results...)
 			case "fig5":
-				results, err := bench.Fig5(cfg, nil, nil, os.Stdout)
-				if err != nil {
-					return err
-				}
+				results, err = bench.Fig5(cfg, nil, nil, os.Stdout)
 				printDiags(results, *stats)
-				collected = append(collected, results...)
 			case "fig6":
-				if _, err := bench.Fig6(cfg, os.Stdout); err != nil {
-					return err
+				var usages []bench.MemUsage
+				usages, err = bench.Fig6(cfg, os.Stdout)
+				if err == nil {
+					rep := report(name)
+					rep.MemUsages = append(rep.MemUsages, usages...)
 				}
 			case "ablation":
-				results, err := bench.Ablation(cfg, os.Stdout)
-				if err != nil {
-					return err
-				}
-				collected = append(collected, results...)
+				results, err = bench.Ablation(cfg, os.Stdout)
 			case "scaling":
-				results, err := bench.Scaling(cfg, nil, os.Stdout)
-				if err != nil {
-					return err
-				}
-				collected = append(collected, results...)
+				results, err = bench.Scaling(cfg, nil, os.Stdout)
 			case "valsweep":
-				results, err := bench.ValueSweep(cfg, nil, os.Stdout)
-				if err != nil {
-					return err
-				}
-				collected = append(collected, results...)
+				results, err = bench.ValueSweep(cfg, nil, os.Stdout)
+			case "pipeline":
+				results, err = bench.PipelineSweep(cfg, nil, os.Stdout)
+				printDiags(results, *stats)
 			default:
 				return fmt.Errorf("unknown experiment %q", name)
+			}
+			if err != nil {
+				return err
+			}
+			if len(results) > 0 {
+				collected = append(collected, results...)
+				rep := report(name)
+				rep.Results = append(rep.Results, results...)
 			}
 			fmt.Println()
 		}
@@ -122,7 +130,7 @@ func main() {
 
 	var err error
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"fig4", "fig5", "fig6", "ablation"} {
+		for _, name := range []string{"fig4", "fig5", "fig6", "ablation", "pipeline"} {
 			if err = run(name); err != nil {
 				break
 			}
@@ -133,6 +141,29 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sphinxbench:", err)
 		os.Exit(1)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sphinxbench:", err)
+			os.Exit(1)
+		}
+		for name, rep := range reports {
+			path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sphinxbench:", err)
+				os.Exit(1)
+			}
+			err = rep.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sphinxbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 	}
 	if *csvPath != "" && len(collected) > 0 {
 		f, err := os.Create(*csvPath)

@@ -84,6 +84,14 @@ type Config struct {
 	// paper's 0.99; lower it toward 0 for near-uniform requests).
 	Theta float64
 
+	// Depth is the per-worker issue depth: how many operations each
+	// worker keeps in flight during the run phase, with same-stage verbs
+	// of concurrent ops coalesced into shared doorbell batches. 1 (the
+	// default) is the sequential client; >1 applies to the Sphinx-family
+	// systems only — SMART and ART keep their sequential clients, as in
+	// the paper. The load phase is always sequential.
+	Depth int
+
 	// Cache budgets in bytes. Zero selects the paper's ratios: Sphinx and
 	// SMART get 20 MB per 480 MB of u64 key bytes (≈4.17%), SMART+C 10×
 	// that — both computed against the u64-equivalent key volume so that
@@ -127,6 +135,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Theta == 0 {
 		c.Theta = ycsb.DefaultTheta
+	}
+	if c.Depth == 0 {
+		c.Depth = 1
 	}
 	u64Bytes := uint64(c.Keys) * 8
 	if c.SphinxCache == 0 {
@@ -265,6 +276,25 @@ func (s artIndex) ScanN(lo []byte, n int) ([]rart.KV, error) {
 }
 func (s artIndex) engine() *rart.Engine { return s.c.Engine() }
 
+// sphinxOptions returns the core.Options for one worker of a
+// Sphinx-family system on the given compute node, or ok=false for the
+// baselines.
+func (cl *Cluster) sphinxOptions(cn int) (core.Options, bool) {
+	switch cl.Sys {
+	case Sphinx, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand:
+		return core.Options{Filter: cl.filters[cn%len(cl.filters)]}, true
+	case SphinxNoSFC:
+		return core.Options{DisableFilter: true}, true
+	case SphinxNoDirCache:
+		return core.Options{
+			Filter:          cl.filters[cn%len(cl.filters)],
+			DisableDirCache: true,
+		}, true
+	default:
+		return core.Options{}, false
+	}
+}
+
 // NewIndex mounts the cluster's system for one worker on the given compute
 // node. The returned index is single-worker; CN-level caches are shared.
 func (cl *Cluster) NewIndex(cn int) (Index, *fabric.Client) {
@@ -272,19 +302,10 @@ func (cl *Cluster) NewIndex(cn int) (Index, *fabric.Client) {
 	if cl.Sys == SphinxNoBatch {
 		fc.SetNoBatch(true)
 	}
+	if opts, ok := cl.sphinxOptions(cn); ok {
+		return sphinxIndex{core.NewClient(cl.sphinxShared, fc, opts)}, fc
+	}
 	switch cl.Sys {
-	case Sphinx, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand:
-		c := core.NewClient(cl.sphinxShared, fc, core.Options{Filter: cl.filters[cn%len(cl.filters)]})
-		return sphinxIndex{c}, fc
-	case SphinxNoSFC:
-		c := core.NewClient(cl.sphinxShared, fc, core.Options{DisableFilter: true})
-		return sphinxIndex{c}, fc
-	case SphinxNoDirCache:
-		c := core.NewClient(cl.sphinxShared, fc, core.Options{
-			Filter:          cl.filters[cn%len(cl.filters)],
-			DisableDirCache: true,
-		})
-		return sphinxIndex{c}, fc
 	case SMART, SMARTC:
 		c := smart.NewClient(cl.smartShared, fc, smart.Options{Cache: cl.caches[cn%len(cl.caches)]})
 		return smartIndex{c}, fc
@@ -294,6 +315,22 @@ func (cl *Cluster) NewIndex(cn int) (Index, *fabric.Client) {
 	default:
 		panic("bench: unknown system")
 	}
+}
+
+// NewPipeline mounts a pipelined Sphinx executor for one worker, or
+// ok=false for the baseline systems, which keep sequential clients. The
+// returned fabric client is the executor's main client: all round trips
+// and bytes account there, exactly as for a sequential worker.
+func (cl *Cluster) NewPipeline(cn int) (*core.Pipeline, *fabric.Client, bool) {
+	opts, ok := cl.sphinxOptions(cn)
+	if !ok {
+		return nil, nil, false
+	}
+	fc := cl.F.NewClient()
+	if cl.Sys == SphinxNoBatch {
+		fc.SetNoBatch(true)
+	}
+	return core.NewPipeline(cl.sphinxShared, fc, opts), fc, true
 }
 
 // Keys exposes the loaded key set (for verification in tests).

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -381,5 +382,79 @@ func TestCrossSystemEquivalence(t *testing.T) {
 	}
 	if images[0] != images[1] || images[1] != images[2] {
 		t.Fatal("systems diverged in final state")
+	}
+}
+
+// TestPipelineSpeedup is the issue-depth acceptance criterion: YCSB-C
+// with a warm filter must run at least 1.5x faster (virtual time) at
+// depth 8 than at depth 1, with fewer round trips per op, because the
+// concurrent ops' same-stage verbs share doorbell batches.
+func TestPipelineSpeedup(t *testing.T) {
+	cfg := smallConfig(dataset.U64)
+	cfg.Keys = 10_000
+	cfg.Workers = 4
+	cfg.OpsPerWorker = 400
+	cl, err := NewCluster(Sphinx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Load(0); err != nil {
+		t.Fatal(err)
+	}
+	run := func(depth int) Result {
+		cl.Cfg.Depth = depth
+		r, err := cl.Run(ycsb.WorkloadC, 0, 0)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if r.Depth != depth {
+			t.Fatalf("result depth = %d, want %d", r.Depth, depth)
+		}
+		return r
+	}
+	d1 := run(1)
+	d8 := run(8)
+	speedup := d8.ThroughputMops / d1.ThroughputMops
+	if speedup < 1.5 {
+		t.Errorf("depth-8 speedup = %.2fx (%.3f vs %.3f Mops), want >= 1.5x",
+			speedup, d8.ThroughputMops, d1.ThroughputMops)
+	}
+	if d8.RoundTripsPerOp >= d1.RoundTripsPerOp {
+		t.Errorf("depth-8 RT/op %.2f not below depth-1 %.2f",
+			d8.RoundTripsPerOp, d1.RoundTripsPerOp)
+	}
+	t.Logf("depth-8 speedup %.2fx, RT/op %.2f -> %.2f", speedup, d1.RoundTripsPerOp, d8.RoundTripsPerOp)
+}
+
+// TestPipelineSweepRuns exercises the experiment end to end at tiny
+// scale, including the JSON artifact it feeds.
+func TestPipelineSweepRuns(t *testing.T) {
+	cfg := smallConfig(dataset.U64)
+	var buf bytes.Buffer
+	results, err := PipelineSweep(cfg, []int{1, 4}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 { // C and A at two depths each
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	if !strings.Contains(buf.String(), "C/d4") {
+		t.Errorf("sweep output missing depth row:\n%s", buf.String())
+	}
+	rep := NewJSONReport("pipeline", cfg)
+	rep.Results = results
+	var out bytes.Buffer
+	if err := rep.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var back JSONReport
+	if err := json.Unmarshal(out.Bytes(), &back); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if back.Experiment != "pipeline" || len(back.Results) != 4 {
+		t.Errorf("round-tripped report: experiment=%q results=%d", back.Experiment, len(back.Results))
+	}
+	if back.Results[1].Depth != 4 || back.Results[1].ThroughputMops <= back.Results[0].ThroughputMops {
+		t.Errorf("depth-4 row %+v not faster than depth-1 %+v", back.Results[1], back.Results[0])
 	}
 }

@@ -227,6 +227,55 @@ func ValueSweep(base Config, sizes []int, out io.Writer) ([]Result, error) {
 	return results, nil
 }
 
+// PipelineDepths is the default issue-depth sweep.
+var PipelineDepths = []int{1, 2, 4, 8, 16}
+
+// PipelineSweep measures pipelined session throughput: Sphinx under
+// YCSB-C (warm filter) and YCSB-A as the per-worker issue depth grows.
+// At depth 1 each worker is the sequential client of the other figures;
+// at depth d, same-stage verbs of the d in-flight ops share doorbell
+// batches, so RT/op falls toward 3/d windows and virtual-time
+// throughput rises until NIC contention bites. The depth-8-vs-1 speedup
+// on YCSB-C is this repository's pipelining acceptance number.
+func PipelineSweep(base Config, depths []int, out io.Writer) ([]Result, error) {
+	if len(depths) == 0 {
+		depths = PipelineDepths
+	}
+	cfg := base.withDefaults()
+	fmt.Fprintf(out, "# Pipeline — Sphinx issue-depth sweep, dataset=%v keys=%d workers=%d\n",
+		cfg.Dataset, cfg.Keys, cfg.Workers)
+	fmt.Fprintln(out, ResultHeader())
+	cl, err := NewCluster(Sphinx, base)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cl.Load(0); err != nil {
+		return nil, fmt.Errorf("pipeline load: %w", err)
+	}
+	var results []Result
+	baseline := map[string]Result{}
+	for _, w := range []ycsb.Workload{ycsb.WorkloadC, ycsb.WorkloadA} {
+		for _, d := range depths {
+			cl.Cfg.Depth = d
+			r, err := cl.Run(w, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline %s depth=%d: %w", w.Name, d, err)
+			}
+			r.Workload = fmt.Sprintf("%s/d%d", w.Name, d)
+			results = append(results, r)
+			fmt.Fprintln(out, r.Row())
+			if d == depths[0] {
+				baseline[w.Name] = r
+			} else if b := baseline[w.Name]; b.ThroughputMops > 0 {
+				fmt.Fprintf(out, "    %s depth %d: %.2fx vs depth %d (%.2f RT/op vs %.2f)\n",
+					w.Name, d, r.ThroughputMops/b.ThroughputMops, b.Depth,
+					r.RoundTripsPerOp, b.RoundTripsPerOp)
+			}
+		}
+	}
+	return results, nil
+}
+
 // WriteCSV renders results as CSV for external plotting.
 func WriteCSV(results []Result, out io.Writer) error {
 	if _, err := fmt.Fprintln(out, "system,workload,dataset,workers,ops,tput_mops,avg_us,p50_us,p99_us,rt_per_op,verbs_per_op,bytes_per_op,filter_hit_pct,fp_per_kop,restarts,transients,timeouts,node_down,lock_steals,leaf_breaks,delete_repairs"); err != nil {

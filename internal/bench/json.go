@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONReport is the machine-readable form of one experiment's results,
+// written as BENCH_<experiment>.json by cmd/sphinxbench so the perf
+// trajectory (throughput, tail latency, RT/op, fault counters) is
+// trackable across changes without parsing tables.
+type JSONReport struct {
+	Experiment   string  `json:"experiment"`
+	Keys         int     `json:"keys"`
+	Workers      int     `json:"workers"`
+	OpsPerWorker int     `json:"ops_per_worker"`
+	Seed         int64   `json:"seed"`
+	Theta        float64 `json:"theta"`
+
+	Results []Result `json:"results,omitempty"`
+	// MemUsages carries fig6's per-system memory accounting (its runs
+	// produce no Result rows).
+	MemUsages []MemUsage `json:"mem_usages,omitempty"`
+}
+
+// NewJSONReport captures the experiment's sweep-invariant settings.
+func NewJSONReport(experiment string, cfg Config) JSONReport {
+	cfg = cfg.withDefaults()
+	return JSONReport{
+		Experiment:   experiment,
+		Keys:         cfg.Keys,
+		Workers:      cfg.Workers,
+		OpsPerWorker: cfg.OpsPerWorker,
+		Seed:         cfg.Seed,
+		Theta:        cfg.Theta,
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rep JSONReport) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -16,40 +16,43 @@ import (
 // reports: throughput in Mops/s and latency in microseconds, both in
 // virtual network time.
 type Result struct {
-	System   string
-	Workload string
-	Dataset  string
-	Workers  int
+	System   string `json:"system"`
+	Workload string `json:"workload"`
+	Dataset  string `json:"dataset"`
+	Workers  int    `json:"workers"`
+	// Depth is the per-worker issue depth the run phase used (1 =
+	// sequential clients).
+	Depth int `json:"depth"`
 
-	Ops            uint64
-	ElapsedPs      int64
-	ThroughputMops float64
-	AvgLatUs       float64
-	P50LatUs       float64
-	P99LatUs       float64
+	Ops            uint64  `json:"ops"`
+	ElapsedPs      int64   `json:"elapsed_ps"`
+	ThroughputMops float64 `json:"tput_mops"`
+	AvgLatUs       float64 `json:"avg_us"`
+	P50LatUs       float64 `json:"p50_us"`
+	P99LatUs       float64 `json:"p99_us"`
 
-	RoundTripsPerOp float64
-	VerbsPerOp      float64
-	BytesPerOp      float64
+	RoundTripsPerOp float64 `json:"rt_per_op"`
+	VerbsPerOp      float64 `json:"verbs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
 
 	// Sphinx-only diagnostics (zero for other systems): how operations
 	// were routed and how often the probabilistic machinery misfired.
-	SphinxFilterHitPct   float64
-	SphinxFPPerKOp       float64
-	SphinxRestartsPerKOp float64
-	SphinxCollisions     uint64
+	SphinxFilterHitPct   float64 `json:"filter_hit_pct,omitempty"`
+	SphinxFPPerKOp       float64 `json:"fp_per_kop,omitempty"`
+	SphinxRestartsPerKOp float64 `json:"restarts_per_kop,omitempty"`
+	SphinxCollisions     uint64  `json:"collisions,omitempty"`
 
 	// Fault and recovery accounting, all systems: nonzero only when a
 	// fault plan is active or locks were contended. Restarts counts
 	// operation-level re-descents; the rest count injected fabric faults
 	// survived and the stuck-lock recovery work performed.
-	Restarts        uint64
-	TransientFaults uint64
-	Timeouts        uint64
-	NodeDownRejects uint64
-	LockSteals      uint64
-	LeafLockBreaks  uint64
-	DeleteRepairs   uint64
+	Restarts        uint64 `json:"restarts,omitempty"`
+	TransientFaults uint64 `json:"transients,omitempty"`
+	Timeouts        uint64 `json:"timeouts,omitempty"`
+	NodeDownRejects uint64 `json:"node_down,omitempty"`
+	LockSteals      uint64 `json:"lock_steals,omitempty"`
+	LeafLockBreaks  uint64 `json:"leaf_breaks,omitempty"`
+	DeleteRepairs   uint64 `json:"delete_repairs,omitempty"`
 }
 
 // Diag renders the Sphinx diagnostics line, or "" for other systems.
@@ -128,8 +131,9 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 		return Result{}, err
 	}
 	r := cl.summarize("LOAD", workers, clients, lats)
-	cl.attachSphinxDiag(&r, idxs)
-	attachRecoveryDiag(&r, idxs)
+	r.Depth = 1 // loading is always sequential
+	cl.attachSphinxDiag(&r, idxs, nil)
+	attachRecoveryDiag(&r, idxs, nil)
 	return r, nil
 }
 
@@ -144,20 +148,38 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 	if opsPerWorker <= 0 {
 		opsPerWorker = cl.Cfg.OpsPerWorker
 	}
+	depth := cl.Cfg.Depth
+	if depth < 1 {
+		depth = 1
+	}
 	cl.F.ResetTimelines() // fresh measurement phase: idle network
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
 	lats := make([][]int64, workers)
 	clients := make([]*fabric.Client, workers)
 	idxs := make([]Index, workers)
+	pls := make([]*core.Pipeline, workers)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
+			gen := ycsb.NewGenerator(w, cl.space, cl.zipf, cl.Cfg.Seed+int64(wk)*7919)
+			if depth > 1 {
+				if pl, fc, ok := cl.NewPipeline(wk % cl.Cfg.CNs); ok {
+					clients[wk] = fc
+					pls[wk] = pl
+					lat, err := runPipelined(pl, gen, cl.value, opsPerWorker, depth)
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d: %w", wk, err)
+						return
+					}
+					lats[wk] = lat
+					return
+				}
+			}
 			idx, fc := cl.NewIndex(wk % cl.Cfg.CNs)
 			clients[wk] = fc
 			idxs[wk] = idx
-			gen := ycsb.NewGenerator(w, cl.space, cl.zipf, cl.Cfg.Seed+int64(wk)*7919)
 			lat := make([]int64, 0, opsPerWorker)
 			for i := 0; i < opsPerWorker; i++ {
 				op := gen.Next()
@@ -188,18 +210,74 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 		return Result{}, err
 	}
 	r := cl.summarize(w.Name, workers, clients, lats)
-	cl.attachSphinxDiag(&r, idxs)
-	attachRecoveryDiag(&r, idxs)
+	r.Depth = depth
+	cl.attachSphinxDiag(&r, idxs, pls)
+	attachRecoveryDiag(&r, idxs, pls)
 	return r, nil
 }
 
-// attachSphinxDiag aggregates Sphinx client counters into the result.
-func (cl *Cluster) attachSphinxDiag(r *Result, idxs []Index) {
+// runPipelined drives one worker's share of a workload through a
+// pipelined executor, one issue window at a time: depth ops in flight,
+// windows of a few depths so that generation (which for YCSB-D tracks
+// the growing key space) never runs far ahead of execution. Per-op
+// latency spans each op's own in-flight window.
+func runPipelined(pl *core.Pipeline, gen *ycsb.Generator, value []byte, total, depth int) ([]int64, error) {
+	lat := make([]int64, 0, total)
+	window := depth * 8
+	opBuf := make([]ycsb.Op, 0, window)
+	pipeOps := make([]*core.PipeOp, window)
+	for i := range pipeOps {
+		pipeOps[i] = &core.PipeOp{}
+	}
+	for done := 0; done < total; {
+		n := window
+		if total-done < n {
+			n = total - done
+		}
+		opBuf = gen.NextN(opBuf[:0], n)
+		for i, op := range opBuf {
+			po := pipeOps[i]
+			*po = core.PipeOp{Key: op.Key}
+			switch op.Kind {
+			case ycsb.OpRead:
+				po.Kind = core.PipeGet
+			case ycsb.OpUpdate:
+				po.Kind = core.PipeUpdate
+				po.Value = value
+			case ycsb.OpInsert:
+				po.Kind = core.PipePut
+				po.Value = value
+			case ycsb.OpScan:
+				po.Kind = core.PipeScan
+				po.Limit = op.ScanLen
+			}
+		}
+		pl.Run(pipeOps[:n], depth)
+		for i, po := range pipeOps[:n] {
+			if po.Err != nil {
+				return nil, fmt.Errorf("op %d (%v): %w", done+i, opBuf[i].Kind, po.Err)
+			}
+			lat = append(lat, po.EndPs-po.StartPs)
+		}
+		done += n
+	}
+	return lat, nil
+}
+
+// attachSphinxDiag aggregates Sphinx client counters into the result,
+// from sequential workers and pipelined executors alike.
+func (cl *Cluster) attachSphinxDiag(r *Result, idxs []Index, pls []*core.Pipeline) {
 	var agg core.Stats
 	found := false
 	for _, ix := range idxs {
 		if si, ok := ix.(sphinxIndex); ok && si.c != nil {
 			agg = agg.Add(si.c.Stats())
+			found = true
+		}
+	}
+	for _, pl := range pls {
+		if pl != nil {
+			agg = agg.Add(pl.Stats())
 			found = true
 		}
 	}
@@ -217,14 +295,20 @@ func (cl *Cluster) attachSphinxDiag(r *Result, idxs []Index) {
 }
 
 // attachRecoveryDiag aggregates node-engine lock-recovery counters; every
-// system's index wrapper exposes its engine.
-func attachRecoveryDiag(r *Result, idxs []Index) {
+// system's index wrapper exposes its engine, and pipelined executors
+// aggregate over their lanes.
+func attachRecoveryDiag(r *Result, idxs []Index, pls []*core.Pipeline) {
 	var agg rart.EngineStats
 	for _, ix := range idxs {
 		if ex, ok := ix.(interface{ engine() *rart.Engine }); ok {
 			if e := ex.engine(); e != nil {
 				agg = agg.Add(e.Stats())
 			}
+		}
+	}
+	for _, pl := range pls {
+		if pl != nil {
+			agg = agg.Add(pl.EngineStats())
 		}
 	}
 	r.LockSteals = agg.LockSteals

@@ -402,3 +402,128 @@ func TestChaosCrashMidWrite(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosPipelinedConvergence drives the mixed-fault oracle workload
+// through pipelined windows: every probabilistic fault class fires under
+// coalesced doorbell flushes, each fault must stay isolated to the
+// in-flight operation it hit (the lane's retry machinery absorbs it, so
+// PipeOp.Err stays nil), and the index must converge to the oracle.
+// Windows use distinct keys so concurrent lanes never race on one key and
+// the oracle stays well-defined.
+func TestChaosPipelinedConvergence(t *testing.T) {
+	f, shared := newCluster(t, 2, fabric.DefaultConfig(), 2000)
+	f.SetFaultPlan(chaosPlan(23))
+	main := f.NewClient()
+	pl := NewPipeline(shared, main, Options{Seed: 11})
+
+	const depth, perWindow, rounds = 6, 24, 50
+	rng := rand.New(rand.NewSource(17))
+	oracle := map[string]string{}
+	ops := make([]*PipeOp, 0, perWindow)
+	for round := 0; round < rounds; round++ {
+		ops = ops[:0]
+		used := map[string]bool{}
+		for len(ops) < perWindow {
+			k := fmt.Sprintf("pchaos-%03d", rng.Intn(240))
+			if used[k] {
+				continue
+			}
+			used[k] = true
+			op := &PipeOp{Key: []byte(k)}
+			switch rng.Intn(5) {
+			case 0, 1:
+				op.Kind = PipePut
+				op.Value = []byte(fmt.Sprintf("r%d.%d", round, len(ops)))
+			case 2:
+				op.Kind = PipeDelete
+			default:
+				op.Kind = PipeGet
+			}
+			ops = append(ops, op)
+		}
+		pl.Run(ops, depth)
+		for _, op := range ops {
+			k := string(op.Key)
+			if op.Err != nil {
+				t.Fatalf("round %d: %q err = %v (faults must be absorbed per lane)", round, k, op.Err)
+			}
+			want, existed := oracle[k]
+			switch op.Kind {
+			case PipePut:
+				// Found is not checked: a faulted-and-retried insert can
+				// observe its own first attempt and report the key present.
+				oracle[k] = string(op.Value)
+			case PipeDelete:
+				delete(oracle, k)
+			case PipeGet:
+				if op.Found != existed || (existed && string(op.Val) != want) {
+					t.Fatalf("round %d: get %q = %q,%v want %q,%v", round, k, op.Val, op.Found, want, existed)
+				}
+			}
+		}
+	}
+
+	st := main.Stats()
+	if st.Transients == 0 || st.Timeouts == 0 || st.Delays == 0 {
+		t.Fatalf("pipelined workload did not exercise every fault class: %+v", st)
+	}
+	if flushes, verbs := pl.Pipe().Coalesced(); flushes == 0 || verbs == 0 {
+		t.Fatal("no coalesced flushes; the windows ran effectively sequentially")
+	}
+
+	// The final contents, read fault-free, must match the oracle exactly.
+	f.SetFaultPlan(nil)
+	verify := newTestClient(f, shared, Options{})
+	kvs, err := verify.Scan(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != len(oracle) {
+		t.Fatalf("final scan has %d keys, oracle has %d", len(kvs), len(oracle))
+	}
+	for _, kv := range kvs {
+		if oracle[string(kv.Key)] != string(kv.Value) {
+			t.Fatalf("final %q = %q, oracle %q", kv.Key, kv.Value, oracle[string(kv.Key)])
+		}
+	}
+}
+
+// TestChaosPipelinedNodeDown: a pipelined window issued against a downed
+// memory node blocks in lane backoff like a sequential client would, then
+// completes once the window passes — no op may fail or be dropped.
+func TestChaosPipelinedNodeDown(t *testing.T) {
+	f, shared := newCluster(t, 2, fabric.DefaultConfig(), 2000)
+	nodeIDs := shared.Ring.Nodes()
+	f.SetFaultPlan(&fabric.FaultPlan{
+		Seed: 9,
+		Down: []fabric.DownWindow{{Node: nodeIDs[0], FromPs: 0, ToPs: 300_000_000}},
+	})
+	main := f.NewClient()
+	pl := NewPipeline(shared, main, Options{Seed: 3})
+	const n = 48
+	ops := make([]*PipeOp, n)
+	for i := range ops {
+		ops[i] = &PipeOp{
+			Kind:  PipePut,
+			Key:   []byte(fmt.Sprintf("pdown-%03d", i)),
+			Value: []byte("v"),
+		}
+	}
+	pl.Run(ops, 8)
+	for _, op := range ops {
+		if op.Err != nil {
+			t.Fatalf("put %q: %v", op.Key, op.Err)
+		}
+	}
+	if main.Stats().NodeDownRejects == 0 {
+		t.Fatal("no operation ever hit the down window; test exercises nothing")
+	}
+	f.SetFaultPlan(nil)
+	verify := newTestClient(f, shared, Options{})
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("pdown-%03d", i))
+		if _, ok, err := verify.Search(k); err != nil || !ok {
+			t.Fatalf("%q lost across the down window: %v", k, err)
+		}
+	}
+}

@@ -199,6 +199,13 @@ type Client struct {
 	filter *FilterCache
 	opts   Options
 	stats  Stats
+
+	// Warm-path scratch, reused across operations (clients are
+	// single-goroutine). Valid only within one locate step.
+	candScratch []racehash.Candidate
+	opScratch   []fabric.Op
+	bufScratch  [][]byte
+	nodeScratch []*rart.Node
 }
 
 // NewClient mounts a Sphinx index over one fabric client.

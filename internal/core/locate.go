@@ -58,7 +58,8 @@ func (c *Client) fetchValidated(prefix []byte) (*rart.Node, error) {
 	view := c.viewFor(prefix)
 	h42 := racehash.PlacementHash(prefix)
 	fp := wire.FP12(prefix)
-	cands, err := view.Lookup(h42, fp)
+	cands, err := view.LookupAppend(c.candScratch[:0], h42, fp)
+	c.candScratch = cands
 	if err != nil {
 		return nil, err
 	}
@@ -95,32 +96,38 @@ func (c *Client) validPrefixNode(n *rart.Node, prefix []byte) bool {
 }
 
 // readCandidates fetches candidate inner nodes in one doorbell batch.
-// Entries whose size hint proved stale are re-read individually.
+// Entries whose size hint proved stale are re-read individually. The
+// returned slice is client-owned scratch, valid until the next locate step.
 func (c *Client) readCandidates(cands []racehash.Candidate) ([]*rart.Node, error) {
-	ops := make([]fabric.Op, 0, len(cands))
-	bufs := make([][]byte, len(cands))
-	for i, cand := range cands {
-		op, buf := c.eng.ReadNodeOps(cand.Entry.Addr, cand.Entry.Type)
-		ops = append(ops, op...)
-		bufs[i] = buf
+	ops := c.opScratch[:0]
+	bufs := c.bufScratch[:0]
+	for _, cand := range cands {
+		var buf []byte
+		ops, buf = c.eng.AppendNodeRead(ops, cand.Entry.Addr, cand.Entry.Type)
+		bufs = append(bufs, buf)
 	}
+	c.opScratch, c.bufScratch = ops, bufs
 	if err := c.eng.C.Batch(ops); err != nil {
+		for _, buf := range bufs {
+			c.eng.ReleaseBuf(buf)
+		}
 		return nil, err
 	}
-	nodes := make([]*rart.Node, len(cands))
+	nodes := c.nodeScratch[:0]
 	for i, cand := range cands {
 		n, err := rart.Decode(cand.Entry.Addr, bufs[i])
+		c.eng.ReleaseBuf(bufs[i])
 		if err != nil {
 			// Stale size hint or garbage behind a collided entry: retry
 			// once at full fidelity, and treat a second failure as a
 			// non-candidate rather than an operation error.
-			n, err = c.eng.ReadNode(cand.Entry.Addr, cand.Entry.Type)
-			if err != nil {
-				continue
+			if n, err = c.eng.ReadNode(cand.Entry.Addr, cand.Entry.Type); err != nil {
+				n = nil
 			}
 		}
-		nodes[i] = n
+		nodes = append(nodes, n)
 	}
+	c.nodeScratch = nodes
 	return nodes, nil
 }
 
@@ -149,7 +156,7 @@ func (c *Client) locateParallel(key []byte, maxLen int) (*rart.Node, int, error)
 			h42: racehash.PlacementHash(prefix), fp: wire.FP12(prefix),
 			read: p,
 		})
-		ops = append(ops, p.Ops()...)
+		ops = p.AppendOps(ops)
 	}
 	if len(ops) > 0 {
 		if err := c.eng.C.Batch(ops); err != nil {

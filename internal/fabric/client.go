@@ -3,7 +3,6 @@ package fabric
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"sphinx/internal/mem"
 )
@@ -68,6 +67,12 @@ type Client struct {
 	clock   int64 // picoseconds of virtual time
 	stats   Stats
 	noBatch bool
+
+	// pipe, when non-nil, marks this client as a pipeline lane: its
+	// doorbell batches are handed to the pipe, which coalesces the
+	// batches of all runnable lanes into one flush on the pipe's main
+	// client. See pipe.go.
+	pipe *Pipe
 
 	// Fault-injection state: the plan snapshot taken at creation, the
 	// private deterministic random stream, the count of verbs actually
@@ -139,46 +144,77 @@ func (c *Client) Fabric() *Fabric { return c.f }
 // can be performed in a single round trip" (§III-A) and its piggybacked
 // lock acquisition/release (§IV).
 func (c *Client) Batch(ops []Op) error {
+	if c.pipe != nil {
+		return c.pipe.submit(c, ops)
+	}
+	_, err := c.run(ops)
+	return err
+}
+
+// nodeShare accumulates one target NIC's slice of a batch.
+type nodeShare struct {
+	node  mem.NodeID
+	cost  int64
+	verbs int
+	bytes uint64
+}
+
+// run executes ops as one doorbell batch on this client, reporting how
+// many leading verbs actually moved data. The count is what a coalescing
+// pipe needs to demultiplex a partial (transient) failure back onto the
+// in-flight operations that contributed verbs to the batch; Batch callers
+// only see the error.
+func (c *Client) run(ops []Op) (int, error) {
 	if len(ops) == 0 {
-		return nil
+		return 0, nil
 	}
 	if c.crashed {
-		return faultErr(ErrClientCrashed, "client %d", c.id)
+		return 0, faultErr(ErrClientCrashed, "client %d", c.id)
 	}
 	if c.noBatch && len(ops) > 1 {
+		done := 0
 		for i := range ops {
-			if err := c.Batch(ops[i : i+1]); err != nil {
-				return err
+			n, err := c.run(ops[i : i+1])
+			done += n
+			if err != nil {
+				return done, err
 			}
 		}
-		return nil
+		return done, nil
 	}
 	cfg := c.f.cfg
 	start := c.clock + cfg.ClientVerbPs*int64(len(ops))
 
-	// Charge each target NIC once per batch with that node's share.
-	type share struct {
-		cost  int64
-		verbs int
-		bytes uint64
-	}
-	shares := make(map[mem.NodeID]*share)
-	order := make([]mem.NodeID, 0, 2)
+	// Charge each target NIC once per batch with that node's share. A
+	// batch rarely spans more than a few nodes, so a small linear table
+	// (stack-allocated, unlike a map) holds the shares; it is kept sorted
+	// by node ID so the reservation order is deterministic.
+	var shareBuf [4]nodeShare
+	shares := shareBuf[:0]
 	for i := range ops {
 		op := &ops[i]
 		b := opBytes(op)
-		sh := shares[op.Addr.Node()]
+		node := op.Addr.Node()
+		var sh *nodeShare
+		for j := range shares {
+			if shares[j].node == node {
+				sh = &shares[j]
+				break
+			}
+		}
 		if sh == nil {
-			sh = &share{}
-			shares[op.Addr.Node()] = sh
-			order = append(order, op.Addr.Node())
+			shares = append(shares, nodeShare{node: node})
+			sh = &shares[len(shares)-1]
 		}
 		sh.cost += cfg.PerVerbPs + (cfg.PerByteFs*int64(b)+999)/1000
 		sh.verbs++
 		sh.bytes += b
 	}
-	// Deterministic reservation order keeps runs reproducible.
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for i := 1; i < len(shares); i++ {
+		for j := i; j > 0 && shares[j].node < shares[j-1].node; j-- {
+			shares[j], shares[j-1] = shares[j-1], shares[j]
+		}
+	}
 
 	// Fault decisions happen before any byte moves, in a fixed order, so
 	// the injected sequence is a pure function of (plan seed, client ID,
@@ -197,22 +233,22 @@ func (c *Client) Batch(ops []Op) error {
 			}
 			for i := 0; i < rem; i++ {
 				if err := c.execute(&ops[i]); err != nil {
-					return err
+					return i, err
 				}
 			}
 			c.posted = limit
 			c.crashed = true
-			return faultErr(ErrClientCrashed, "client %d crashed after verb %d", c.id, limit)
+			return rem, faultErr(ErrClientCrashed, "client %d crashed after verb %d", c.id, limit)
 		}
-		for _, id := range order {
-			if w, down := plan.downNode(id, c.clock); down {
+		for _, sh := range shares {
+			if w, down := plan.downNode(sh.node, c.clock); down {
 				c.stats.NodeDownRejects++
-				if n, err := c.f.node(id); err == nil {
+				if n, err := c.f.node(sh.node); err == nil {
 					n.nic.chargeFault()
 				}
 				// The rejected attempt still costs a round trip of waiting.
 				c.clock += cfg.RTTPs
-				return faultErr(ErrNodeDown, "node %d down [%dps,%dps)", id, w.FromPs, w.ToPs)
+				return 0, faultErr(ErrNodeDown, "node %d down [%dps,%dps)", sh.node, w.FromPs, w.ToPs)
 			}
 		}
 		// Seeded rolls, always three per batch and always in this order,
@@ -232,8 +268,8 @@ func (c *Client) Batch(ops []Op) error {
 			extraPs = plan.delayPs()
 		}
 		if faultRes != nil {
-			for _, id := range order {
-				if n, err := c.f.node(id); err == nil {
+			for _, sh := range shares {
+				if n, err := c.f.node(sh.node); err == nil {
 					n.nic.chargeFault()
 				}
 			}
@@ -241,12 +277,12 @@ func (c *Client) Batch(ops []Op) error {
 	}
 
 	completion := start
-	for _, id := range order {
-		n, err := c.f.node(id)
+	for i := range shares {
+		sh := &shares[i]
+		n, err := c.f.node(sh.node)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		sh := shares[id]
 		s := n.nic.reserve(start, sh.cost, sh.verbs, sh.bytes)
 		if fin := s + sh.cost + cfg.RTTPs; fin > completion {
 			completion = fin
@@ -259,7 +295,7 @@ func (c *Client) Batch(ops []Op) error {
 	// but the client never learns the outcome.
 	for i := 0; i < execUpTo; i++ {
 		if err := c.execute(&ops[i]); err != nil {
-			return err
+			return i, err
 		}
 	}
 
@@ -267,7 +303,7 @@ func (c *Client) Batch(ops []Op) error {
 	c.clock = completion + extraPs
 	c.stats.RoundTrips++
 	c.stats.Verbs += uint64(execUpTo)
-	return faultRes
+	return execUpTo, faultRes
 }
 
 func (c *Client) execute(op *Op) error {

@@ -1,0 +1,231 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sphinx/internal/mem"
+)
+
+// runLanes drives each lane's batch sequence on its own goroutine inside
+// one BeginLanes/Done window, mirroring how core.Pipeline uses the pipe.
+func runLanes(p *Pipe, lanes []*Client, work func(i int, lane *Client)) {
+	p.BeginLanes(lanes)
+	var wg sync.WaitGroup
+	for i := range lanes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer p.Done(lanes[i])
+			work(i, lanes[i])
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestPipeCoalescesLaneBatches(t *testing.T) {
+	f, id := newTestFabric(DefaultConfig())
+	main := f.NewClient()
+	p := NewPipe(main)
+	const lanesN = 4
+	lanes := make([]*Client, lanesN)
+	for i := range lanes {
+		lanes[i] = p.NewLane()
+	}
+	// Each lane writes then reads its own word: two batch rounds.
+	runLanes(p, lanes, func(i int, lane *Client) {
+		addr := mem.NewAddr(id, uint64(64+8*i))
+		if err := lane.WriteUint64(addr, uint64(100+i)); err != nil {
+			t.Error(err)
+			return
+		}
+		v, err := lane.ReadUint64(addr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if v != uint64(100+i) {
+			t.Errorf("lane %d read %d", i, v)
+		}
+	})
+	st := main.Stats()
+	if st.RoundTrips != 2 {
+		t.Errorf("RoundTrips = %d, want 2 (one per coalesced stage)", st.RoundTrips)
+	}
+	if st.Verbs != 2*lanesN {
+		t.Errorf("Verbs = %d, want %d", st.Verbs, 2*lanesN)
+	}
+	for i, lane := range lanes {
+		if ls := lane.Stats(); ls != (Stats{}) {
+			t.Errorf("lane %d accumulated stats %+v; all accounting belongs to main", i, ls)
+		}
+		if lane.Clock() != main.Clock() {
+			t.Errorf("lane %d clock %d != main %d", i, lane.Clock(), main.Clock())
+		}
+	}
+	if fl, verbs := p.Coalesced(); fl != 2 || verbs != 2*lanesN {
+		t.Errorf("Coalesced() = (%d, %d), want (2, %d)", fl, verbs, 2*lanesN)
+	}
+}
+
+func TestPipeCASOldCopyback(t *testing.T) {
+	f, id := newTestFabric(InstantConfig())
+	main := f.NewClient()
+	p := NewPipe(main)
+	addr := mem.NewAddr(id, 128)
+	lanes := []*Client{p.NewLane(), p.NewLane()}
+	olds := make([]uint64, len(lanes))
+	runLanes(p, lanes, func(i int, lane *Client) {
+		old, err := lane.FetchAdd(addr, 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		olds[i] = old
+	})
+	// Merged flush executes in lane-ID order: pre-images must be 0, 10.
+	if olds[0] != 0 || olds[1] != 10 {
+		t.Errorf("FAA pre-images = %v, want [0 10]", olds)
+	}
+	if v, _ := main.ReadUint64(addr); v != 20 {
+		t.Errorf("counter = %d, want 20", v)
+	}
+}
+
+func TestPipeSingleLaneMatchesSequential(t *testing.T) {
+	cfg := DefaultConfig()
+	f, id := newTestFabric(cfg)
+	seq := f.NewClient()
+
+	f2 := New(cfg)
+	id2 := f2.AddNode(1 << 20)
+	if id2 != id {
+		t.Fatalf("node ids diverge: %d vs %d", id2, id)
+	}
+	main := f2.NewClient()
+	p := NewPipe(main)
+	lane := p.NewLane()
+
+	buf := make([]byte, 64)
+	for i := 0; i < 5; i++ {
+		addr := mem.NewAddr(id, uint64(512+64*i))
+		if err := seq.Write(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.Read(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runLanes(p, []*Client{lane}, func(_ int, lane *Client) {
+		for i := 0; i < 5; i++ {
+			addr := mem.NewAddr(id2, uint64(512+64*i))
+			if err := lane.Write(addr, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := lane.Read(addr, buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if s, m := seq.Stats(), main.Stats(); s != m {
+		t.Errorf("depth-1 pipe stats %+v != sequential %+v", m, s)
+	}
+	if seq.Clock() != main.Clock() {
+		t.Errorf("depth-1 pipe clock %d != sequential %d", main.Clock(), seq.Clock())
+	}
+}
+
+// TestPipeTransientDemux forces every batch to fail transiently and
+// checks the per-lane demux invariant: a lane fails only if the
+// truncation point landed inside or before its verb range, so an
+// earlier-ordered lane never fails while a later one succeeds.
+func TestPipeTransientDemux(t *testing.T) {
+	f := New(DefaultConfig())
+	id := f.AddNode(1 << 20)
+	f.SetFaultPlan(&FaultPlan{Seed: 7, TransientPer64k: 1 << 16}) // always
+	main := f.NewClient()
+	p := NewPipe(main)
+	lanes := []*Client{p.NewLane(), p.NewLane(), p.NewLane()}
+
+	var mu sync.Mutex
+	errsByRound := make([][]error, 8)
+	for r := range errsByRound {
+		errsByRound[r] = make([]error, len(lanes))
+	}
+	runLanes(p, lanes, func(i int, lane *Client) {
+		var word [8]byte
+		for r := 0; r < len(errsByRound); r++ {
+			err := lane.Read(mem.NewAddr(id, uint64(8*i)), word[:])
+			mu.Lock()
+			errsByRound[r][i] = err
+			mu.Unlock()
+		}
+	})
+	sawPartial := false
+	for r, errs := range errsByRound {
+		for i, err := range errs {
+			if err != nil && !errors.Is(err, ErrTransient) {
+				t.Fatalf("round %d lane %d: unexpected error %v", r, i, err)
+			}
+			if i > 0 && errs[i-1] != nil && err == nil {
+				t.Errorf("round %d: lane %d failed but later lane %d succeeded", r, i-1, i)
+			}
+		}
+		if errs[0] == nil && errs[len(errs)-1] != nil {
+			sawPartial = true
+		}
+		_ = r
+	}
+	if !sawPartial {
+		t.Error("no round demuxed a partial success; truncation points never split the lanes")
+	}
+	if st := main.Stats(); st.Transients != uint64(len(errsByRound)) {
+		t.Errorf("Transients = %d, want %d (one roll set per flush)", st.Transients, len(errsByRound))
+	}
+}
+
+// TestPipeFlushAfterDone checks that a lane finishing its work releases
+// the flush it was holding back.
+func TestPipeFlushAfterDone(t *testing.T) {
+	f, id := newTestFabric(DefaultConfig())
+	main := f.NewClient()
+	p := NewPipe(main)
+	lanes := []*Client{p.NewLane(), p.NewLane()}
+	var word [8]byte
+	runLanes(p, lanes, func(i int, lane *Client) {
+		rounds := 1 + 2*i // lane 0 posts 1 batch, lane 1 posts 3
+		for r := 0; r < rounds; r++ {
+			if err := lane.Read(mem.NewAddr(id, uint64(8*i)), word[:]); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	// Flush 1 carries both lanes; lane 1's remaining 2 batches flush alone.
+	if got := p.Flushes(); got != 3 {
+		t.Errorf("Flushes = %d, want 3", got)
+	}
+	if st := main.Stats(); st.RoundTrips != 3 || st.Verbs != 4 {
+		t.Errorf("stats = %d RTs / %d verbs, want 3 / 4", st.RoundTrips, st.Verbs)
+	}
+}
+
+// TestPipeIdleDirectExecution: outside a BeginLanes window a lane's
+// batches execute immediately, one flush each.
+func TestPipeIdleDirectExecution(t *testing.T) {
+	f, id := newTestFabric(DefaultConfig())
+	main := f.NewClient()
+	p := NewPipe(main)
+	lane := p.NewLane()
+	var word [8]byte
+	for i := 0; i < 3; i++ {
+		if err := lane.Read(mem.NewAddr(id, 0), word[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := main.Stats(); st.RoundTrips != 3 {
+		t.Errorf("RoundTrips = %d, want 3", st.RoundTrips)
+	}
+}

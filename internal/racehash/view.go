@@ -39,6 +39,10 @@ type View struct {
 	dir     []uint64
 	noCache bool
 	stats   Stats
+	// scratch backs LookupAppend's bucket read, sparing the warm read path
+	// one PreparedRead allocation per lookup. Only the lookup path may use
+	// it: mutations hold their reads across nested reads (waitSplit).
+	scratch PreparedRead
 }
 
 // NewView creates a view; the directory cache is fetched lazily on first
@@ -123,26 +127,40 @@ type PreparedRead struct {
 // first-use directory fetch) — unless the view runs without a directory
 // cache, in which case the resolution itself is two dependent round trips.
 func (v *View) Prepare(h uint64) (*PreparedRead, error) {
-	if v.noCache {
-		return v.prepareUncached(h)
-	}
-	if err := v.ensureDir(); err != nil {
+	p := new(PreparedRead)
+	if err := v.prepareInto(p, h); err != nil {
 		return nil, err
 	}
-	seg, _ := v.segFor(h)
-	b1, b2 := bucketPair(h)
-	p := &PreparedRead{view: v, h: h}
-	p.addrs[0] = seg.Add(uint64(b1) * BucketSize)
-	p.addrs[1] = seg.Add(uint64(b2) * BucketSize)
 	return p, nil
 }
 
-// Ops returns the two READ verbs of the prepared bucket-pair fetch.
-func (p *PreparedRead) Ops() []fabric.Op {
-	return []fabric.Op{
-		{Kind: fabric.Read, Addr: p.addrs[0], Data: p.bufs[0][:]},
-		{Kind: fabric.Read, Addr: p.addrs[1], Data: p.bufs[1][:]},
+// prepareInto is Prepare into caller-provided storage.
+func (v *View) prepareInto(p *PreparedRead, h uint64) error {
+	if v.noCache {
+		return v.prepareUncached(p, h)
 	}
+	if err := v.ensureDir(); err != nil {
+		return err
+	}
+	seg, _ := v.segFor(h)
+	b1, b2 := bucketPair(h)
+	p.view, p.h = v, h
+	p.addrs[0] = seg.Add(uint64(b1) * BucketSize)
+	p.addrs[1] = seg.Add(uint64(b2) * BucketSize)
+	return nil
+}
+
+// Ops returns the two READ verbs of the prepared bucket-pair fetch.
+func (p *PreparedRead) Ops() []fabric.Op { return p.AppendOps(nil) }
+
+// AppendOps appends the two READ verbs of the prepared bucket-pair fetch
+// to ops, letting callers assemble multi-prefix batches without per-read
+// slice allocations.
+func (p *PreparedRead) AppendOps(ops []fabric.Op) []fabric.Op {
+	return append(ops,
+		fabric.Op{Kind: fabric.Read, Addr: p.addrs[0], Data: p.bufs[0][:]},
+		fabric.Op{Kind: fabric.Read, Addr: p.addrs[1], Data: p.bufs[1][:]},
+	)
 }
 
 // Valid reports whether the fetched buckets belong to the hash — i.e. the
@@ -154,8 +172,11 @@ func (p *PreparedRead) Valid() bool {
 }
 
 // Candidates scans the fetched buckets for entries matching fp.
-func (p *PreparedRead) Candidates(fp uint16) []Candidate {
-	var out []Candidate
+func (p *PreparedRead) Candidates(fp uint16) []Candidate { return p.AppendCandidates(nil, fp) }
+
+// AppendCandidates appends the entries matching fp to out. Candidates are
+// self-contained values: they stay valid after the PreparedRead is reused.
+func (p *PreparedRead) AppendCandidates(out []Candidate, fp uint16) []Candidate {
 	for b := 0; b < 2; b++ {
 		for s := 0; s < EntriesPerBucket; s++ {
 			w := getUint64(p.bufs[b][8*(1+s):])
@@ -208,15 +229,15 @@ func (p *PreparedRead) find(word uint64) (slot mem.Addr, hdr uint64, ok bool) {
 
 // prepareUncached resolves h by reading the meta word and the directory
 // entry remotely.
-func (v *View) prepareUncached(h uint64) (*PreparedRead, error) {
+func (v *View) prepareUncached(p *PreparedRead, h uint64) error {
 	w, err := v.c.ReadUint64(v.t.Meta.Add(metaWordOff))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	depth, dirAddr := unpackMeta(w)
 	dw, err := v.c.ReadUint64(dirAddr.Add((h & depthMask(depth)) * 8))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	_, seg := unpackDirEntry(dw)
 	// Keep the transient state consistent for split paths that consult
@@ -224,10 +245,10 @@ func (v *View) prepareUncached(h uint64) (*PreparedRead, error) {
 	v.depth = depth
 	v.dirAddr = dirAddr
 	b1, b2 := bucketPair(h)
-	p := &PreparedRead{view: v, h: h}
+	p.view, p.h = v, h
 	p.addrs[0] = seg.Add(uint64(b1) * BucketSize)
 	p.addrs[1] = seg.Add(uint64(b2) * BucketSize)
-	return p, nil
+	return nil
 }
 
 // Refresh discards and refetches the directory cache.
@@ -236,33 +257,48 @@ func (v *View) Refresh() error { return v.refresh() }
 // read performs a validated bucket-pair read, refreshing the directory
 // cache as needed. One round trip in the common case.
 func (v *View) read(h uint64) (*PreparedRead, error) {
+	p := new(PreparedRead)
+	if err := v.readInto(p, h); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// readInto is read into caller-provided storage.
+func (v *View) readInto(p *PreparedRead, h uint64) error {
+	var opsArr [2]fabric.Op
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		p, err := v.Prepare(h)
-		if err != nil {
-			return nil, err
+		if err := v.prepareInto(p, h); err != nil {
+			return err
 		}
-		if err := v.c.Batch(p.Ops()); err != nil {
-			return nil, err
+		if err := v.c.Batch(p.AppendOps(opsArr[:0])); err != nil {
+			return err
 		}
 		if p.Valid() {
-			return p, nil
+			return nil
 		}
 		if err := v.refresh(); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return nil, fmt.Errorf("%w: bucket read for h=%#x", ErrRetryExhausted, h)
+	return fmt.Errorf("%w: bucket read for h=%#x", ErrRetryExhausted, h)
 }
 
 // Lookup returns all entries whose fingerprint matches fp in the candidate
 // buckets of h. One round trip with a warm directory cache.
 func (v *View) Lookup(h uint64, fp uint16) ([]Candidate, error) {
+	return v.LookupAppend(nil, h, fp)
+}
+
+// LookupAppend is Lookup with caller-provided result storage; the bucket
+// read itself reuses view-held scratch, so a warm hit in already-grown dst
+// allocates nothing.
+func (v *View) LookupAppend(dst []Candidate, h uint64, fp uint16) ([]Candidate, error) {
 	v.stats.Lookups++
-	p, err := v.read(h)
-	if err != nil {
-		return nil, err
+	if err := v.readInto(&v.scratch, h); err != nil {
+		return dst, err
 	}
-	return p.Candidates(fp), nil
+	return v.scratch.AppendCandidates(dst, fp), nil
 }
 
 // casChecked CASes an entry slot and, in the same doorbell batch, re-reads

@@ -94,6 +94,39 @@ type Engine struct {
 
 	regionSizes map[mem.NodeID]uint64
 	stats       EngineStats
+	// bufs is a free list of read buffers for the hot path (node and leaf
+	// fetches). Engines are per-worker, so it needs no locking; Decode
+	// copies everything it keeps, so a buffer is reusable the moment the
+	// image is decoded.
+	bufs [][]byte
+}
+
+// maxPooledBufs caps the free list; beyond it buffers are dropped to the GC.
+const maxPooledBufs = 16
+
+// grabBuf returns a zero-fill-free read buffer of length n, reusing a
+// pooled one when large enough.
+func (e *Engine) grabBuf(n uint64) []byte {
+	for i := len(e.bufs) - 1; i >= 0; i-- {
+		if b := e.bufs[i]; uint64(cap(b)) >= n {
+			last := len(e.bufs) - 1
+			e.bufs[i] = e.bufs[last]
+			e.bufs[last] = nil
+			e.bufs = e.bufs[:last]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// ReleaseBuf returns a read buffer to the engine's free list. Callers of
+// AppendNodeRead release the buffer once the image is decoded; the buffer
+// must not be referenced afterwards (decoded nodes are safe to keep).
+func (e *Engine) ReleaseBuf(b []byte) {
+	if cap(b) == 0 || len(e.bufs) >= maxPooledBufs {
+		return
+	}
+	e.bufs = append(e.bufs, b)
 }
 
 // EngineStats counts the engine's lock-recovery events.
@@ -184,24 +217,31 @@ func (e *Engine) clampRead(addr mem.Addr, want uint64) uint64 {
 func (e *Engine) ReadNode(addr mem.Addr, hint wire.NodeType) (*Node, error) {
 	want := e.nodeReadSize(hint)
 	for attempt := 0; attempt < 2; attempt++ {
-		buf := make([]byte, want)
+		buf := e.grabBuf(want)
 		if err := e.C.Read(addr, buf); err != nil {
+			e.ReleaseBuf(buf)
 			return nil, err
 		}
 		hdr := wire.DecodeNodeHeader(leUint64(buf))
 		if need := wire.NodeSize(hdr.Type); need > want {
 			want = need
+			e.ReleaseBuf(buf)
 			continue
 		}
-		return Decode(addr, buf)
+		n, err := Decode(addr, buf)
+		e.ReleaseBuf(buf)
+		return n, err
 	}
 	return nil, fmt.Errorf("%w: node at %v kept growing", ErrRetriesExhausted, addr)
 }
 
-// ReadNodeOps prepares a node read for merging into a caller batch.
-func (e *Engine) ReadNodeOps(addr mem.Addr, hint wire.NodeType) ([]fabric.Op, []byte) {
-	buf := make([]byte, e.nodeReadSize(hint))
-	return []fabric.Op{{Kind: fabric.Read, Addr: addr, Data: buf}}, buf
+// AppendNodeRead appends the READ fetching the node at addr to ops, for
+// merging into a larger doorbell batch, and returns the extended ops along
+// with the destination buffer. The buffer comes from the engine's free
+// list; the caller passes it back via ReleaseBuf once the image is decoded.
+func (e *Engine) AppendNodeRead(ops []fabric.Op, addr mem.Addr, hint wire.NodeType) ([]fabric.Op, []byte) {
+	buf := e.grabBuf(e.nodeReadSize(hint))
+	return append(ops, fabric.Op{Kind: fabric.Read, Addr: addr, Data: buf}), buf
 }
 
 // Leaf is a decoded leaf image. Units is the leaf's allocated footprint in
@@ -226,8 +266,9 @@ func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
 	bo := e.Backoff()
 	var watching uint64
 	for {
-		buf := make([]byte, want)
+		buf := e.grabBuf(want)
 		if err := e.C.Read(addr, buf); err != nil {
+			e.ReleaseBuf(buf)
 			return nil, err
 		}
 		hdrWord := leUint64(buf)
@@ -236,16 +277,19 @@ func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
 			// A retired leaf's content may legitimately disagree with its
 			// header (a racing in-place update); Invalid alone is enough
 			// for the caller to restart.
+			e.ReleaseBuf(buf)
 			return &Leaf{Addr: addr, Status: wire.StatusInvalid, Units: hdr.Units}, nil
 		}
 		if need := uint64(hdr.Units) * wire.LeafUnit; need > uint64(len(buf)) {
 			want = e.clampRead(addr, need)
+			e.ReleaseBuf(buf)
 			continue
 		}
 		key, val, st, ok := wire.DecodeLeaf(buf)
 		if !ok || st == wire.StatusLocked {
 			// Torn read (a concurrent in-place update) or a locked leaf:
 			// a live writer finishes with a single WRITE, so retry shortly.
+			e.ReleaseBuf(buf)
 			if hdr.Status == wire.StatusLocked {
 				if hdrWord != watching {
 					watching = hdrWord
@@ -268,13 +312,20 @@ func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
 			}
 			continue
 		}
-		return &Leaf{
+		// Copy key and value out through one backing array (the decoded
+		// slices alias buf, which goes back to the free list).
+		kv := make([]byte, len(key)+len(val))
+		copy(kv, key)
+		copy(kv[len(key):], val)
+		l := &Leaf{
 			Addr:   addr,
 			Status: st,
 			Units:  hdr.Units,
-			Key:    append([]byte(nil), key...),
-			Value:  append([]byte(nil), val...),
-		}, nil
+			Key:    kv[:len(key):len(key)],
+			Value:  kv[len(key):],
+		}
+		e.ReleaseBuf(buf)
+		return l, nil
 	}
 }
 
@@ -332,9 +383,10 @@ func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectLease uint64) (*N
 	expect := expectLease
 	tryCAS := expect == 0 || wire.LeaseOwnedBy(expect, owner)
 	watching := expectLease
+	var opsArr [2]fabric.Op
 	for {
-		buf := make([]byte, want)
-		ops := make([]fabric.Op, 0, 2)
+		buf := e.grabBuf(want)
+		ops := opsArr[:0]
 		casIdx := -1
 		if tryCAS {
 			casIdx = 0
@@ -346,6 +398,7 @@ func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectLease uint64) (*N
 		}
 		ops = append(ops, fabric.Op{Kind: fabric.Read, Addr: addr, Data: buf})
 		if err := e.C.Batch(ops); err != nil {
+			e.ReleaseBuf(buf)
 			return nil, err
 		}
 		if casIdx >= 0 && ops[casIdx].Old == expect {
@@ -356,17 +409,21 @@ func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectLease uint64) (*N
 			if hdr.Status == wire.StatusInvalid {
 				// Retired while we raced for the lock. Nobody revives a
 				// retired node, so the lease we hold on it is moot.
+				e.ReleaseBuf(buf)
 				return nil, ErrNodeInvalid
 			}
 			if need := wire.NodeSize(hdr.Type); need > uint64(len(buf)) {
 				// Stale size hint; re-read at full size while holding the
 				// lock, under which the image is stable.
-				buf = make([]byte, need)
+				e.ReleaseBuf(buf)
+				buf = e.grabBuf(need)
 				if err := e.C.Read(addr, buf); err != nil {
+					e.ReleaseBuf(buf)
 					return nil, err
 				}
 			}
 			n, err := Decode(addr, buf)
+			e.ReleaseBuf(buf)
 			if err != nil {
 				return nil, err
 			}
@@ -374,12 +431,14 @@ func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectLease uint64) (*N
 		}
 		hdr := wire.DecodeNodeHeader(leUint64(buf))
 		if hdr.Status == wire.StatusInvalid {
+			e.ReleaseBuf(buf)
 			return nil, ErrNodeInvalid
 		}
 		if need := wire.NodeSize(hdr.Type); need > want {
 			want = need
 		}
 		lease := leUint64(buf[wire.LeaseOff:])
+		e.ReleaseBuf(buf)
 		switch {
 		case lease == 0:
 			tryCAS, expect = true, 0

@@ -144,6 +144,17 @@ func (g *Generator) Next() Op {
 	}
 }
 
+// NextN appends the next n operations to dst and returns it. Pipelined
+// workers generate one issue window at a time, so distributions that
+// depend on the loaded key count (YCSB-D's latest) stay at most one
+// window stale.
+func (g *Generator) NextN(dst []Op, n int) []Op {
+	for i := 0; i < n; i++ {
+		dst = append(dst, g.Next())
+	}
+	return dst
+}
+
 // chooseKey picks a request key per the workload's distribution.
 func (g *Generator) chooseKey() []byte {
 	if g.w.Latest {

@@ -19,6 +19,10 @@ type Session struct {
 	sphinx *core.Client
 	smart  *smart.Client
 	art    *artdm.Client
+
+	// pl is the session's pipelined executor (Sphinx only), created on
+	// first use and kept so its lanes' directory caches stay warm.
+	pl *core.Pipeline
 }
 
 // NewSession opens a session on this compute node.
@@ -165,6 +169,9 @@ func (s *Session) SphinxStats() (SphinxCounters, bool) {
 		return SphinxCounters{}, false
 	}
 	st := s.sphinx.Stats()
+	if s.pl != nil {
+		st = st.Add(s.pl.Stats())
+	}
 	return SphinxCounters{
 		Searches: st.Searches, Inserts: st.Inserts, Updates: st.Updates,
 		Deletes: st.Deletes, Scans: st.Scans,
