@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"sphinx/internal/bench"
 	"sphinx/internal/dataset"
@@ -34,6 +35,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	depth := flag.Int("depth", 1, "per-worker issue depth: in-flight ops per worker with coalesced doorbell batches (Sphinx-family only; pipeline sweeps its own)")
 	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json reports into this directory")
+	metrics := flag.Bool("metrics", false, "record per-op and per-stage histograms and emit a metrics section per result (fails the run if round-trip totals do not reconcile)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|valsweep|pipeline|all\n", os.Args[0])
 		flag.PrintDefaults()
@@ -53,6 +55,7 @@ func main() {
 		CNs:          *cns,
 		Theta:        *theta,
 		Depth:        *depth,
+		Metrics:      *metrics,
 	}
 	if *faults > 0 {
 		base.Faults = &fabric.FaultPlan{
@@ -141,6 +144,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sphinxbench:", err)
 		os.Exit(1)
+	}
+	if *metrics {
+		// The metrics section is only trustworthy if its histograms account
+		// for every round trip the fabric counted. Baselines may hold
+		// round trips outside per-op attribution, so only the Sphinx-family
+		// verdicts are hard failures.
+		bad := 0
+		for _, r := range collected {
+			if r.Metrics == nil {
+				continue
+			}
+			if !r.Metrics.RTReconciled && strings.HasPrefix(r.System, "Sphinx") {
+				fmt.Fprintf(os.Stderr, "sphinxbench: %s %s depth=%d: round trips do not reconcile (op %d, stage %d, fabric %d)\n",
+					r.System, r.Workload, r.Depth,
+					r.Metrics.OpRTTotal, r.Metrics.StageRTTotal, r.Metrics.FabricRoundTrips)
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "sphinxbench: %d result(s) failed metrics reconciliation\n", bad)
+			os.Exit(1)
+		}
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {

@@ -46,7 +46,7 @@ func main() {
 	}
 	session := cluster.NewComputeNode().NewSession()
 	fmt.Printf("%v cluster ready (3 memory nodes, simulated RDMA)\n", sys)
-	fmt.Println("commands: get K | put K V | update K V | del K | scan LO HI [N] | stats | mem | help | quit")
+	fmt.Println("commands: get K | put K V | update K V | del K | scan LO HI [N] | trace OP ... | stats | metrics | mem | help | quit")
 
 	in := bufio.NewScanner(os.Stdin)
 	for {
@@ -64,7 +64,21 @@ func main() {
 		case cmd == "quit" || cmd == "exit":
 			return
 		case cmd == "help":
-			fmt.Println("get K | put K V | update K V | del K | scan LO HI [N] | stats | mem | quit")
+			fmt.Println("get K | put K V | update K V | del K | scan LO HI [N] | stats | metrics | mem | quit")
+			fmt.Println("trace get K | trace put K V | trace update K V | trace del K  — one op's round-trip timeline")
+			continue
+		case cmd == "trace" && len(fields) >= 3:
+			tr, err := traceOp(session, fields[1:])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(tr.Format())
+			continue
+		case cmd == "metrics":
+			if err := session.Registry().Snapshot().WritePrometheus(os.Stdout, "sphinx"); err != nil {
+				fmt.Println("error:", err)
+			}
 			continue
 		case cmd == "stats":
 			st := session.Stats()
@@ -117,6 +131,37 @@ func main() {
 		d := session.Stats()
 		fmt.Printf("  (%d round trips, %.1f µs)\n",
 			d.RoundTrips-before.RoundTrips, float64(d.ClockPs-before.ClockPs)/1e6)
+	}
+}
+
+// traceOp runs one operation under Session.Trace. The op's own outcome
+// (found / not found) is part of the timeline's value, so only hard
+// errors are reported.
+func traceOp(s *sphinx.Session, args []string) (*sphinx.Trace, error) {
+	op := strings.ToLower(args[0])
+	key := []byte(args[1])
+	switch {
+	case op == "get":
+		return s.Trace("get "+args[1], func() error {
+			_, _, err := s.Get(key)
+			return err
+		})
+	case op == "del" || op == "delete":
+		return s.Trace("del "+args[1], func() error {
+			_, err := s.Delete(key)
+			return err
+		})
+	case op == "put" && len(args) == 3:
+		return s.Trace("put "+args[1], func() error {
+			return s.Put(key, []byte(args[2]))
+		})
+	case op == "update" && len(args) == 3:
+		return s.Trace("update "+args[1], func() error {
+			_, err := s.Update(key, []byte(args[2]))
+			return err
+		})
+	default:
+		return nil, fmt.Errorf("trace: usage: trace get K | trace put K V | trace update K V | trace del K")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sphinx/internal/dataset"
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
+	"sphinx/internal/obs"
 	"sphinx/internal/rart"
 	"sphinx/internal/smart"
 	"sphinx/internal/ycsb"
@@ -106,6 +107,12 @@ type Config struct {
 	// counters (Result.FaultLine) become nonzero. See
 	// docs/failure-model.md.
 	Faults *fabric.FaultPlan
+
+	// Metrics enables per-phase observability: every worker client gets a
+	// shared obs.Metrics batch observer and each operation's latency and
+	// round trips are recorded, producing a Result.Metrics section whose
+	// per-stage round-trip totals reconcile against the fabric counters.
+	Metrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +186,11 @@ type Cluster struct {
 	artShared    artdm.Shared
 	filters      []*core.FilterCache // per CN
 	caches       []*smart.NodeCache  // per CN
+
+	// runMetrics is the current measurement phase's metric set, created
+	// fresh at the top of Load and Run when Cfg.Metrics is set and shared
+	// by every worker client of that phase (obs.Metrics is atomic).
+	runMetrics *obs.Metrics
 }
 
 // NewCluster builds the fabric, bootstraps the system and generates the
@@ -280,19 +292,26 @@ func (s artIndex) engine() *rart.Engine { return s.c.Engine() }
 // Sphinx-family system on the given compute node, or ok=false for the
 // baselines.
 func (cl *Cluster) sphinxOptions(cn int) (core.Options, bool) {
+	var o core.Options
 	switch cl.Sys {
 	case Sphinx, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand:
-		return core.Options{Filter: cl.filters[cn%len(cl.filters)]}, true
+		o = core.Options{Filter: cl.filters[cn%len(cl.filters)]}
 	case SphinxNoSFC:
-		return core.Options{DisableFilter: true}, true
+		o = core.Options{DisableFilter: true}
 	case SphinxNoDirCache:
-		return core.Options{
+		o = core.Options{
 			Filter:          cl.filters[cn%len(cl.filters)],
 			DisableDirCache: true,
-		}, true
+		}
 	default:
 		return core.Options{}, false
 	}
+	// The nil guard matters: assigning a nil *obs.Metrics unconditionally
+	// would make the interface field non-nil and panic on first event.
+	if cl.runMetrics != nil {
+		o.Observer = cl.runMetrics
+	}
+	return o, true
 }
 
 // NewIndex mounts the cluster's system for one worker on the given compute
@@ -301,6 +320,9 @@ func (cl *Cluster) NewIndex(cn int) (Index, *fabric.Client) {
 	fc := cl.F.NewClient()
 	if cl.Sys == SphinxNoBatch {
 		fc.SetNoBatch(true)
+	}
+	if cl.runMetrics != nil {
+		fc.SetObserver(cl.runMetrics)
 	}
 	if opts, ok := cl.sphinxOptions(cn); ok {
 		return sphinxIndex{core.NewClient(cl.sphinxShared, fc, opts)}, fc
@@ -329,6 +351,9 @@ func (cl *Cluster) NewPipeline(cn int) (*core.Pipeline, *fabric.Client, bool) {
 	fc := cl.F.NewClient()
 	if cl.Sys == SphinxNoBatch {
 		fc.SetNoBatch(true)
+	}
+	if cl.runMetrics != nil {
+		fc.SetObserver(cl.runMetrics)
 	}
 	return core.NewPipeline(cl.sphinxShared, fc, opts), fc, true
 }

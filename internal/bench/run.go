@@ -8,6 +8,7 @@ import (
 	"sphinx/internal/core"
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
+	"sphinx/internal/obs"
 	"sphinx/internal/rart"
 	"sphinx/internal/ycsb"
 )
@@ -53,6 +54,16 @@ type Result struct {
 	LockSteals      uint64 `json:"lock_steals,omitempty"`
 	LeafLockBreaks  uint64 `json:"leaf_breaks,omitempty"`
 	DeleteRepairs   uint64 `json:"delete_repairs,omitempty"`
+
+	// RoundTrips is the phase's absolute fabric round-trip total (the
+	// denominator of the metrics reconciliation check). Present only when
+	// Config.Metrics is set.
+	RoundTrips uint64 `json:"round_trips,omitempty"`
+
+	// Metrics is the phase's observability section: per-op and per-stage
+	// histograms plus the round-trip reconciliation verdict. Present only
+	// when Config.Metrics is set.
+	Metrics *MetricsBlock `json:"metrics,omitempty"`
 }
 
 // Diag renders the Sphinx diagnostics line, or "" for other systems.
@@ -99,6 +110,7 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 		workers = cl.Cfg.Workers
 	}
 	cl.F.ResetTimelines() // fresh measurement phase: idle network
+	cl.beginPhaseMetrics()
 	keys := cl.keys
 	value := cl.value
 	var wg sync.WaitGroup
@@ -115,12 +127,15 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 			idxs[w] = idx
 			lat := make([]int64, 0, len(keys)/workers+1)
 			for i := w; i < len(keys); i += workers {
-				start := fc.Clock()
+				start, rt0 := fc.Clock(), fc.RoundTrips()
 				if _, err := idx.Insert(keys[i], value); err != nil {
 					errCh <- fmt.Errorf("load worker %d key %d: %w", w, i, err)
 					return
 				}
 				lat = append(lat, fc.Clock()-start)
+				if cl.runMetrics != nil {
+					cl.runMetrics.ObserveOp(obs.OpPut, fc.Clock()-start, fc.RoundTrips()-rt0)
+				}
 			}
 			lats[w] = lat
 		}(w)
@@ -134,6 +149,7 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 	r.Depth = 1 // loading is always sequential
 	cl.attachSphinxDiag(&r, idxs, nil)
 	attachRecoveryDiag(&r, idxs, nil)
+	cl.attachMetrics(&r)
 	return r, nil
 }
 
@@ -153,6 +169,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 		depth = 1
 	}
 	cl.F.ResetTimelines() // fresh measurement phase: idle network
+	cl.beginPhaseMetrics()
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
 	lats := make([][]int64, workers)
@@ -168,7 +185,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 				if pl, fc, ok := cl.NewPipeline(wk % cl.Cfg.CNs); ok {
 					clients[wk] = fc
 					pls[wk] = pl
-					lat, err := runPipelined(pl, gen, cl.value, opsPerWorker, depth)
+					lat, err := runPipelined(pl, gen, cl.value, opsPerWorker, depth, cl.runMetrics)
 					if err != nil {
 						errCh <- fmt.Errorf("worker %d: %w", wk, err)
 						return
@@ -183,16 +200,21 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 			lat := make([]int64, 0, opsPerWorker)
 			for i := 0; i < opsPerWorker; i++ {
 				op := gen.Next()
-				start := fc.Clock()
+				start, rt0 := fc.Clock(), fc.RoundTrips()
 				var err error
+				var kind obs.OpKind
 				switch op.Kind {
 				case ycsb.OpRead:
+					kind = obs.OpGet
 					_, _, err = idx.Search(op.Key)
 				case ycsb.OpUpdate:
+					kind = obs.OpUpdate
 					_, err = idx.Update(op.Key, cl.value)
 				case ycsb.OpInsert:
+					kind = obs.OpPut
 					_, err = idx.Insert(op.Key, cl.value)
 				case ycsb.OpScan:
+					kind = obs.OpScan
 					_, err = idx.ScanN(op.Key, op.ScanLen)
 				}
 				if err != nil {
@@ -200,6 +222,9 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 					return
 				}
 				lat = append(lat, fc.Clock()-start)
+				if cl.runMetrics != nil {
+					cl.runMetrics.ObserveOp(kind, fc.Clock()-start, fc.RoundTrips()-rt0)
+				}
 			}
 			lats[wk] = lat
 		}(wk)
@@ -213,6 +238,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 	r.Depth = depth
 	cl.attachSphinxDiag(&r, idxs, pls)
 	attachRecoveryDiag(&r, idxs, pls)
+	cl.attachMetrics(&r)
 	return r, nil
 }
 
@@ -221,7 +247,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 // windows of a few depths so that generation (which for YCSB-D tracks
 // the growing key space) never runs far ahead of execution. Per-op
 // latency spans each op's own in-flight window.
-func runPipelined(pl *core.Pipeline, gen *ycsb.Generator, value []byte, total, depth int) ([]int64, error) {
+func runPipelined(pl *core.Pipeline, gen *ycsb.Generator, value []byte, total, depth int, m *obs.Metrics) ([]int64, error) {
 	lat := make([]int64, 0, total)
 	window := depth * 8
 	opBuf := make([]ycsb.Op, 0, window)
@@ -258,6 +284,12 @@ func runPipelined(pl *core.Pipeline, gen *ycsb.Generator, value []byte, total, d
 				return nil, fmt.Errorf("op %d (%v): %w", done+i, opBuf[i].Kind, po.Err)
 			}
 			lat = append(lat, po.EndPs-po.StartPs)
+			if m != nil {
+				// Round trips are shared across in-flight ops (doorbell
+				// coalescing), so no per-op attribution exists at depth>1;
+				// the per-stage histograms carry the RT accounting instead.
+				m.ObserveOp(pipeOpKind(po.Kind), po.EndPs-po.StartPs, 0)
+			}
 		}
 		done += n
 	}
@@ -366,6 +398,9 @@ func (cl *Cluster) summarize(workload string, workers int, clients []*fabric.Cli
 	r.TransientFaults = net.Transients
 	r.Timeouts = net.Timeouts
 	r.NodeDownRejects = net.NodeDownRejects
+	if cl.runMetrics != nil {
+		r.RoundTrips = net.RoundTrips
+	}
 	return r
 }
 

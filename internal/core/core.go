@@ -22,6 +22,7 @@ import (
 	"sphinx/internal/cuckoo"
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
+	"sphinx/internal/obs"
 	"sphinx/internal/racehash"
 	"sphinx/internal/rart"
 	"sphinx/internal/wire"
@@ -155,6 +156,10 @@ type Options struct {
 	Engine rart.Config
 	// Seed makes the private filter deterministic.
 	Seed uint64
+	// Observer, when non-nil, is installed on the fabric client so every
+	// doorbell batch is reported with its stage annotation (obs.Metrics
+	// implements it). Shared observers must be concurrency-safe.
+	Observer fabric.BatchObserver
 }
 
 // Stats counts Sphinx-level events per client.
@@ -170,6 +175,7 @@ type Stats struct {
 	FalsePositives  uint64 // filter said yes, index said no (unlearned)
 	CollisionRetry  uint64 // leaf-level common-prefix check tripped (§III-B)
 	Restarts        uint64 // operation-level retries (coherence protocol)
+	ParentRetries   uint64 // ErrNeedParent re-routes (structural, no backoff)
 	StaleEntries    uint64 // invalid hash entries cleaned opportunistically
 }
 
@@ -186,6 +192,7 @@ func (s Stats) Add(t Stats) Stats {
 	s.FalsePositives += t.FalsePositives
 	s.CollisionRetry += t.CollisionRetry
 	s.Restarts += t.Restarts
+	s.ParentRetries += t.ParentRetries
 	s.StaleEntries += t.StaleEntries
 	return s
 }
@@ -199,6 +206,7 @@ type Client struct {
 	filter *FilterCache
 	opts   Options
 	stats  Stats
+	rec    *obs.Recorder // armed per-op by Session.Trace; nil when idle
 
 	// Warm-path scratch, reused across operations (clients are
 	// single-goroutine). Valid only within one locate step.
@@ -232,8 +240,17 @@ func NewClient(shared Shared, c *fabric.Client, opts Options) *Client {
 		}
 		cl.filter = NewFilterCache(n, opts.Seed|1)
 	}
+	if opts.Observer != nil {
+		c.SetObserver(opts.Observer)
+	}
 	return cl
 }
+
+// SetRecorder arms (or, with nil, disarms) a per-operation trace
+// recorder: locate and the op entry points annotate local events —
+// filter probes, collisions, restarts — on it. Batch events reach the
+// recorder through the fabric observer; Session.Trace wires both ends.
+func (c *Client) SetRecorder(r *obs.Recorder) { c.rec = r }
 
 // Engine exposes the node engine (fabric client, allocator) for stats.
 func (c *Client) Engine() *rart.Engine { return c.eng }

@@ -31,6 +31,10 @@ func (c *Client) locate(key []byte, maxLen int) (*rart.Node, int, error) {
 		if !c.filter.Contains(h) {
 			continue
 		}
+		if c.rec != nil {
+			c.rec.Note(fabric.StageFilterProbe, c.eng.C.Clock(),
+				fmt.Sprintf("sfc probe hit: prefix %d/%d, fetching", l, len(key)))
+		}
 		n, err := c.fetchValidated(prefix)
 		if err != nil {
 			return nil, 0, err
@@ -43,8 +47,15 @@ func (c *Client) locate(key []byte, maxLen int) (*rart.Node, int, error) {
 		// and retry shorter (paper §III-B false-positive handling).
 		c.stats.FalsePositives++
 		c.filter.Delete(h)
+		if c.rec != nil {
+			c.rec.Note(fabric.StageFilterProbe, c.eng.C.Clock(),
+				fmt.Sprintf("sfc false positive at prefix %d: unlearned", l))
+		}
 	}
 	c.stats.RootStarts++
+	if c.rec != nil {
+		c.rec.Note(fabric.StageFilterProbe, c.eng.C.Clock(), "sfc miss on all prefixes: root start")
+	}
 	root, err := c.readRoot()
 	return root, 0, err
 }
@@ -55,6 +66,7 @@ func (c *Client) locate(key []byte, maxLen int) (*rart.Node, int, error) {
 // status, matching depth and matching 42-bit full-prefix hash. Stale
 // entries pointing at retired nodes are removed opportunistically.
 func (c *Client) fetchValidated(prefix []byte) (*rart.Node, error) {
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHashRead))
 	view := c.viewFor(prefix)
 	h42 := racehash.PlacementHash(prefix)
 	fp := wire.FP12(prefix)
@@ -99,6 +111,7 @@ func (c *Client) validPrefixNode(n *rart.Node, prefix []byte) bool {
 // Entries whose size hint proved stale are re-read individually. The
 // returned slice is client-owned scratch, valid until the next locate step.
 func (c *Client) readCandidates(cands []racehash.Candidate) ([]*rart.Node, error) {
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageNodeRead))
 	ops := c.opScratch[:0]
 	bufs := c.bufScratch[:0]
 	for _, cand := range cands {
@@ -135,6 +148,7 @@ func (c *Client) readCandidates(cands []racehash.Candidate) ([]*rart.Node, error
 // every prefix of the key in one doorbell batch (Θ(L) entries, one round
 // trip — §III-A), then fetch the deepest candidate node.
 func (c *Client) locateParallel(key []byte, maxLen int) (*rart.Node, int, error) {
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHashRead))
 	type pending struct {
 		l    int
 		view *racehash.View

@@ -51,6 +51,14 @@ func (h hooks) TypeSwitched(prefix []byte, old, grown *rart.Node) error {
 	return h.c.viewFor(prefix).Replace(old.Hdr.PrefixHash, oldE, newE)
 }
 
+// noteRestart annotates an operation-level restart on the armed trace
+// recorder; the fmt.Sprintf only runs while tracing.
+func (c *Client) noteRestart(err error) {
+	if c.rec != nil {
+		c.rec.Note(fabric.StageNone, c.eng.C.Clock(), fmt.Sprintf("restart: %v", err))
+	}
+}
+
 func (c *Client) checkKey(key []byte) error {
 	if len(key) == 0 || len(key) > wire.MaxDepth {
 		return fmt.Errorf("core: key length %d out of range [1,%d]", len(key), wire.MaxDepth)
@@ -107,8 +115,13 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 			return nil, false, err
 		}
 		c.stats.Restarts++
+		c.noteRestart(err)
 		last = err
-		maxLen = len(key)
+		// maxLen stays narrowed: a retriable fabric fault says nothing
+		// about the collided prefix, and SawNode re-learns it into the
+		// filter during descents, so widening here would re-detect the
+		// same collision on every retry (§III-B narrowing must survive
+		// restarts).
 		if !bo.Wait() {
 			return nil, false, exhausted("search", key, last)
 		}
@@ -120,11 +133,20 @@ func (c *Client) noteCollision(key []byte, startLen int) {
 	if c.filter != nil {
 		c.filter.Delete(PrefixFilterHash(key[:startLen]))
 	}
+	if c.rec != nil {
+		c.rec.Note(fabric.StageFilterProbe, c.eng.C.Clock(),
+			fmt.Sprintf("prefix collision at %d: unlearned, narrowing to %d", startLen, startLen-1))
+	}
 }
 
 // Insert stores value for key, overwriting any existing value (paper §IV
-// Insert). It reports whether the key already existed.
+// Insert). It reports whether the key already existed. Counters track
+// validated operations only, so malformed arguments do not skew per-op
+// metrics (same policy as Scan).
 func (c *Client) Insert(key, value []byte) (bool, error) {
+	if err := c.checkKey(key); err != nil {
+		return false, err
+	}
 	c.stats.Inserts++
 	return c.put(key, value, rart.PutUpsert)
 }
@@ -133,14 +155,14 @@ func (c *Client) Insert(key, value []byte) (bool, error) {
 // when the new value fits the leaf, out of place otherwise). It reports
 // whether the key was present.
 func (c *Client) Update(key, value []byte) (bool, error) {
+	if err := c.checkKey(key); err != nil {
+		return false, err
+	}
 	c.stats.Updates++
 	return c.put(key, value, rart.PutUpdateOnly)
 }
 
 func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
-	if err := c.checkKey(key); err != nil {
-		return false, err
-	}
 	maxLen := len(key)
 	var last error
 	for bo := c.eng.Backoff(); ; {
@@ -149,14 +171,21 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 			var existed bool
 			existed, err = c.eng.PutFrom(start, key, value, mode, hooks{c})
 			switch {
-			case errors.Is(err, rart.ErrNeedParent):
-				// A split is needed at or above the jump target; redo the
-				// operation through a path that knows the parent.
-				if startLen > 0 {
-					maxLen = startLen - 1
+			case errors.Is(err, rart.ErrNeedParent) && startLen > 0:
+				// A split is needed at or above the jump target. This is a
+				// deterministic structural condition, not contention: re-route
+				// immediately through a path that knows the parent, without
+				// consuming retry budget or injecting backoff sleep.
+				c.stats.ParentRetries++
+				if c.rec != nil {
+					c.rec.Note(fabric.StagePublish, c.eng.C.Clock(),
+						fmt.Sprintf("need parent: re-routing via prefix %d, no backoff", startLen-1))
 				}
-			case retriable(err):
+				maxLen = startLen - 1
+				continue
+			case retriable(err) || errors.Is(err, rart.ErrNeedParent):
 				c.stats.Restarts++
+				c.noteRestart(err)
 				maxLen = len(key)
 			case err != nil:
 				return false, err
@@ -165,6 +194,7 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 			}
 		} else if retriable(err) {
 			c.stats.Restarts++
+			c.noteRestart(err)
 			maxLen = len(key)
 		} else {
 			return false, err
@@ -189,21 +219,24 @@ func (c *Client) Delete(key []byte) (bool, error) {
 		if err == nil {
 			var ok bool
 			ok, err = c.eng.DeleteFrom(start, key, hooks{c})
-			if err == nil {
-				if !ok && startLen > 0 {
-					// The jump may have landed beside the key (hash
-					// collision): deletes must not report absence on a
-					// collided path, so confirm through a shallower start
-					// once.
-					leafCheck, cerr := c.eng.SearchFrom(start, key, hooks{c})
-					if cerr == nil && leafCheck != nil && !bytes.Equal(leafCheck.Key, key) {
-						if cp := rart.CommonPrefixLen(leafCheck.Key, key); cp < startLen {
-							c.noteCollision(key, startLen)
-							maxLen = startLen - 1
-							continue
-						}
+			if err == nil && !ok && startLen > 0 {
+				// The jump may have landed beside the key (hash collision):
+				// deletes must not report absence on a collided path, so
+				// confirm through a shallower start once. A confirm error
+				// flows into the shared retry machinery below — a transient
+				// fault here must restart the operation, never turn into a
+				// fabricated "absent" answer.
+				var leafCheck *rart.Leaf
+				leafCheck, err = c.eng.SearchFrom(start, key, hooks{c})
+				if err == nil && leafCheck != nil && !bytes.Equal(leafCheck.Key, key) {
+					if cp := rart.CommonPrefixLen(leafCheck.Key, key); cp < startLen {
+						c.noteCollision(key, startLen)
+						maxLen = startLen - 1
+						continue
 					}
 				}
+			}
+			if err == nil {
 				return ok, nil
 			}
 		}
@@ -211,6 +244,7 @@ func (c *Client) Delete(key []byte) (bool, error) {
 			return false, err
 		}
 		c.stats.Restarts++
+		c.noteRestart(err)
 		last = err
 		maxLen = len(key)
 		if !bo.Wait() {
@@ -225,7 +259,6 @@ func (c *Client) Delete(key []byte) (bool, error) {
 // unlimited. Malformed arguments fail with ErrInvalidScan before any round
 // trip is paid.
 func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
-	c.stats.Scans++
 	if len(lo) == 0 {
 		lo = nil
 	}
@@ -238,6 +271,9 @@ func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
 	if lo != nil && hi != nil && bytes.Compare(lo, hi) > 0 {
 		return nil, fmt.Errorf("%w: lo %q > hi %q", ErrInvalidScan, lo, hi)
 	}
+	// Counted after validation: rejected calls pay no round trip and must
+	// not inflate per-op metrics.
+	c.stats.Scans++
 	var last error
 	for bo := c.eng.Backoff(); ; {
 		root, err := c.readRoot()
@@ -252,6 +288,7 @@ func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
 			return nil, err
 		}
 		c.stats.Restarts++
+		c.noteRestart(err)
 		last = err
 		if !bo.Wait() {
 			return nil, exhausted("scan", lo, last)

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/obs"
+	"sphinx/internal/rart"
+	"sphinx/internal/wire"
+)
+
+// The retry-path suite pins down the failure-window correctness of the
+// operation retry loops: deterministic re-routes must not burn backoff,
+// confirm-path faults must restart the op rather than fabricate answers,
+// and §III-B prefix narrowing must survive unrelated fabric faults. The
+// fault-window tests sweep an injected fault across every point of the
+// operation rather than aiming at one, so they stay robust to cost-model
+// changes.
+
+// leafAddrOf returns key's leaf address via a fault-free root descent.
+func leafAddrOf(t *testing.T, c *Client, key []byte) mem.Addr {
+	t.Helper()
+	root, err := c.readRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := c.eng.SearchFrom(root, key, rart.NopHooks{})
+	if err != nil || leaf == nil {
+		t.Fatalf("leaf of %q: %v", key, err)
+	}
+	return leaf.Addr
+}
+
+// plantImpostor publishes a hand-built Node4 at the given prefix whose
+// only child (slot, on edge byte) points somewhere off the prefix's true
+// path, and poisons the filter cache so jumps land on it. This fabricates
+// the paper's §III-B double collision (filter fingerprint plus 42-bit
+// prefix hash) deterministically: the node is genuine for its prefix, so
+// it passes every metadata check, but it is not on the searched key's
+// path.
+func plantImpostor(t *testing.T, c *Client, prefix []byte, edge byte, slot wire.Slot) *rart.Node {
+	t.Helper()
+	n := rart.NewNode(wire.Node4, prefix, 0)
+	slot.Present = true
+	slot.KeyByte = edge
+	n.Slots[0] = slot.Encode()
+	n, err := c.eng.WriteNewNode(n, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := wire.HashEntry{Valid: true, FP: wire.FP12(prefix), Type: n.Hdr.Type, Addr: n.Addr}
+	if err := c.viewFor(prefix).Insert(n.Hdr.PrefixHash, entry, c.eng.Alloc); err != nil {
+		t.Fatal(err)
+	}
+	if c.filter != nil {
+		c.filter.Insert(PrefixFilterHash(prefix))
+	}
+	return n
+}
+
+// TestPutNeedParentNoBackoff: a jump-started insert that discovers it
+// needs the parent (full node at the jump target) is a deterministic
+// structural re-route, not contention — it must re-loop immediately
+// without advancing the backoff clock or burning retry budget.
+func TestPutNeedParentNoBackoff(t *testing.T) {
+	f, shared := newCluster(t, 1, fabric.InstantConfig(), 1000)
+	filter := NewFilterCache(1<<12, 1)
+	c := newTestClient(f, shared, Options{Filter: filter})
+	// Four keys sharing the prefix "ab" build one full Node4 at depth 2;
+	// the splits publish it, so the filter knows the prefix.
+	for _, k := range []string{"ab1z", "ab2z", "ab3z", "ab4z"} {
+		if _, err := c.Insert([]byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !filter.Contains(PrefixFilterHash([]byte("ab"))) {
+		t.Fatal("filter never learned the shared prefix; the insert below would not jump")
+	}
+
+	clock0 := c.eng.C.Clock()
+	restarts0 := c.stats.Restarts
+	if _, err := c.Insert([]byte("ab5z"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if c.stats.ParentRetries == 0 {
+		t.Fatal("insert never hit ErrNeedParent; the scenario exercises nothing")
+	}
+	// Under InstantConfig every batch is free, so any clock advance can
+	// only come from backoff sleep — which this path must not take.
+	if dt := c.eng.C.Clock() - clock0; dt != 0 {
+		t.Errorf("need-parent re-route slept %d ps of backoff; want 0", dt)
+	}
+	if c.stats.Restarts != restarts0 {
+		t.Errorf("need-parent re-route consumed %d retry budget; want 0",
+			c.stats.Restarts-restarts0)
+	}
+	for _, k := range []string{"ab1z", "ab2z", "ab3z", "ab4z", "ab5z"} {
+		if _, ok, err := c.Search([]byte(k)); err != nil || !ok {
+			t.Errorf("%q missing after grow: %v", k, err)
+		}
+	}
+}
+
+// deleteCollisionCluster builds the Delete collision-confirm scenario:
+// key K is present, and the filter + hash table carry an impostor node at
+// K[:4] whose only child leads to an unrelated key's leaf, so a jumped
+// Delete(K) first lands beside the key and must confirm through a
+// shallower start. Returns the fabric, the shared descriptor and the
+// filter (shared between setup and victim clients, as CN sessions share
+// their filter cache).
+func deleteCollisionCluster(t *testing.T) (*fabric.Fabric, Shared, *FilterCache) {
+	t.Helper()
+	f, shared := newCluster(t, 1, fabric.DefaultConfig(), 1000)
+	filter := NewFilterCache(1<<12, 1)
+	setup := newTestClient(f, shared, Options{Filter: filter})
+	K, Z := []byte("kkkkkkkk"), []byte("zzzzzzzz")
+	for _, k := range [][]byte{K, Z} {
+		if _, err := setup.Insert(k, []byte("v-"+string(k[:1]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plantImpostor(t, setup, K[:4], K[4], wire.Slot{Leaf: true, Addr: leafAddrOf(t, setup, Z)})
+	return f, shared, filter
+}
+
+// TestDeleteCollisionConfirmCrashSweep: a Delete whose jump lands beside
+// the key (prefix collision) confirms through a shallower start; a fault
+// during that confirm must surface or restart the operation — it must
+// never be swallowed into a fabricated (false, nil) "absent" answer while
+// the key is still present. The test sweeps a planned client crash across
+// every verb of the operation, so the confirm read's whole window is
+// covered.
+func TestDeleteCollisionConfirmCrashSweep(t *testing.T) {
+	K := []byte("kkkkkkkk")
+
+	// Calibrate: the clean (fault-free) victim run must detect exactly one
+	// collision and delete the key; count its verbs to bound the sweep.
+	f, shared, filter := deleteCollisionCluster(t)
+	fc := f.NewClient()
+	victim := NewClient(shared, fc, Options{Filter: filter})
+	if id := fc.ID(); id != 1 {
+		t.Fatalf("victim client ID = %d, want 1", id)
+	}
+	ok, err := victim.Delete(K)
+	if err != nil || !ok {
+		t.Fatalf("clean delete = %v, %v; want true, nil", ok, err)
+	}
+	if victim.stats.CollisionRetry != 1 {
+		t.Fatalf("clean delete detected %d collisions, want 1; scenario broken", victim.stats.CollisionRetry)
+	}
+	verbs := fc.Stats().Verbs
+	if verbs == 0 {
+		t.Fatal("clean delete posted no verbs")
+	}
+
+	sawCrash := false
+	for n := uint64(1); n <= verbs; n++ {
+		f, shared, filter := deleteCollisionCluster(t)
+		f.SetFaultPlan(&fabric.FaultPlan{Seed: 1, CrashAfterVerbs: map[int]uint64{1: n}})
+		fc := f.NewClient()
+		victim := NewClient(shared, fc, Options{Filter: filter})
+		ok, err := victim.Delete(K)
+		if err != nil {
+			sawCrash = true
+			continue // surfacing the crash is correct
+		}
+		if ok {
+			continue // completed before the crash point
+		}
+		// (false, nil) claims the key was absent; it must actually be.
+		f.SetFaultPlan(nil)
+		check := newTestClient(f, shared, Options{})
+		if _, present, cerr := check.Search(K); cerr != nil || present {
+			t.Fatalf("crash after %d/%d verbs: Delete(%q) = (false, nil) but the key is still present (err=%v)",
+				n, verbs, K, cerr)
+		}
+	}
+	if !sawCrash {
+		t.Fatal("no sweep point crashed the victim; the sweep exercises nothing")
+	}
+}
+
+// searchCollisionCluster builds the two-level §III-B collision chain for
+// key K: impostor A at K[:5] leads to impostor B at K[:6], whose only
+// child is an unrelated key's leaf. A clean Search(K) detects exactly two
+// collisions (narrowing 6 → 5 → root) before finding the key.
+func searchCollisionCluster(t *testing.T, cfg fabric.Config) (*fabric.Fabric, Shared, *FilterCache) {
+	t.Helper()
+	f, shared := newCluster(t, 1, cfg, 1000)
+	filter := NewFilterCache(1<<12, 1)
+	setup := newTestClient(f, shared, Options{Filter: filter})
+	K, Z := []byte("kkkkkkkk"), []byte("zzzzzzzz")
+	for _, k := range [][]byte{K, Z} {
+		if _, err := setup.Insert(k, []byte("v-"+string(k[:1]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := plantImpostor(t, setup, K[:6], K[6], wire.Slot{Leaf: true, Addr: leafAddrOf(t, setup, Z)})
+	plantImpostor(t, setup, K[:5], K[5], wire.Slot{ChildType: b.Hdr.Type, Addr: b.Addr})
+	return f, shared, filter
+}
+
+// TestSearchCollisionNarrowingNodeDownSweep: the §III-B narrowed prefix
+// bound must survive retriable fabric faults. Descents re-learn collided
+// prefixes into the filter (SawNode fires before the leaf-level check),
+// so widening the bound on a fault re-detects the same collisions and can
+// loop arbitrarily. The test sweeps a one-instant node-down window across
+// the operation's timeline; wherever it lands, the search must still find
+// the key with at most the clean run's two collision detections.
+func TestSearchCollisionNarrowingNodeDownSweep(t *testing.T) {
+	cfg := fabric.Config{RTTPs: 1_000_000}
+	K := []byte("kkkkkkkk")
+
+	// Calibrate the clean run: two collisions, and its elapsed time bounds
+	// the sweep.
+	f, shared, filter := searchCollisionCluster(t, cfg)
+	fc := f.NewClient()
+	probe := NewClient(shared, fc, Options{Filter: filter})
+	v, ok, err := probe.Search(K)
+	if err != nil || !ok || !bytes.Equal(v, []byte("v-k")) {
+		t.Fatalf("clean search = %q, %v, %v", v, ok, err)
+	}
+	if probe.stats.CollisionRetry != 2 {
+		t.Fatalf("clean search detected %d collisions, want 2; scenario broken", probe.stats.CollisionRetry)
+	}
+	elapsed := fc.Clock()
+	if elapsed == 0 {
+		t.Fatal("clean search consumed no virtual time")
+	}
+
+	var faulted int
+	for ps := int64(0); ps <= elapsed; ps += cfg.RTTPs {
+		f, shared, filter := searchCollisionCluster(t, cfg)
+		f.SetFaultPlan(&fabric.FaultPlan{
+			Seed: 1,
+			Down: []fabric.DownWindow{{Node: shared.Ring.Nodes()[0], FromPs: ps, ToPs: ps + 1}},
+		})
+		fc := f.NewClient()
+		c := NewClient(shared, fc, Options{Filter: filter})
+		v, ok, err := c.Search(K)
+		if err != nil || !ok || !bytes.Equal(v, []byte("v-k")) {
+			t.Fatalf("window at %d ps: search = %q, %v, %v", ps, v, ok, err)
+		}
+		if fc.Stats().NodeDownRejects > 0 {
+			faulted++
+		}
+		if c.stats.CollisionRetry > 2 {
+			t.Fatalf("window at %d ps: %d collision detections (clean run: 2); narrowing was lost across the fault",
+				ps, c.stats.CollisionRetry)
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("no sweep window ever hit a batch; the sweep exercises nothing")
+	}
+}
+
+// TestInvalidArgsLeaveStatsUntouched: rejected arguments pay no round
+// trip and must not count as operations — otherwise per-op rates (RT/op,
+// restarts/kop) are skewed by calls that never touched the index.
+func TestInvalidArgsLeaveStatsUntouched(t *testing.T) {
+	f, shared := newCluster(t, 1, fabric.InstantConfig(), 100)
+	c := newTestClient(f, shared, Options{})
+	if _, err := c.Insert([]byte("anchor"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	rt0 := c.eng.C.Stats().RoundTrips
+
+	tooLong := make([]byte, wire.MaxDepth+1)
+	if _, _, err := c.Search(nil); err == nil {
+		t.Error("Search(nil) succeeded")
+	}
+	if _, err := c.Insert(nil, []byte("v")); err == nil {
+		t.Error("Insert(nil) succeeded")
+	}
+	if _, err := c.Insert(tooLong, []byte("v")); err == nil {
+		t.Error("Insert(overlong) succeeded")
+	}
+	if _, err := c.Update(nil, []byte("v")); err == nil {
+		t.Error("Update(nil) succeeded")
+	}
+	if _, err := c.Delete(nil); err == nil {
+		t.Error("Delete(nil) succeeded")
+	}
+	if _, err := c.Scan([]byte("b"), []byte("a"), 0); err == nil {
+		t.Error("Scan(lo>hi) succeeded")
+	}
+	if _, err := c.Scan(nil, nil, -1); err == nil {
+		t.Error("Scan(limit<0) succeeded")
+	}
+
+	if after := c.Stats(); after != before {
+		t.Errorf("rejected arguments moved counters:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if rt := c.eng.C.Stats().RoundTrips; rt != rt0 {
+		t.Errorf("rejected arguments paid %d round trips", rt-rt0)
+	}
+}
+
+// TestChaosRegistryCounters: under a probabilistic fault plan, a registry
+// assembled from fabric counters, core counters and a batch-observing
+// metric set must reconcile — the per-stage round-trip histograms account
+// for exactly the round trips the fabric counted, and snapshot diffs
+// isolate the faulted window.
+func TestChaosRegistryCounters(t *testing.T) {
+	f, shared := newCluster(t, 2, fabric.DefaultConfig(), 2000)
+	f.SetFaultPlan(chaosPlan(31))
+	m := obs.NewMetrics()
+	fc := f.NewClient()
+	c := NewClient(shared, fc, Options{Seed: 5, Observer: m})
+
+	reg := obs.NewRegistry()
+	reg.AddCounterStruct("fabric", func() any { return fc.Stats() })
+	reg.AddCounterStruct("core", func() any { return c.Stats() })
+	reg.AddMetrics("session", m)
+	before := reg.Snapshot()
+
+	for i := 0; i < 600; i++ {
+		k := []byte(fmt.Sprintf("reg-%03d", i%120))
+		switch i % 3 {
+		case 0:
+			if _, err := c.Insert(k, []byte("v")); err != nil {
+				t.Fatalf("insert %q: %v", k, err)
+			}
+		case 1:
+			if _, _, err := c.Search(k); err != nil {
+				t.Fatalf("search %q: %v", k, err)
+			}
+		default:
+			if _, err := c.Delete(k); err != nil {
+				t.Fatalf("delete %q: %v", k, err)
+			}
+		}
+	}
+
+	diff := reg.Snapshot().Sub(before)
+	if diff.Counters["fabric_transients"] == 0 {
+		t.Fatal("workload saw no transient faults; the plan exercises nothing")
+	}
+	if diff.Counters["core_restarts"] == 0 {
+		t.Fatal("faults never restarted an operation")
+	}
+	if got, want := m.StageRTTotal(), fc.Stats().RoundTrips; got != want {
+		t.Errorf("stage histograms hold %d round trips, fabric counted %d", got, want)
+	}
+	if got, want := diff.Counters["fabric_round_trips"], fc.Stats().RoundTrips; got != want {
+		t.Errorf("diffed fabric_round_trips = %d, want %d (before-snapshot was not empty)", got, want)
+	}
+
+	var prom strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&prom, "sphinx"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sphinx_fabric_round_trips ",
+		"sphinx_fabric_transients ",
+		"sphinx_core_restarts ",
+		`sphinx_session_stage_round_trips_count{stage="hash-read"}`,
+		`sphinx_session_stage_latency_ps_bucket{stage="leaf-read",le=`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}

@@ -74,6 +74,11 @@ type Client struct {
 	// client. See pipe.go.
 	pipe *Pipe
 
+	// Observability state: the stage label the index layer has annotated
+	// on this client (see stage.go) and an optional per-batch observer.
+	stage Stage
+	obs   BatchObserver
+
 	// Fault-injection state: the plan snapshot taken at creation, the
 	// private deterministic random stream, the count of verbs actually
 	// posted (for crash points), and whether the client has crashed.
@@ -132,6 +137,34 @@ func (c *Client) AdvanceClock(ps int64) { c.clock += ps }
 // Stats returns a snapshot of the client's accounting.
 func (c *Client) Stats() Stats { return c.stats }
 
+// RoundTrips returns the client's round-trip count without copying the
+// whole Stats struct; per-op metric deltas read it on the hot path.
+func (c *Client) RoundTrips() uint64 { return c.stats.RoundTrips }
+
+// SetStage annotates the client with the stage its next batches serve and
+// returns the previous stage, enabling the save/restore idiom
+//
+//	defer c.SetStage(c.SetStage(fabric.StageLeafRead))
+//
+// without any allocation.
+func (c *Client) SetStage(s Stage) Stage {
+	prev := c.stage
+	c.stage = s
+	return prev
+}
+
+// Stage returns the client's current stage annotation.
+func (c *Client) Stage() Stage { return c.stage }
+
+// SetObserver installs a per-batch observer (nil uninstalls). On a
+// pipeline lane the observer sees the lane's share of each coalesced
+// flush with RoundTrips == 0; on the flushing main client it sees the
+// whole flush under StageFlush.
+func (c *Client) SetObserver(o BatchObserver) { c.obs = o }
+
+// Observer returns the installed per-batch observer, if any.
+func (c *Client) Observer() BatchObserver { return c.obs }
+
 // Fabric returns the fabric the client is attached to.
 func (c *Client) Fabric() *Fabric { return c.f }
 
@@ -159,17 +192,16 @@ type nodeShare struct {
 	bytes uint64
 }
 
-// run executes ops as one doorbell batch on this client, reporting how
-// many leading verbs actually moved data. The count is what a coalescing
-// pipe needs to demultiplex a partial (transient) failure back onto the
-// in-flight operations that contributed verbs to the batch; Batch callers
-// only see the error.
+// run executes ops on this client, reporting how many leading verbs
+// actually moved data. The count is what a coalescing pipe needs to
+// demultiplex a partial (transient) failure back onto the in-flight
+// operations that contributed verbs to the batch; Batch callers only see
+// the error. The no-batch split and observer notification live here, so
+// each physical doorbell batch (one runBatch call) produces exactly one
+// BatchEvent.
 func (c *Client) run(ops []Op) (int, error) {
 	if len(ops) == 0 {
 		return 0, nil
-	}
-	if c.crashed {
-		return 0, faultErr(ErrClientCrashed, "client %d", c.id)
 	}
 	if c.noBatch && len(ops) > 1 {
 		done := 0
@@ -181,6 +213,33 @@ func (c *Client) run(ops []Op) (int, error) {
 			}
 		}
 		return done, nil
+	}
+	if c.obs == nil {
+		return c.runBatch(ops)
+	}
+	startPs := c.clock
+	rt0 := c.stats.RoundTrips
+	n, err := c.runBatch(ops)
+	var bytes uint64
+	for i := 0; i < n; i++ {
+		bytes += opBytes(&ops[i])
+	}
+	c.obs.ObserveBatch(BatchEvent{
+		Stage:      c.stage,
+		StartPs:    startPs,
+		EndPs:      c.clock,
+		Verbs:      n,
+		Bytes:      bytes,
+		RoundTrips: c.stats.RoundTrips - rt0,
+		Err:        err,
+	})
+	return n, err
+}
+
+// runBatch executes ops as one physical doorbell batch.
+func (c *Client) runBatch(ops []Op) (int, error) {
+	if c.crashed {
+		return 0, faultErr(ErrClientCrashed, "client %d", c.id)
 	}
 	cfg := c.f.cfg
 	start := c.clock + cfg.ClientVerbPs*int64(len(ops))

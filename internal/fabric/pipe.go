@@ -50,19 +50,26 @@ type Pipe struct {
 }
 
 // pipeCall is one lane's pending doorbell batch; done carries the lane's
-// demultiplexed completion status.
+// demultiplexed completion status. The lane's stage annotation and clock
+// are captured at submit time so the observer event reflects what the
+// lane was doing when it posted, not the merged flush.
 type pipeCall struct {
-	lane *Client
-	ops  []Op
-	done chan error
+	lane    *Client
+	ops     []Op
+	done    chan error
+	stage   Stage
+	startPs int64
 }
 
 // NewPipe creates a coalescer that flushes on the given client. The main
-// client must not itself be a lane.
+// client must not itself be a lane. Flushes carry verbs from mixed
+// stages, so the main client's batches are annotated StageFlush; per-
+// stage attribution comes from the lanes' own observer events.
 func NewPipe(main *Client) *Pipe {
 	if main.pipe != nil {
 		panic("fabric: NewPipe on a pipeline lane")
 	}
+	main.SetStage(StageFlush)
 	return &Pipe{main: main}
 }
 
@@ -143,7 +150,10 @@ func (p *Pipe) submit(lane *Client, ops []Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	call := &pipeCall{lane: lane, ops: ops, done: make(chan error, 1)}
+	call := &pipeCall{
+		lane: lane, ops: ops, done: make(chan error, 1),
+		stage: lane.stage, startPs: lane.clock,
+	}
 	p.mu.Lock()
 	p.waiting = append(p.waiting, call)
 	if len(p.waiting) >= p.active {
@@ -212,6 +222,32 @@ func (p *Pipe) flushLocked() {
 			cerr = nil
 		}
 		cl.lane.clock = p.main.clock
+		// Notify the lane's observer before releasing the lane goroutine:
+		// the send on done is the happens-before edge that lets a
+		// non-concurrency-safe observer (a trace recorder) be read by the
+		// resuming lane. RoundTrips is 0 — the flush accounted its single
+		// round trip on the main client's own event.
+		if o := cl.lane.obs; o != nil {
+			var bytes uint64
+			executedHere := len(cl.ops)
+			if end > executed {
+				executedHere = executed - off
+				if executedHere < 0 {
+					executedHere = 0
+				}
+			}
+			for i := 0; i < executedHere; i++ {
+				bytes += opBytes(&cl.ops[i])
+			}
+			o.ObserveBatch(BatchEvent{
+				Stage:   cl.stage,
+				StartPs: cl.startPs,
+				EndPs:   p.main.clock,
+				Verbs:   executedHere,
+				Bytes:   bytes,
+				Err:     cerr,
+			})
+		}
 		cl.done <- cerr
 		off = end
 	}

@@ -1,0 +1,92 @@
+package fabric
+
+// Stage labels what part of an index operation a doorbell batch serves.
+// The index layers annotate their fabric client with the current stage
+// (Client.SetStage) before posting batches, so an installed BatchObserver
+// can attribute round trips, verbs, bytes and virtual latency to the
+// paper's per-stage cost model (§III, §IV) without the fabric knowing
+// anything about trees, hash tables or filters.
+type Stage uint8
+
+// Batch stages, in rough warm-path order. StageFilterProbe never reaches
+// the fabric (the succinct filter cache is CN-local); it exists so trace
+// annotations can label the probe step with the same vocabulary.
+const (
+	StageNone        Stage = iota // unannotated traffic
+	StageFlush                    // pipelined session's shared doorbell flush (mixed stages)
+	StageFilterProbe              // local SFC probe — trace label only, no round trip
+	StageHashRead                 // inner-node hash table bucket read (§III-A)
+	StageNodeRead                 // inner node fetch
+	StageLeafRead                 // leaf fetch
+	StageLock                     // node lease acquisition (CAS + piggybacked read)
+	StageAlloc                    // allocator FAA traffic
+	StageLeafWrite                // leaf image write (fresh, in-place or invalidation)
+	StageNodeWrite                // fresh inner node write
+	StageInstall                  // slot install / delete commit with piggybacked unlock
+	StagePublish                  // post-commit publication (grow/split swings, repairs)
+	StageUnlock                   // bare lock release
+	StageScan                     // scan descent traffic
+
+	// NumStages sizes per-stage arrays.
+	NumStages = int(StageScan) + 1
+)
+
+// String names the stage as metrics and traces report it.
+func (s Stage) String() string {
+	switch s {
+	case StageNone:
+		return "none"
+	case StageFlush:
+		return "flush"
+	case StageFilterProbe:
+		return "sfc-probe"
+	case StageHashRead:
+		return "hash-read"
+	case StageNodeRead:
+		return "node-read"
+	case StageLeafRead:
+		return "leaf-read"
+	case StageLock:
+		return "lock"
+	case StageAlloc:
+		return "alloc"
+	case StageLeafWrite:
+		return "leaf-write"
+	case StageNodeWrite:
+		return "node-write"
+	case StageInstall:
+		return "install"
+	case StagePublish:
+		return "publish"
+	case StageUnlock:
+		return "unlock"
+	case StageScan:
+		return "scan"
+	default:
+		return "stage?"
+	}
+}
+
+// BatchEvent describes one doorbell batch — or one pipeline lane's share
+// of a coalesced flush — to an observer.
+type BatchEvent struct {
+	Stage   Stage
+	StartPs int64 // observed client's clock when the batch was posted
+	EndPs   int64 // observed client's clock at completion
+	Verbs   int   // verbs that actually executed
+	Bytes   uint64
+	// RoundTrips is how many round trips the event added to the observed
+	// client's accounting: 1 for an ordinary batch; 0 for a pipeline
+	// lane's share of a shared flush (the flush accounts on the main
+	// client) and for rejected or crashed batches that never completed.
+	RoundTrips uint64
+	// Err is the fault the batch completed with, nil on success.
+	Err error
+}
+
+// BatchObserver receives an event for every doorbell batch the observed
+// client executes. An observer shared across clients (pipeline mains and
+// their lanes, or several workers) must be safe for concurrent use.
+type BatchObserver interface {
+	ObserveBatch(ev BatchEvent)
+}

@@ -1,0 +1,129 @@
+// Package obs is the observability layer: allocation-free power-of-two
+// histograms, per-op/per-stage metrics fed by fabric batch events, an
+// optional per-operation trace recorder, and a registry that unifies the
+// counter sets scattered across core, fabric and the filter cache into
+// one snapshot with Prometheus-text and JSON exporters.
+//
+// Everything is recorded on the fabric's virtual clock, so metrics are
+// deterministic for a given workload and seed, and all mutable state is
+// atomic so one Metrics instance can be shared by every worker of a
+// bench run under -race.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. Bucket i
+// counts values v with bits.Len64(v) == i — bucket 0 holds zeros, bucket
+// i ≥ 1 holds the power-of-two range [2^(i-1), 2^i). 65 buckets cover
+// the whole uint64 range, so Observe never allocates and never saturates.
+const NumBuckets = 65
+
+// Histogram is a fixed-bucket power-of-two histogram. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObservePs records a virtual-clock duration, clamping negatives (which
+// cannot happen on a monotone clock, but cheap insurance) to zero.
+func (h *Histogram) ObservePs(ps int64) {
+	if ps < 0 {
+		ps = 0
+	}
+	h.Observe(uint64(ps))
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Buckets are
+// read individually, so a snapshot taken concurrently with Observe calls
+// is a consistent set of monotone counters, not an atomic cut — fine for
+// the deterministic quiesce-then-snapshot uses in this repo.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Sub returns s - prev, bucket-wise; used to diff registry snapshots.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	s.Count -= prev.Count
+	s.Sum -= prev.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] -= prev.Buckets[i]
+	}
+	return s
+}
+
+// Mean returns the exact mean of the observed values (Sum is exact even
+// though buckets are coarse).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1): the
+// upper edge of the bucket in which the q-th observation falls. With
+// power-of-two buckets the answer is within 2× of the true value.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= target {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumBuckets - 1)
+}
+
+// Max returns the upper edge of the highest populated bucket.
+func (s HistSnapshot) Max() uint64 {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return BucketUpper(i)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"sphinx/internal/fabric"
+)
+
+// OpKind names a public index operation for per-op metrics.
+type OpKind uint8
+
+// Operation kinds, matching the public Session surface.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpUpdate
+	OpDelete
+	OpScan
+
+	// NumOps sizes per-op arrays.
+	NumOps = int(OpScan) + 1
+)
+
+// String names the op kind as metrics report it.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	default:
+		return "op?"
+	}
+}
+
+// Metrics is the fixed-size metric set of one measurement domain (a
+// session, or one bench run phase): latency and round-trip histograms
+// per op kind, plus latency/RT histograms and verb/byte/fault counters
+// per batch stage. It implements fabric.BatchObserver, so installing one
+// Metrics on a set of clients (workers, pipeline mains and lanes) is all
+// the wiring the stage side needs. Safe for concurrent use.
+//
+// Round-trip accounting invariant: summing the per-stage RT histograms
+// reproduces the observed clients' fabric.Stats.RoundTrips at any
+// pipeline depth (flush events carry the round trip, lane events carry
+// zero); summing the per-op RT histograms reproduces it only for
+// sequential (depth-1) runs, where ops observe their own RT deltas.
+type Metrics struct {
+	opLat [NumOps]Histogram
+	opRT  [NumOps]Histogram
+
+	stageLat   [fabric.NumStages]Histogram
+	stageRT    [fabric.NumStages]Histogram
+	stageVerbs [fabric.NumStages]atomic.Uint64
+	stageBytes [fabric.NumStages]atomic.Uint64
+	stageErrs  [fabric.NumStages]atomic.Uint64
+}
+
+// NewMetrics returns an empty metric set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// ObserveOp records one completed operation's virtual latency and
+// round-trip count.
+func (m *Metrics) ObserveOp(k OpKind, latencyPs int64, roundTrips uint64) {
+	m.opLat[k].ObservePs(latencyPs)
+	m.opRT[k].Observe(roundTrips)
+}
+
+// ObserveBatch implements fabric.BatchObserver.
+func (m *Metrics) ObserveBatch(ev fabric.BatchEvent) {
+	s := int(ev.Stage)
+	m.stageLat[s].ObservePs(ev.EndPs - ev.StartPs)
+	m.stageRT[s].Observe(ev.RoundTrips)
+	m.stageVerbs[s].Add(uint64(ev.Verbs))
+	m.stageBytes[s].Add(ev.Bytes)
+	if ev.Err != nil {
+		m.stageErrs[s].Add(1)
+	}
+}
+
+// OpLatency snapshots the latency histogram of one op kind.
+func (m *Metrics) OpLatency(k OpKind) HistSnapshot { return m.opLat[k].Snapshot() }
+
+// OpRT snapshots the round-trip histogram of one op kind.
+func (m *Metrics) OpRT(k OpKind) HistSnapshot { return m.opRT[k].Snapshot() }
+
+// StageLatency snapshots the latency histogram of one batch stage.
+func (m *Metrics) StageLatency(s fabric.Stage) HistSnapshot { return m.stageLat[s].Snapshot() }
+
+// StageRT snapshots the round-trip histogram of one batch stage.
+func (m *Metrics) StageRT(s fabric.Stage) HistSnapshot { return m.stageRT[s].Snapshot() }
+
+// StageCounters returns the verb, byte and fault totals of one stage.
+func (m *Metrics) StageCounters(s fabric.Stage) (verbs, bytes, faults uint64) {
+	return m.stageVerbs[s].Load(), m.stageBytes[s].Load(), m.stageErrs[s].Load()
+}
+
+// OpRTTotal sums round trips over all per-op histograms.
+func (m *Metrics) OpRTTotal() uint64 {
+	var total uint64
+	for k := 0; k < NumOps; k++ {
+		total += m.opRT[k].Snapshot().Sum
+	}
+	return total
+}
+
+// StageRTTotal sums round trips over all per-stage histograms. This is
+// the side of the reconciliation check that holds at every pipeline
+// depth.
+func (m *Metrics) StageRTTotal() uint64 {
+	var total uint64
+	for s := 0; s < fabric.NumStages; s++ {
+		total += m.stageRT[s].Snapshot().Sum
+	}
+	return total
+}
+
+// Tee fans one client's batch events out to two observers; either may be
+// nil. It lets a trace recorder be armed without disturbing an installed
+// Metrics observer.
+type Tee struct {
+	A, B fabric.BatchObserver
+}
+
+// ObserveBatch implements fabric.BatchObserver.
+func (t Tee) ObserveBatch(ev fabric.BatchEvent) {
+	if t.A != nil {
+		t.A.ObserveBatch(ev)
+	}
+	if t.B != nil {
+		t.B.ObserveBatch(ev)
+	}
+}

@@ -214,7 +214,12 @@ func (e *Engine) clampRead(addr mem.Addr, want uint64) uint64 {
 // from the slot or hash entry that referenced it (one round trip). If the
 // node grew in place (Prealloc256 mode) or the hint is stale, the read is
 // retried once at the decoded size.
+// ReadNode stage-annotates its batches StageNodeRead, as every engine
+// batch primitive does for its own stage; callers running mixed phases
+// (scan descents, publication chains) set a coarser stage around whole
+// call sequences and these fine annotations override it per batch.
 func (e *Engine) ReadNode(addr mem.Addr, hint wire.NodeType) (*Node, error) {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageNodeRead))
 	want := e.nodeReadSize(hint)
 	for attempt := 0; attempt < 2; attempt++ {
 		buf := e.grabBuf(want)
@@ -262,6 +267,7 @@ type Leaf struct {
 // lock is still the old, checksum-valid image, so CASing the status back
 // to Idle restores the leaf exactly (docs/failure-model.md).
 func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageLeafRead))
 	want := e.clampRead(addr, uint64(e.Cfg.leafSpecRead()))
 	bo := e.Backoff()
 	var watching uint64
@@ -332,11 +338,13 @@ func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
 // WriteLeaf allocates and writes a fresh leaf for (key, value) on the
 // key's home node and returns its address.
 func (e *Engine) WriteLeaf(key, value []byte) (mem.Addr, error) {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageAlloc))
 	img := wire.EncodeLeaf(wire.StatusIdle, key, value)
 	addr, err := e.Alloc.Alloc(e.LeafHome(key), mem.ClassLeaf, uint64(len(img)))
 	if err != nil {
 		return 0, err
 	}
+	e.C.SetStage(fabric.StageLeafWrite)
 	if err := e.C.Write(addr, img); err != nil {
 		return 0, err
 	}
@@ -346,11 +354,13 @@ func (e *Engine) WriteLeaf(key, value []byte) (mem.Addr, error) {
 // WriteNewNode allocates space for a locally built node on the home node
 // of its prefix and writes it, returning the node with its address set.
 func (e *Engine) WriteNewNode(n *Node, prefix []byte) (*Node, error) {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageAlloc))
 	addr, err := e.Alloc.Alloc(e.NodeHome(prefix), mem.ClassInner, e.nodeAllocSize(n.Hdr.Type))
 	if err != nil {
 		return nil, err
 	}
 	n.Addr = addr
+	e.C.SetStage(fabric.StageNodeWrite)
 	if err := e.C.Write(addr, n.Encode()); err != nil {
 		return nil, err
 	}
@@ -376,6 +386,7 @@ func (e *Engine) WriteNewNode(n *Node, prefix []byte) (*Node, error) {
 // image), letting a first attempt on a free or self-owned lock CAS
 // immediately; pass 0 when unknown.
 func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectLease uint64) (*Node, error) {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageLock))
 	want := e.nodeReadSize(hint)
 	owner := uint16(e.C.ID())
 	leaseAddr := addr.Add(wire.LeaseOff)

@@ -241,6 +241,7 @@ func (e *Engine) lockVerified(n *Node) (*Node, error) {
 // Insert: write leaf; lock node; install slot with the unlock piggybacked
 // on the same doorbell batch).
 func (e *Engine) installLeaf(parent, n *Node, key, value []byte, eol bool, h Hooks) error {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageInstall))
 	leafAddr, err := e.WriteLeaf(key, value)
 	if err != nil {
 		return err
@@ -289,6 +290,7 @@ func (e *Engine) installLeaf(parent, n *Node, key, value []byte, eol bool, h Hoo
 // hash table is updated through the hook, and the original is invalidated
 // so that readers holding stale pointers retry.
 func (e *Engine) growAndInstall(parent, locked *Node, slot wire.Slot, key []byte, h Hooks) error {
+	defer e.C.SetStage(e.C.SetStage(fabric.StagePublish))
 	if parent == nil {
 		// Root nodes are born Node256 and cannot fill; only a hash-jump
 		// start node can land here. Restart through a parent-bearing path.
@@ -402,6 +404,7 @@ func (e *Engine) completeHook(run func() error) error {
 // a node that holds both. Chains longer than one node arise when the
 // shared prefix exceeds the inline partial capacity.
 func (e *Engine) convertLeaf(n *Node, key, value []byte, oldLeaf *Leaf, h Hooks) error {
+	defer e.C.SetStage(e.C.SetStage(fabric.StagePublish))
 	locked, err := e.lockVerified(n)
 	if err != nil {
 		return err
@@ -493,6 +496,7 @@ func (e *Engine) convertLeaf(n *Node, key, value []byte, oldLeaf *Leaf, h Hooks)
 // its full prefix (only its partial shrinks — the coherence property of
 // §III-B), and the new key's leaf hangs off the new parent.
 func (e *Engine) splitPartial(parent, child *Node, key, value []byte, h Hooks) error {
+	defer e.C.SetStage(e.C.SetStage(fabric.StagePublish))
 	lockedChild, err := e.lockVerified(child)
 	if err != nil {
 		return err
@@ -581,6 +585,7 @@ func (e *Engine) splitPartial(parent, child *Node, key, value []byte, h Hooks) e
 // 64-byte units, out-of-place (new leaf, repointed slot, invalidated old)
 // otherwise.
 func (e *Engine) updateLeaf(n *Node, leaf *Leaf, key, value []byte, eol bool) error {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageLeafWrite))
 	if wire.LeafSize(len(leaf.Key), len(value)) <= uint64(leaf.Units)*wire.LeafUnit {
 		return e.updateLeafInPlace(leaf, value)
 	}
@@ -628,6 +633,7 @@ func (e *Engine) updateLeaf(n *Node, leaf *Leaf, key, value []byte, eol bool) er
 // the WRITE; the old image is intact underneath) is broken after a full
 // lease of watching, like ReadLeaf does.
 func (e *Engine) updateLeafInPlace(leaf *Leaf, value []byte) error {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageLeafWrite))
 	units := leaf.Units
 	idleWord := wire.LeafHeader{
 		Status: wire.StatusIdle, Units: units,
@@ -698,6 +704,7 @@ func (e *Engine) updateLeafInPlace(leaf *Leaf, value []byte) error {
 // with, so a reader that decodes it sees a checksum-consistent Invalid
 // image.
 func (e *Engine) invalidateLeaf(leaf *Leaf) error {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageLeafWrite))
 	hdr := wire.LeafHeader{
 		Status: wire.StatusInvalid,
 		Units:  leaf.Units,
@@ -800,7 +807,10 @@ func (e *Engine) DeleteFrom(start *Node, key []byte, h Hooks) (bool, error) {
 		// completion so the slot does not linger pointing at a dead leaf
 		// (completeDelete repairs that state, but only when a descent
 		// happens to revisit this edge).
-		if err := e.completeBatch(ops); err != nil {
+		prevStage := e.C.SetStage(fabric.StageInstall)
+		err = e.completeBatch(ops)
+		e.C.SetStage(prevStage)
+		if err != nil {
 			return false, err
 		}
 		return true, nil
@@ -818,6 +828,7 @@ func (e *Engine) DeleteFrom(start *Node, key []byte, h Hooks) (bool, error) {
 // forever. Reports whether it cleared the slot; false means the edge
 // moved on and the caller should restart its descent.
 func (e *Engine) completeDelete(n *Node, key []byte, leafAddr mem.Addr) (bool, error) {
+	defer e.C.SetStage(e.C.SetStage(fabric.StagePublish))
 	locked, err := e.lockVerified(n)
 	if err != nil {
 		return false, err
@@ -851,10 +862,12 @@ func (e *Engine) completeDelete(n *Node, key []byte, leafAddr mem.Addr) (bool, e
 }
 
 func (e *Engine) unlock(n *Node) error {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageUnlock))
 	return e.C.Batch([]fabric.Op{e.UnlockOp(n)})
 }
 
 func (e *Engine) unlockBoth(a, b *Node) error {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageUnlock))
 	return e.C.Batch([]fabric.Op{e.UnlockOp(a), e.UnlockOp(b)})
 }
 

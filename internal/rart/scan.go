@@ -154,7 +154,10 @@ func (s *scanner) visit(n *Node, prefix []byte) error {
 			bufs[i] = make([]byte, size)
 			ops = append(ops, fabric.Op{Kind: fabric.Read, Addr: k.slot.Addr, Data: bufs[i]})
 		}
-		if err := s.e.C.Batch(ops); err != nil {
+		prevStage := s.e.C.SetStage(fabric.StageScan)
+		err := s.e.C.Batch(ops)
+		s.e.C.SetStage(prevStage)
+		if err != nil {
 			return err
 		}
 		for i, k := range part {

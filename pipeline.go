@@ -149,7 +149,13 @@ func (p *Pipeline) runSequential() {
 // compute node's filter cache across lanes.
 func (s *Session) corePipeline() *core.Pipeline {
 	if s.pl == nil {
-		s.pl = core.NewPipeline(s.cn.cluster.sphinxShared, s.fc, core.Options{Filter: s.cn.filter})
+		s.pl = core.NewPipeline(s.cn.cluster.sphinxShared, s.fc, core.Options{
+			Filter: s.cn.filter,
+			// Lanes report their stage-attributed share of each flush into
+			// the session metrics; the flush itself accounts on s.fc, whose
+			// observer is already the same metrics set.
+			Observer: s.metrics,
+		})
 	}
 	return s.pl
 }

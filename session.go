@@ -4,9 +4,22 @@ import (
 	"sphinx/internal/artdm"
 	"sphinx/internal/core"
 	"sphinx/internal/fabric"
+	"sphinx/internal/obs"
 	"sphinx/internal/rart"
 	"sphinx/internal/smart"
 )
+
+// Trace is one operation's recorded round-trip timeline; see
+// Session.Trace.
+type Trace = obs.Trace
+
+// Metrics is a session's always-on metric set: latency and round-trip
+// histograms per op kind and per batch stage, on the virtual clock.
+type Metrics = obs.Metrics
+
+// Registry unifies a session's counter sets (fabric, index, filter,
+// histograms) behind snapshot/diff with Prometheus and JSON exporters.
+type Registry = obs.Registry
 
 // Session is one worker's handle on the cluster's index: it owns a network
 // endpoint (virtual clock, verb counters) and shares its compute node's
@@ -23,13 +36,19 @@ type Session struct {
 	// pl is the session's pipelined executor (Sphinx only), created on
 	// first use and kept so its lanes' directory caches stay warm.
 	pl *core.Pipeline
+
+	// metrics is installed as the fabric client's batch observer for the
+	// session's lifetime; registry is built lazily over it.
+	metrics  *obs.Metrics
+	registry *obs.Registry
 }
 
 // NewSession opens a session on this compute node.
 func (cn *ComputeNode) NewSession() *Session {
 	c := cn.cluster
 	fc := c.f.NewClient()
-	s := &Session{cn: cn, fc: fc}
+	s := &Session{cn: cn, fc: fc, metrics: obs.NewMetrics()}
+	fc.SetObserver(s.metrics)
 	switch c.cfg.System {
 	case SystemSphinx:
 		s.sphinx = core.NewClient(c.sphinxShared, fc, core.Options{Filter: cn.filter})
@@ -41,8 +60,16 @@ func (cn *ComputeNode) NewSession() *Session {
 	return s
 }
 
+// observeOp records one finished operation into the session metrics;
+// invoked as a defer with the start clock and round-trip count captured
+// at entry.
+func (s *Session) observeOp(k obs.OpKind, startPs int64, rt0 uint64) {
+	s.metrics.ObserveOp(k, s.fc.Clock()-startPs, s.fc.RoundTrips()-rt0)
+}
+
 // Get returns the value stored for key.
 func (s *Session) Get(key []byte) (value []byte, ok bool, err error) {
+	defer s.observeOp(obs.OpGet, s.fc.Clock(), s.fc.RoundTrips())
 	switch {
 	case s.sphinx != nil:
 		return s.sphinx.Search(key)
@@ -55,6 +82,7 @@ func (s *Session) Get(key []byte) (value []byte, ok bool, err error) {
 
 // Put stores value for key, overwriting any existing value.
 func (s *Session) Put(key, value []byte) error {
+	defer s.observeOp(obs.OpPut, s.fc.Clock(), s.fc.RoundTrips())
 	var err error
 	switch {
 	case s.sphinx != nil:
@@ -70,6 +98,7 @@ func (s *Session) Put(key, value []byte) error {
 // Update overwrites the value of an existing key, reporting whether the
 // key was present; absent keys are left absent.
 func (s *Session) Update(key, value []byte) (bool, error) {
+	defer s.observeOp(obs.OpUpdate, s.fc.Clock(), s.fc.RoundTrips())
 	switch {
 	case s.sphinx != nil:
 		return s.sphinx.Update(key, value)
@@ -82,6 +111,7 @@ func (s *Session) Update(key, value []byte) (bool, error) {
 
 // Delete removes key, reporting whether it was present.
 func (s *Session) Delete(key []byte) (bool, error) {
+	defer s.observeOp(obs.OpDelete, s.fc.Clock(), s.fc.RoundTrips())
 	switch {
 	case s.sphinx != nil:
 		return s.sphinx.Delete(key)
@@ -95,6 +125,7 @@ func (s *Session) Delete(key []byte) (bool, error) {
 // Scan returns key-value pairs in [lo, hi] (inclusive; nil bounds are
 // open) in ascending key order, at most limit pairs when limit > 0.
 func (s *Session) Scan(lo, hi []byte, limit int) ([]KV, error) {
+	defer s.observeOp(obs.OpScan, s.fc.Clock(), s.fc.RoundTrips())
 	var kvs []rart.KV
 	var err error
 	switch {
@@ -179,4 +210,67 @@ func (s *Session) SphinxStats() (SphinxCounters, bool) {
 		RootStarts: st.RootStarts, FalsePositives: st.FalsePositives,
 		CollisionRetries: st.CollisionRetry, Restarts: st.Restarts,
 	}, true
+}
+
+// Trace runs op with a per-operation trace recorder armed and returns
+// the recorded round-trip timeline alongside op's error. The recorder
+// tees into the session's regular metrics observer, so tracing never
+// perturbs accounting. Intended for one index operation per call (the
+// warm-path Get of §III-B traces as exactly three round trips:
+// hash-read, node-read, leaf-read).
+func (s *Session) Trace(name string, op func() error) (*Trace, error) {
+	rec := obs.NewRecorder()
+	rec.Begin(name, s.fc.Clock())
+	prev := s.fc.Observer()
+	s.fc.SetObserver(obs.Tee{A: prev, B: rec})
+	if s.sphinx != nil {
+		s.sphinx.SetRecorder(rec)
+	}
+	err := op()
+	if s.sphinx != nil {
+		s.sphinx.SetRecorder(nil)
+	}
+	s.fc.SetObserver(prev)
+	rec.End(s.fc.Clock())
+	return rec.Trace(), err
+}
+
+// Metrics returns the session's always-on metric set.
+func (s *Session) Metrics() *Metrics { return s.metrics }
+
+// Registry returns the session's unified metrics registry, assembling it
+// on first use: fabric counters, index counters, filter-cache counters
+// and the session histograms, all snapshot-and-diffable and exportable
+// as Prometheus text or JSON.
+func (s *Session) Registry() *Registry {
+	if s.registry != nil {
+		return s.registry
+	}
+	r := obs.NewRegistry()
+	r.AddCounterStruct("fabric", func() any { return s.fc.Stats() })
+	switch {
+	case s.sphinx != nil:
+		r.AddCounterStruct("core", func() any {
+			st := s.sphinx.Stats()
+			if s.pl != nil {
+				st = st.Add(s.pl.Stats())
+			}
+			return st
+		})
+		r.AddCounterStruct("engine", func() any {
+			st := s.sphinx.Engine().Stats()
+			if s.pl != nil {
+				st = st.Add(s.pl.EngineStats())
+			}
+			return st
+		})
+		if f := s.sphinx.Filter(); f != nil {
+			r.AddCounterStruct("filter", func() any { return f.FilterStats() })
+		}
+	case s.smart != nil:
+		r.AddCounterStruct("smart", func() any { return s.smart.ClientStats() })
+	}
+	r.AddMetrics("session", s.metrics)
+	s.registry = r
+	return r
 }

@@ -1,0 +1,97 @@
+package sphinx
+
+import (
+	"strings"
+	"testing"
+
+	"sphinx/internal/fabric"
+)
+
+// TestTraceWarmGet pins the paper's headline claim in trace form: a warm
+// Get on a filter-cache hit costs exactly three round trips — hash-read,
+// node-read, leaf-read — independent of tree depth, and the session's
+// histogram totals reconcile with the fabric's own counters.
+func TestTraceWarmGet(t *testing.T) {
+	cluster, err := NewCluster(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cluster.NewComputeNode().NewSession()
+
+	// Two keys diverging at depth 3 force an inner node at "LYR", so the
+	// warm path has a real hash-table target below the root.
+	if err := s.Put([]byte("LYRICS"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("LYRBIC"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the filter cache: the first Get may route through a fallback.
+	if _, ok, err := s.Get([]byte("LYRICS")); err != nil || !ok {
+		t.Fatalf("warm-up Get = ok %v, err %v", ok, err)
+	}
+
+	tr, err := s.Trace("get LYRICS", func() error {
+		v, ok, err := s.Get([]byte("LYRICS"))
+		if err == nil && (!ok || string(v) != "v1") {
+			t.Errorf("traced Get = %q, ok %v", v, ok)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tr.RoundTrips(); got != 3 {
+		t.Fatalf("warm Get took %d round trips, want 3:\n%s", got, tr.Format())
+	}
+	var stages []string
+	for _, e := range tr.Events {
+		if e.Batch {
+			stages = append(stages, e.Stage.String())
+		}
+	}
+	want := []string{
+		fabric.StageHashRead.String(),
+		fabric.StageNodeRead.String(),
+		fabric.StageLeafRead.String(),
+	}
+	if len(stages) != len(want) {
+		t.Fatalf("batch stages = %v, want %v:\n%s", stages, want, tr.Format())
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("batch stages = %v, want %v:\n%s", stages, want, tr.Format())
+		}
+	}
+	out := tr.Format()
+	for _, needle := range []string{"3 round trips", "hash-read", "node-read", "leaf-read"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("trace output missing %q:\n%s", needle, out)
+		}
+	}
+
+	// The tee'd recorder must not have perturbed the session accounting: a
+	// sequential session reconciles at both the stage and the op level.
+	st := s.Stats()
+	if got := s.Metrics().StageRTTotal(); got != st.RoundTrips {
+		t.Errorf("stage RT total %d != fabric round trips %d", got, st.RoundTrips)
+	}
+	if got := s.Metrics().OpRTTotal(); got != st.RoundTrips {
+		t.Errorf("op RT total %d != fabric round trips %d", got, st.RoundTrips)
+	}
+
+	// The registry sees the same truth through its export path.
+	snap := s.Registry().Snapshot()
+	if snap.Counters["fabric_round_trips"] != st.RoundTrips {
+		t.Errorf("registry fabric_round_trips = %d, want %d",
+			snap.Counters["fabric_round_trips"], st.RoundTrips)
+	}
+	var prom strings.Builder
+	if err := snap.WritePrometheus(&prom, "sphinx"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `sphinx_session_stage_round_trips_count{stage="hash-read"}`) {
+		t.Errorf("prometheus export missing hash-read stage histogram:\n%s", prom.String())
+	}
+}
