@@ -16,9 +16,12 @@ import (
 	"path/filepath"
 	"strings"
 
+	"time"
+
 	"sphinx/internal/bench"
 	"sphinx/internal/dataset"
 	"sphinx/internal/fabric"
+	"sphinx/internal/obs"
 )
 
 func main() {
@@ -36,6 +39,8 @@ func main() {
 	depth := flag.Int("depth", 1, "per-worker issue depth: in-flight ops per worker with coalesced doorbell batches (Sphinx-family only; pipeline sweeps its own)")
 	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json reports into this directory")
 	metrics := flag.Bool("metrics", false, "record per-op and per-stage histograms and emit a metrics section per result (fails the run if round-trip totals do not reconcile)")
+	serveAddr := flag.String("serve", "", "serve live observability HTTP on this address while experiments run (host:0 for an ephemeral port): /metrics, /snapshot, /traces, /debug/pprof")
+	serveLinger := flag.Duration("serve-linger", 0, "with -serve, keep serving this long after the experiments finish (lets scrapers read final totals)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|valsweep|pipeline|all\n", os.Args[0])
 		flag.PrintDefaults()
@@ -57,6 +62,11 @@ func main() {
 		Depth:        *depth,
 		Metrics:      *metrics,
 	}
+	var live *bench.Live
+	if *serveAddr != "" {
+		live = bench.NewLive()
+		base.Live = live
+	}
 	if *faults > 0 {
 		base.Faults = &fabric.FaultPlan{
 			Seed:            uint64(*seed),
@@ -77,6 +87,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *only)
 		os.Exit(2)
+	}
+
+	if live != nil {
+		// The registry is assembled here, before any experiment goroutine
+		// exists; scrapes then race only against atomic counter sources.
+		h := obs.NewHandler(obs.ServeOptions{Registry: live.Registry(), Tail: live.Tail})
+		_, bound, err := obs.Serve(*serveAddr, h)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sphinxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving observability on http://%s/\n", bound)
 	}
 
 	var collected []bench.Result
@@ -202,6 +224,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(collected), *csvPath)
+	}
+	if live != nil && *serveLinger > 0 {
+		fmt.Fprintf(os.Stderr, "lingering %v for final scrapes\n", *serveLinger)
+		time.Sleep(*serveLinger)
 	}
 }
 

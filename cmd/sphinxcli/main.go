@@ -24,6 +24,7 @@ import (
 
 func main() {
 	sysName := flag.String("system", "sphinx", "index system: sphinx, smart or art")
+	serveAddr := flag.String("serve", "", "serve live observability HTTP on this address (host:0 for an ephemeral port): /metrics, /snapshot, /traces, /debug/pprof")
 	flag.Parse()
 
 	var sys sphinx.System
@@ -46,7 +47,17 @@ func main() {
 	}
 	session := cluster.NewComputeNode().NewSession()
 	fmt.Printf("%v cluster ready (3 memory nodes, simulated RDMA)\n", sys)
-	fmt.Println("commands: get K | put K V | update K V | del K | scan LO HI [N] | trace OP ... | stats | metrics | mem | help | quit")
+	serving := false
+	if *serveAddr != "" {
+		_, bound, err := session.ServeObservability(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		serving = true
+		fmt.Printf("observability: http://%s/ (metrics, snapshot, traces, pprof)\n", bound)
+	}
+	fmt.Println("commands: get K | put K V | update K V | del K | scan LO HI [N] | trace OP ... | stats | metrics | serve [ADDR] | mem | help | quit")
 
 	in := bufio.NewScanner(os.Stdin)
 	for {
@@ -66,6 +77,7 @@ func main() {
 		case cmd == "help":
 			fmt.Println("get K | put K V | update K V | del K | scan LO HI [N] | stats | metrics | mem | quit")
 			fmt.Println("trace get K | trace put K V | trace update K V | trace del K  — one op's round-trip timeline")
+			fmt.Println("serve [ADDR]  — start the live observability HTTP endpoint (default 127.0.0.1:0)")
 			continue
 		case cmd == "trace" && len(fields) >= 3:
 			tr, err := traceOp(session, fields[1:])
@@ -79,6 +91,19 @@ func main() {
 			if err := session.Registry().Snapshot().WritePrometheus(os.Stdout, "sphinx"); err != nil {
 				fmt.Println("error:", err)
 			}
+			continue
+		case cmd == "serve":
+			addr := "127.0.0.1:0"
+			if len(fields) == 2 {
+				addr = fields[1]
+			}
+			_, bound, err := session.ServeObservability(addr)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			serving = true
+			fmt.Printf("observability: http://%s/ (metrics, snapshot, traces, pprof)\n", bound)
 			continue
 		case cmd == "stats":
 			st := session.Stats()
@@ -131,6 +156,12 @@ func main() {
 		d := session.Stats()
 		fmt.Printf("  (%d round trips, %.1f µs)\n",
 			d.RoundTrips-before.RoundTrips, float64(d.ClockPs-before.ClockPs)/1e6)
+	}
+	if serving {
+		// Stdin closed (e.g. piped commands ran out) but the HTTP endpoint
+		// was requested; keep serving until the process is killed.
+		fmt.Println("stdin closed; observability server stays up (interrupt to exit)")
+		select {}
 	}
 }
 

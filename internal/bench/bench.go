@@ -7,6 +7,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"sphinx/internal/cuckoo"
 
@@ -17,6 +18,7 @@ import (
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
 	"sphinx/internal/obs"
+	"sphinx/internal/racehash"
 	"sphinx/internal/rart"
 	"sphinx/internal/smart"
 	"sphinx/internal/ycsb"
@@ -112,7 +114,23 @@ type Config struct {
 	// shared obs.Metrics batch observer and each operation's latency and
 	// round trips are recorded, producing a Result.Metrics section whose
 	// per-stage round-trip totals reconcile against the fabric counters.
+	// Sphinx-family results additionally carry SFC and INHT efficacy
+	// sections (hit-depth distribution, measured FP rate vs the analytic
+	// bound, hash-table load factor).
 	Metrics bool
+
+	// Tail enables tail-latency trace sampling: sequential (depth-1)
+	// workers record each op's round-trip timeline, and ops above the
+	// moving per-kind p99 keep their trace, pre-explained. Counts land in
+	// the Result.Metrics tail fields; the traces themselves are servable
+	// via Live.
+	Tail bool
+
+	// Live, when non-nil, accumulates every phase's metrics, index
+	// distributions and tail samples into a harness-lifetime surface
+	// servable over HTTP while experiments run (sphinxbench -serve). It
+	// implies Tail.
+	Live *Live
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +209,27 @@ type Cluster struct {
 	// fresh at the top of Load and Run when Cfg.Metrics is set and shared
 	// by every worker client of that phase (obs.Metrics is atomic).
 	runMetrics *obs.Metrics
+	// live is Cfg.Live: the harness-lifetime surface every phase also
+	// reports into (teed with runMetrics on each worker client).
+	live *Live
+	// index receives SFC/INHT distribution observations from every
+	// Sphinx worker; per-phase sections diff against the *Base snapshots
+	// taken at phase start (the set itself accumulates, so a live scrape
+	// mid-phase sees it moving).
+	index        *obs.IndexMetrics
+	hitDepthBase obs.HistSnapshot
+	probesBase   obs.HistSnapshot
+	candBase     obs.HistSnapshot
+	filterBase   cuckoo.Stats
+	// tail samples slow-op timelines from sequential workers.
+	tail                     *obs.TailSampler
+	tailBaseOff, tailBaseCap uint64
+
+	// doneMu guards the lifetime core/hash counter totals folded in at
+	// each phase end, read by live-registry scrape goroutines.
+	doneMu   sync.Mutex
+	doneCore core.Stats
+	doneHash racehash.Stats
 }
 
 // NewCluster builds the fabric, bootstraps the system and generates the
@@ -208,7 +247,19 @@ func NewCluster(sys System, cfg Config) (*Cluster, error) {
 	}
 	ring := consistenthash.New(nodes, 0)
 
-	cl := &Cluster{Sys: sys, Cfg: cfg, F: f, Ring: ring}
+	cl := &Cluster{Sys: sys, Cfg: cfg, F: f, Ring: ring, live: cfg.Live}
+	switch {
+	case cfg.Live != nil:
+		cl.index = cfg.Live.Index
+		cl.tail = cfg.Live.Tail
+	default:
+		if cfg.Metrics {
+			cl.index = obs.NewIndexMetrics()
+		}
+		if cfg.Tail {
+			cl.tail = obs.NewTailSampler(0, 0)
+		}
+	}
 	cl.keys = dataset.Generate(cfg.Dataset, cfg.Keys, cfg.Seed)
 	cl.space = ycsb.NewKeySpace(cl.keys, dataset.Novel(cfg.Dataset, cfg.Seed+7))
 	cl.zipf = ycsb.NewZipfian(uint64(cfg.Keys), cfg.Theta)
@@ -250,7 +301,43 @@ func NewCluster(sys System, cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Live != nil {
+		cfg.Live.attach(cl)
+	}
 	return cl, nil
+}
+
+// phaseObs composes the harness-lifetime and per-phase batch observers
+// for a worker client, returning nil when neither is active. The nil
+// check matters at the call sites: installing a typed-nil observer would
+// make the interface non-nil and panic on the first batch.
+func (cl *Cluster) phaseObs() fabric.BatchObserver {
+	var live, phase fabric.BatchObserver
+	if cl.live != nil {
+		live = cl.live.Metrics
+	}
+	if cl.runMetrics != nil {
+		phase = cl.runMetrics
+	}
+	switch {
+	case live != nil && phase != nil:
+		return obs.Tee{A: live, B: phase}
+	case live != nil:
+		return live
+	default:
+		return phase
+	}
+}
+
+// observeOp records one finished operation into the per-phase and
+// harness-lifetime metric sets (whichever are active).
+func (cl *Cluster) observeOp(k obs.OpKind, latencyPs int64, roundTrips uint64) {
+	if cl.runMetrics != nil {
+		cl.runMetrics.ObserveOp(k, latencyPs, roundTrips)
+	}
+	if cl.live != nil {
+		cl.live.Metrics.ObserveOp(k, latencyPs, roundTrips)
+	}
 }
 
 // scanAdapter bridges the per-system Scan(lo, hi, limit) signatures to the
@@ -306,11 +393,13 @@ func (cl *Cluster) sphinxOptions(cn int) (core.Options, bool) {
 	default:
 		return core.Options{}, false
 	}
-	// The nil guard matters: assigning a nil *obs.Metrics unconditionally
-	// would make the interface field non-nil and panic on first event.
-	if cl.runMetrics != nil {
-		o.Observer = cl.runMetrics
+	// The nil guard matters: assigning a nil observer interface
+	// unconditionally would make the field non-nil and panic on first
+	// event.
+	if observer := cl.phaseObs(); observer != nil {
+		o.Observer = observer
 	}
+	o.Index = cl.index
 	return o, true
 }
 
@@ -321,8 +410,8 @@ func (cl *Cluster) NewIndex(cn int) (Index, *fabric.Client) {
 	if cl.Sys == SphinxNoBatch {
 		fc.SetNoBatch(true)
 	}
-	if cl.runMetrics != nil {
-		fc.SetObserver(cl.runMetrics)
+	if observer := cl.phaseObs(); observer != nil {
+		fc.SetObserver(observer)
 	}
 	if opts, ok := cl.sphinxOptions(cn); ok {
 		return sphinxIndex{core.NewClient(cl.sphinxShared, fc, opts)}, fc
@@ -352,8 +441,8 @@ func (cl *Cluster) NewPipeline(cn int) (*core.Pipeline, *fabric.Client, bool) {
 	if cl.Sys == SphinxNoBatch {
 		fc.SetNoBatch(true)
 	}
-	if cl.runMetrics != nil {
-		fc.SetObserver(cl.runMetrics)
+	if observer := cl.phaseObs(); observer != nil {
+		fc.SetObserver(observer)
 	}
 	return core.NewPipeline(cl.sphinxShared, fc, opts), fc, true
 }

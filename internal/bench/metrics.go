@@ -41,14 +41,35 @@ type MetricsBlock struct {
 	StageRTTotal     uint64 `json:"stage_rt_total"`
 	FabricRoundTrips uint64 `json:"fabric_round_trips"`
 	RTReconciled     bool   `json:"rt_reconciled"`
+
+	// SFC and INHT are the index-semantic efficacy sections, present for
+	// Sphinx-family results (SFC absent for the filter-less ablation).
+	SFC  *SFCBlock  `json:"sfc,omitempty"`
+	INHT *INHTBlock `json:"inht,omitempty"`
+
+	// Tail sampling totals for this phase (Config.Tail or Config.Live).
+	TailOffered  uint64 `json:"tail_offered,omitempty"`
+	TailCaptured uint64 `json:"tail_captured,omitempty"`
 }
 
 // beginPhaseMetrics resets the phase metric set: each measurement phase
 // (load, or one workload run) gets a fresh one so its section reconciles
-// against that phase's ResetTimelines-cleared fabric counters.
+// against that phase's ResetTimelines-cleared fabric counters. The
+// cumulative sources (index distributions, CN filter counters, tail
+// totals) get baseline snapshots instead, so per-phase sections report
+// deltas while live scrapes see them accumulate.
 func (cl *Cluster) beginPhaseMetrics() {
 	if cl.Cfg.Metrics {
 		cl.runMetrics = obs.NewMetrics()
+	}
+	if cl.index != nil {
+		cl.hitDepthBase = cl.index.SFCHitDepth.Snapshot()
+		cl.probesBase = cl.index.SFCProbes.Snapshot()
+		cl.candBase = cl.index.INHTCandidates.Snapshot()
+	}
+	cl.filterBase = cl.filterStatsAgg()
+	if cl.tail != nil {
+		cl.tailBaseOff, cl.tailBaseCap = cl.tail.Stats()
 	}
 }
 
@@ -128,5 +149,10 @@ func (cl *Cluster) attachMetrics(r *Result) {
 	b.FabricRoundTrips = r.RoundTrips
 	b.RTReconciled = b.StageRTTotal == b.FabricRoundTrips &&
 		(r.Depth > 1 || b.OpRTTotal == b.FabricRoundTrips)
+	if cl.tail != nil {
+		offered, captured := cl.tail.Stats()
+		b.TailOffered = offered - cl.tailBaseOff
+		b.TailCaptured = captured - cl.tailBaseCap
+	}
 	r.Metrics = b
 }

@@ -125,16 +125,22 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 			idx, fc := cl.NewIndex(w % cl.Cfg.CNs)
 			clients[w] = fc
 			idxs[w] = idx
+			rec := cl.armTail(idx, fc)
 			lat := make([]int64, 0, len(keys)/workers+1)
 			for i := w; i < len(keys); i += workers {
 				start, rt0 := fc.Clock(), fc.RoundTrips()
+				if rec != nil {
+					rec.BeginReuse(obs.OpPut.String(), start)
+				}
 				if _, err := idx.Insert(keys[i], value); err != nil {
 					errCh <- fmt.Errorf("load worker %d key %d: %w", w, i, err)
 					return
 				}
 				lat = append(lat, fc.Clock()-start)
-				if cl.runMetrics != nil {
-					cl.runMetrics.ObserveOp(obs.OpPut, fc.Clock()-start, fc.RoundTrips()-rt0)
+				cl.observeOp(obs.OpPut, fc.Clock()-start, fc.RoundTrips()-rt0)
+				if rec != nil {
+					rec.End(fc.Clock())
+					cl.tail.Offer(obs.OpPut, rec.Trace())
 				}
 			}
 			lats[w] = lat
@@ -147,10 +153,33 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 	}
 	r := cl.summarize("LOAD", workers, clients, lats)
 	r.Depth = 1 // loading is always sequential
-	cl.attachSphinxDiag(&r, idxs, nil)
+	coreAgg, hashAgg, isSphinx := cl.aggSphinx(idxs, nil)
+	cl.attachSphinxDiag(&r, coreAgg, isSphinx)
 	attachRecoveryDiag(&r, idxs, nil)
 	cl.attachMetrics(&r)
+	cl.attachIndexBlocks(&r, coreAgg, hashAgg, isSphinx)
 	return r, nil
+}
+
+// armTail gives one sequential worker a trace recorder feeding the tail
+// sampler: teed into the client's batch observer chain, and (for Sphinx
+// workers) installed on the core client so locate annotations — false
+// positives, collisions, restarts — arrive in the captured timelines.
+// Returns nil when tail sampling is off.
+func (cl *Cluster) armTail(idx Index, fc *fabric.Client) *obs.Recorder {
+	if cl.tail == nil {
+		return nil
+	}
+	rec := obs.NewRecorder()
+	if observer := cl.phaseObs(); observer != nil {
+		fc.SetObserver(obs.Tee{A: observer, B: rec})
+	} else {
+		fc.SetObserver(rec)
+	}
+	if si, ok := idx.(sphinxIndex); ok {
+		si.c.SetRecorder(rec)
+	}
+	return rec
 }
 
 // Run drives one YCSB workload. The index must already be loaded. Every
@@ -185,7 +214,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 				if pl, fc, ok := cl.NewPipeline(wk % cl.Cfg.CNs); ok {
 					clients[wk] = fc
 					pls[wk] = pl
-					lat, err := runPipelined(pl, gen, cl.value, opsPerWorker, depth, cl.runMetrics)
+					lat, err := runPipelined(cl, pl, gen, cl.value, opsPerWorker, depth)
 					if err != nil {
 						errCh <- fmt.Errorf("worker %d: %w", wk, err)
 						return
@@ -197,24 +226,24 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 			idx, fc := cl.NewIndex(wk % cl.Cfg.CNs)
 			clients[wk] = fc
 			idxs[wk] = idx
+			rec := cl.armTail(idx, fc)
 			lat := make([]int64, 0, opsPerWorker)
 			for i := 0; i < opsPerWorker; i++ {
 				op := gen.Next()
+				kind := ycsbOpKind(op.Kind)
 				start, rt0 := fc.Clock(), fc.RoundTrips()
+				if rec != nil {
+					rec.BeginReuse(kind.String(), start)
+				}
 				var err error
-				var kind obs.OpKind
 				switch op.Kind {
 				case ycsb.OpRead:
-					kind = obs.OpGet
 					_, _, err = idx.Search(op.Key)
 				case ycsb.OpUpdate:
-					kind = obs.OpUpdate
 					_, err = idx.Update(op.Key, cl.value)
 				case ycsb.OpInsert:
-					kind = obs.OpPut
 					_, err = idx.Insert(op.Key, cl.value)
 				case ycsb.OpScan:
-					kind = obs.OpScan
 					_, err = idx.ScanN(op.Key, op.ScanLen)
 				}
 				if err != nil {
@@ -222,8 +251,10 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 					return
 				}
 				lat = append(lat, fc.Clock()-start)
-				if cl.runMetrics != nil {
-					cl.runMetrics.ObserveOp(kind, fc.Clock()-start, fc.RoundTrips()-rt0)
+				cl.observeOp(kind, fc.Clock()-start, fc.RoundTrips()-rt0)
+				if rec != nil {
+					rec.End(fc.Clock())
+					cl.tail.Offer(kind, rec.Trace())
 				}
 			}
 			lats[wk] = lat
@@ -236,10 +267,26 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 	}
 	r := cl.summarize(w.Name, workers, clients, lats)
 	r.Depth = depth
-	cl.attachSphinxDiag(&r, idxs, pls)
+	coreAgg, hashAgg, isSphinx := cl.aggSphinx(idxs, pls)
+	cl.attachSphinxDiag(&r, coreAgg, isSphinx)
 	attachRecoveryDiag(&r, idxs, pls)
 	cl.attachMetrics(&r)
+	cl.attachIndexBlocks(&r, coreAgg, hashAgg, isSphinx)
 	return r, nil
+}
+
+// ycsbOpKind maps a YCSB op to its metrics op kind.
+func ycsbOpKind(k ycsb.OpKind) obs.OpKind {
+	switch k {
+	case ycsb.OpUpdate:
+		return obs.OpUpdate
+	case ycsb.OpInsert:
+		return obs.OpPut
+	case ycsb.OpScan:
+		return obs.OpScan
+	default:
+		return obs.OpGet
+	}
 }
 
 // runPipelined drives one worker's share of a workload through a
@@ -247,7 +294,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 // windows of a few depths so that generation (which for YCSB-D tracks
 // the growing key space) never runs far ahead of execution. Per-op
 // latency spans each op's own in-flight window.
-func runPipelined(pl *core.Pipeline, gen *ycsb.Generator, value []byte, total, depth int, m *obs.Metrics) ([]int64, error) {
+func runPipelined(cl *Cluster, pl *core.Pipeline, gen *ycsb.Generator, value []byte, total, depth int) ([]int64, error) {
 	lat := make([]int64, 0, total)
 	window := depth * 8
 	opBuf := make([]ycsb.Op, 0, window)
@@ -284,35 +331,19 @@ func runPipelined(pl *core.Pipeline, gen *ycsb.Generator, value []byte, total, d
 				return nil, fmt.Errorf("op %d (%v): %w", done+i, opBuf[i].Kind, po.Err)
 			}
 			lat = append(lat, po.EndPs-po.StartPs)
-			if m != nil {
-				// Round trips are shared across in-flight ops (doorbell
-				// coalescing), so no per-op attribution exists at depth>1;
-				// the per-stage histograms carry the RT accounting instead.
-				m.ObserveOp(pipeOpKind(po.Kind), po.EndPs-po.StartPs, 0)
-			}
+			// Round trips are shared across in-flight ops (doorbell
+			// coalescing), so no per-op attribution exists at depth>1;
+			// the per-stage histograms carry the RT accounting instead.
+			cl.observeOp(pipeOpKind(po.Kind), po.EndPs-po.StartPs, 0)
 		}
 		done += n
 	}
 	return lat, nil
 }
 
-// attachSphinxDiag aggregates Sphinx client counters into the result,
-// from sequential workers and pipelined executors alike.
-func (cl *Cluster) attachSphinxDiag(r *Result, idxs []Index, pls []*core.Pipeline) {
-	var agg core.Stats
-	found := false
-	for _, ix := range idxs {
-		if si, ok := ix.(sphinxIndex); ok && si.c != nil {
-			agg = agg.Add(si.c.Stats())
-			found = true
-		}
-	}
-	for _, pl := range pls {
-		if pl != nil {
-			agg = agg.Add(pl.Stats())
-			found = true
-		}
-	}
+// attachSphinxDiag folds the phase's aggregated Sphinx client counters
+// (see aggSphinx) into the result's diagnostic fields.
+func (cl *Cluster) attachSphinxDiag(r *Result, agg core.Stats, found bool) {
 	if !found || r.Ops == 0 {
 		return
 	}

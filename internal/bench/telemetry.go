@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"sync/atomic"
+
+	"sphinx/internal/core"
+	"sphinx/internal/cuckoo"
+	"sphinx/internal/fabric"
+	"sphinx/internal/obs"
+	"sphinx/internal/racehash"
+)
+
+// Live is the harness's cluster-spanning observability surface: one
+// metric set, index-distribution set and tail sampler that every cluster
+// the harness creates feeds for its whole lifetime, servable over HTTP
+// while experiments run (sphinxbench -serve). Per-phase Result sections
+// are unaffected — they diff against phase baselines; Live accumulates.
+//
+// Experiments create clusters one after another; the gauge sources (SFC
+// load, INHT usage) read through the most recent Sphinx-family cluster,
+// which is the one currently running.
+type Live struct {
+	Metrics *obs.Metrics
+	Index   *obs.IndexMetrics
+	Tail    *obs.TailSampler
+
+	reg *obs.Registry
+	cur atomic.Pointer[Cluster]
+}
+
+// NewLive creates the live telemetry surface. Pass it via Config.Live to
+// every cluster that should report into it.
+func NewLive() *Live {
+	return &Live{
+		Metrics: obs.NewMetrics(),
+		Index:   obs.NewIndexMetrics(),
+		Tail:    obs.NewTailSampler(0, 0),
+	}
+}
+
+// attach points the gauge sources at a newly created cluster.
+func (lv *Live) attach(cl *Cluster) {
+	if len(cl.filters) > 0 {
+		lv.cur.Store(cl)
+	}
+}
+
+// Registry assembles (once) the registry behind /metrics and /snapshot:
+// the live histograms, index distributions, tail counters, and gauge/
+// counter sources that follow the current cluster. Every source is
+// scrape-safe concurrently with running workers: filter caches are
+// mutex-guarded, INHT usage scans go through the region locks, and the
+// finished-phase core/hash counters are mutex-guarded on the cluster.
+func (lv *Live) Registry() *obs.Registry {
+	if lv.reg != nil {
+		return lv.reg
+	}
+	r := obs.NewRegistry()
+	r.AddMetrics("bench", lv.Metrics)
+	lv.Index.Register(r)
+	r.AddCounters("tail", lv.Tail.Counters)
+	r.AddCounterStruct("core", func() any {
+		if cl := lv.cur.Load(); cl != nil {
+			return cl.phaseDoneCore()
+		}
+		return core.Stats{}
+	})
+	r.AddCounterStruct("inht", func() any {
+		if cl := lv.cur.Load(); cl != nil {
+			return cl.phaseDoneHash()
+		}
+		return racehash.Stats{}
+	})
+	r.AddCounterStruct("filter", func() any {
+		if cl := lv.cur.Load(); cl != nil {
+			return cl.filterStatsAgg()
+		}
+		return cuckoo.Stats{}
+	})
+	r.AddGauges("sfc", func() map[string]float64 {
+		cl := lv.cur.Load()
+		if cl == nil {
+			return nil
+		}
+		occupied, capacity, load, bound := cl.filterOccupancy()
+		g := map[string]float64{
+			"occupied_slots":    float64(occupied),
+			"capacity_slots":    float64(capacity),
+			"load":              load,
+			"analytic_fp_bound": bound,
+		}
+		fst := cl.filterStatsAgg()
+		if probes := fst.Hits + fst.Misses; probes > 0 {
+			g["false_positive_rate"] = float64(cl.phaseDoneCore().FalsePositives) / float64(probes)
+		}
+		return g
+	})
+	r.AddGauges("inht", func() map[string]float64 {
+		cl := lv.cur.Load()
+		if cl == nil {
+			return nil
+		}
+		u := cl.inhtUsage()
+		return map[string]float64{
+			"load_factor":      u.LoadFactor(),
+			"entries":          float64(u.Entries),
+			"capacity_entries": float64(u.Capacity),
+			"segments":         float64(u.Segments),
+			"dir_entries":      float64(u.DirEntries),
+		}
+	})
+	lv.reg = r
+	return r
+}
+
+// SFCBlock is the per-phase succinct-filter-cache efficacy section of a
+// result's metrics: where locates landed in the prefix walk, how the
+// measured false-positive rate compares to the cuckoo filter's analytic
+// bound, and (for read-only sequential phases) whether every false
+// positive reconciles against an extra hash-read-stage round trip.
+type SFCBlock struct {
+	// HitDepth is the distribution of the longest-prefix-hit depth (key
+	// bytes matched) over filter-resolved locates; Probes is the local
+	// filter probes spent per locate.
+	HitDepth HistJSON `json:"hit_depth"`
+	Probes   HistJSON `json:"probes"`
+
+	Load          float64 `json:"load"`
+	OccupiedSlots uint64  `json:"occupied_slots"`
+	CapacitySlots uint64  `json:"capacity_slots"`
+
+	FilterHits     uint64 `json:"filter_hits"`
+	FalsePositives uint64 `json:"false_positives"`
+	// Evictions and HotMarks are this phase's share of eviction and
+	// hotness-bit churn across the CN filter caches.
+	Evictions uint64 `json:"evictions,omitempty"`
+	HotMarks  uint64 `json:"hot_marks,omitempty"`
+
+	MeasuredFPRate  float64 `json:"measured_fp_rate"`
+	AnalyticFPBound float64 `json:"analytic_fp_bound"`
+
+	// FPReconciled is set for read-only depth-1 phases: true iff hash
+	// lookups == filter hits + false positives AND the hash-read stage's
+	// round trips == lookups + stale-directory retries + 2×refreshes —
+	// i.e. every false positive shows up as exactly one extra hash-entry
+	// round trip (DESIGN.md §5.9). Absent when the phase wrote, restarted
+	// or ran pipelined (coalescing shares round trips across ops).
+	FPReconciled *bool `json:"fp_reconciled,omitempty"`
+}
+
+// INHTBlock is the per-phase inner-node-hash-table section: structural
+// load from an MN-side scan plus this phase's lookup/maintenance
+// counters.
+type INHTBlock struct {
+	// Candidates is the distribution of fingerprint-matching candidates
+	// per lookup (>1 means fingerprint collisions bought wasted reads).
+	Candidates HistJSON `json:"candidates"`
+
+	LoadFactor      float64 `json:"load_factor"`
+	Entries         uint64  `json:"entries"`
+	CapacityEntries uint64  `json:"capacity_entries"`
+	Segments        uint64  `json:"segments"`
+	DirEntries      uint64  `json:"dir_entries"`
+
+	Lookups         uint64 `json:"lookups"`
+	RetryReads      uint64 `json:"retry_reads,omitempty"`
+	Refreshes       uint64 `json:"refreshes,omitempty"`
+	StaleEntries    uint64 `json:"stale_entries,omitempty"`
+	FPMismatches    uint64 `json:"fp_mismatches,omitempty"`
+	BucketOverflows uint64 `json:"bucket_overflows,omitempty"`
+	Splits          uint64 `json:"splits,omitempty"`
+}
+
+// filterStatsAgg sums the CN filter caches' counters (empty for systems
+// without a filter).
+func (cl *Cluster) filterStatsAgg() cuckoo.Stats {
+	var agg cuckoo.Stats
+	for _, f := range cl.filters {
+		st := f.FilterStats()
+		agg.Inserts += st.Inserts
+		agg.Duplicates += st.Duplicates
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.SecondWins += st.SecondWins
+		agg.Relocations += st.Relocations
+		agg.Evictions += st.Evictions
+		agg.KickDrops += st.KickDrops
+		agg.HotMarks += st.HotMarks
+		agg.Deletes += st.Deletes
+	}
+	return agg
+}
+
+// filterOccupancy aggregates slot occupancy across the CN filter caches;
+// the analytic bound is averaged (the caches share one geometry).
+func (cl *Cluster) filterOccupancy() (occupied, capacity uint64, load, bound float64) {
+	for _, f := range cl.filters {
+		o, c := f.Occupancy()
+		occupied += o
+		capacity += c
+		bound += f.AnalyticFPBound()
+	}
+	if capacity > 0 {
+		load = float64(occupied) / float64(capacity)
+	}
+	if n := len(cl.filters); n > 0 {
+		bound /= float64(n)
+	}
+	return occupied, capacity, load, bound
+}
+
+// inhtUsage scans every memory node's hash-table structure MN-side (no
+// virtual-clock cost; race-clean through the region locks).
+func (cl *Cluster) inhtUsage() racehash.Usage {
+	var u racehash.Usage
+	for node, t := range cl.sphinxShared.Tables {
+		u = u.Add(racehash.ReadUsage(cl.F.Region(node), t))
+	}
+	return u
+}
+
+// phaseDoneCore and phaseDoneHash return the core/hash counters of all
+// finished phases (live scrape sources; per-phase worker clients are
+// aggregated into these at each phase end).
+func (cl *Cluster) phaseDoneCore() core.Stats {
+	cl.doneMu.Lock()
+	defer cl.doneMu.Unlock()
+	return cl.doneCore
+}
+
+func (cl *Cluster) phaseDoneHash() racehash.Stats {
+	cl.doneMu.Lock()
+	defer cl.doneMu.Unlock()
+	return cl.doneHash
+}
+
+// aggSphinx folds the phase's Sphinx worker counters (sequential clients
+// and pipelined executors) into one pair of core/hash totals.
+func (cl *Cluster) aggSphinx(idxs []Index, pls []*core.Pipeline) (core.Stats, racehash.Stats, bool) {
+	var coreAgg core.Stats
+	var hashAgg racehash.Stats
+	found := false
+	for _, ix := range idxs {
+		if si, ok := ix.(sphinxIndex); ok && si.c != nil {
+			coreAgg = coreAgg.Add(si.c.Stats())
+			hashAgg = hashAgg.Add(si.c.HashStats())
+			found = true
+		}
+	}
+	for _, pl := range pls {
+		if pl != nil {
+			coreAgg = coreAgg.Add(pl.Stats())
+			hashAgg = hashAgg.Add(pl.HashStats())
+			found = true
+		}
+	}
+	return coreAgg, hashAgg, found
+}
+
+// attachIndexBlocks fills the result's SFC and INHT sections from the
+// phase deltas, and folds the phase's worker counters into the cluster's
+// lifetime totals for the live registry.
+func (cl *Cluster) attachIndexBlocks(r *Result, coreAgg core.Stats, hashAgg racehash.Stats, isSphinx bool) {
+	if !isSphinx {
+		return
+	}
+	cl.doneMu.Lock()
+	cl.doneCore = cl.doneCore.Add(coreAgg)
+	cl.doneHash = cl.doneHash.Add(hashAgg)
+	cl.doneMu.Unlock()
+	if r.Metrics == nil || cl.index == nil {
+		return
+	}
+
+	inht := &INHTBlock{
+		Candidates:      histJSON(cl.index.INHTCandidates.Snapshot().Sub(cl.candBase), 1),
+		Lookups:         hashAgg.Lookups,
+		RetryReads:      hashAgg.RetryReads,
+		Refreshes:       hashAgg.Refreshes,
+		StaleEntries:    coreAgg.StaleEntries,
+		FPMismatches:    coreAgg.FPMismatches,
+		BucketOverflows: hashAgg.BucketOverflows,
+		Splits:          hashAgg.Splits,
+	}
+	u := cl.inhtUsage()
+	inht.LoadFactor = u.LoadFactor()
+	inht.Entries = u.Entries
+	inht.CapacityEntries = u.Capacity
+	inht.Segments = u.Segments
+	inht.DirEntries = u.DirEntries
+	r.Metrics.INHT = inht
+
+	// The filter-less ablation allocates no filter traffic even though
+	// the CN filter caches exist; it gets no SFC section.
+	if len(cl.filters) == 0 || cl.Sys == SphinxNoSFC {
+		return
+	}
+	fst := cl.filterStatsAgg()
+	probes := fst.Hits + fst.Misses - cl.filterBase.Hits - cl.filterBase.Misses
+	occupied, capacity, load, bound := cl.filterOccupancy()
+	sfc := &SFCBlock{
+		HitDepth:        histJSON(cl.index.SFCHitDepth.Snapshot().Sub(cl.hitDepthBase), 1),
+		Probes:          histJSON(cl.index.SFCProbes.Snapshot().Sub(cl.probesBase), 1),
+		Load:            load,
+		OccupiedSlots:   occupied,
+		CapacitySlots:   capacity,
+		FilterHits:      coreAgg.FilterHits,
+		FalsePositives:  coreAgg.FalsePositives,
+		Evictions:       fst.Evictions - cl.filterBase.Evictions,
+		HotMarks:        fst.HotMarks - cl.filterBase.HotMarks,
+		AnalyticFPBound: bound,
+	}
+	if probes > 0 {
+		sfc.MeasuredFPRate = float64(coreAgg.FalsePositives) / float64(probes)
+	}
+	// The FP↔round-trip reconciliation is meaningful only when the phase
+	// was purely sequential reads on a healthy index: writes and restarts
+	// add hash-stage traffic of their own, and pipelining coalesces many
+	// lookups into shared round trips.
+	if cl.runMetrics != nil && r.Depth == 1 &&
+		coreAgg.Inserts == 0 && coreAgg.Updates == 0 && coreAgg.Deletes == 0 &&
+		coreAgg.Scans == 0 && coreAgg.Restarts == 0 && coreAgg.StaleEntries == 0 {
+		hashRT := cl.runMetrics.StageRT(fabric.StageHashRead).Sum
+		wantRT := hashAgg.Lookups + hashAgg.RetryReads + 2*hashAgg.Refreshes
+		ok := hashAgg.Lookups == coreAgg.FilterHits+coreAgg.FalsePositives &&
+			hashRT == wantRT
+		sfc.FPReconciled = &ok
+	}
+	r.Metrics.SFC = sfc
+}

@@ -17,6 +17,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"sphinx/internal/consistenthash"
 	"sphinx/internal/cuckoo"
@@ -136,6 +137,28 @@ func (fc *FilterCache) FilterStats() cuckoo.Stats {
 	return fc.f.Stats()
 }
 
+// Occupancy returns the filter's occupied slots and total slot capacity.
+func (fc *FilterCache) Occupancy() (occupied, capacity uint64) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.f.Occupancy(), uint64(fc.f.Capacity())
+}
+
+// Load returns the filter's occupied-slot fraction.
+func (fc *FilterCache) Load() float64 {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.f.Load()
+}
+
+// AnalyticFPBound returns the filter's analytic false-positive bound at
+// its current load.
+func (fc *FilterCache) AnalyticFPBound() float64 {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.f.AnalyticFPBound()
+}
+
 // Options tunes one Sphinx client.
 type Options struct {
 	// Filter is the CN's shared Succinct Filter Cache. If nil and
@@ -160,6 +183,11 @@ type Options struct {
 	// doorbell batch is reported with its stage annotation (obs.Metrics
 	// implements it). Shared observers must be concurrency-safe.
 	Observer fabric.BatchObserver
+	// Index, when non-nil, receives index-semantic distributions: SFC
+	// hit depths and probe counts per locate, INHT candidate counts per
+	// hash-entry lookup. Histograms are atomic, so one IndexMetrics may
+	// be shared by all workers of a CN.
+	Index *obs.IndexMetrics
 }
 
 // Stats counts Sphinx-level events per client.
@@ -177,6 +205,7 @@ type Stats struct {
 	Restarts        uint64 // operation-level retries (coherence protocol)
 	ParentRetries   uint64 // ErrNeedParent re-routes (structural, no backoff)
 	StaleEntries    uint64 // invalid hash entries cleaned opportunistically
+	FPMismatches    uint64 // candidate nodes read but failing the §III-B checks
 }
 
 // Add returns s + t, field-wise; used to aggregate workers.
@@ -194,6 +223,7 @@ func (s Stats) Add(t Stats) Stats {
 	s.Restarts += t.Restarts
 	s.ParentRetries += t.ParentRetries
 	s.StaleEntries += t.StaleEntries
+	s.FPMismatches += t.FPMismatches
 	return s
 }
 
@@ -205,8 +235,12 @@ type Client struct {
 	views  map[mem.NodeID]*racehash.View
 	filter *FilterCache
 	opts   Options
-	stats  Stats
-	rec    *obs.Recorder // armed per-op by Session.Trace; nil when idle
+	// stats fields are incremented atomically and loaded atomically by
+	// Stats(), so a live metrics scrape can snapshot a client while its
+	// worker goroutine runs operations.
+	stats Stats
+	index *obs.IndexMetrics // nil when index distributions are off
+	rec   *obs.Recorder     // armed per-op by Session.Trace; nil when idle
 
 	// Warm-path scratch, reused across operations (clients are
 	// single-goroutine). Valid only within one locate step.
@@ -225,6 +259,7 @@ func NewClient(shared Shared, c *fabric.Client, opts Options) *Client {
 		views:  make(map[mem.NodeID]*racehash.View, len(shared.Tables)),
 		filter: opts.Filter,
 		opts:   opts,
+		index:  opts.Index,
 	}
 	for node, t := range shared.Tables {
 		if opts.DisableDirCache {
@@ -255,8 +290,36 @@ func (c *Client) SetRecorder(r *obs.Recorder) { c.rec = r }
 // Engine exposes the node engine (fabric client, allocator) for stats.
 func (c *Client) Engine() *rart.Engine { return c.eng }
 
-// Stats returns a snapshot of the client's counters.
-func (c *Client) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the client's counters, loaded atomically so
+// it is safe to call concurrently with the worker driving the client.
+func (c *Client) Stats() Stats {
+	var s Stats
+	s.Searches = atomic.LoadUint64(&c.stats.Searches)
+	s.Inserts = atomic.LoadUint64(&c.stats.Inserts)
+	s.Updates = atomic.LoadUint64(&c.stats.Updates)
+	s.Deletes = atomic.LoadUint64(&c.stats.Deletes)
+	s.Scans = atomic.LoadUint64(&c.stats.Scans)
+	s.FilterHits = atomic.LoadUint64(&c.stats.FilterHits)
+	s.FilterFallbacks = atomic.LoadUint64(&c.stats.FilterFallbacks)
+	s.RootStarts = atomic.LoadUint64(&c.stats.RootStarts)
+	s.FalsePositives = atomic.LoadUint64(&c.stats.FalsePositives)
+	s.CollisionRetry = atomic.LoadUint64(&c.stats.CollisionRetry)
+	s.Restarts = atomic.LoadUint64(&c.stats.Restarts)
+	s.ParentRetries = atomic.LoadUint64(&c.stats.ParentRetries)
+	s.StaleEntries = atomic.LoadUint64(&c.stats.StaleEntries)
+	s.FPMismatches = atomic.LoadUint64(&c.stats.FPMismatches)
+	return s
+}
+
+// HashStats aggregates the inner-node-hash-table view counters across all
+// memory nodes this client talks to.
+func (c *Client) HashStats() racehash.Stats {
+	var total racehash.Stats
+	for _, v := range c.views {
+		total = total.Add(v.Stats())
+	}
+	return total
+}
 
 // Filter returns the client's filter cache (nil when disabled).
 func (c *Client) Filter() *FilterCache { return c.filter }

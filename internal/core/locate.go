@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sphinx/internal/fabric"
 	"sphinx/internal/racehash"
@@ -25,9 +26,11 @@ func (c *Client) locate(key []byte, maxLen int) (*rart.Node, int, error) {
 	if c.opts.DisableFilter {
 		return c.locateParallel(key, maxLen)
 	}
+	var probes uint64
 	for l := maxLen; l >= 1; l-- {
 		prefix := key[:l]
 		h := PrefixFilterHash(prefix)
+		probes++
 		if !c.filter.Contains(h) {
 			continue
 		}
@@ -40,19 +43,26 @@ func (c *Client) locate(key []byte, maxLen int) (*rart.Node, int, error) {
 			return nil, 0, err
 		}
 		if n != nil {
-			c.stats.FilterHits++
+			atomic.AddUint64(&c.stats.FilterHits, 1)
+			if c.index != nil {
+				c.index.SFCHitDepth.Observe(uint64(l))
+				c.index.SFCProbes.Observe(probes)
+			}
 			return n, l, nil
 		}
 		// The filter claimed a prefix the index does not have: unlearn it
 		// and retry shorter (paper §III-B false-positive handling).
-		c.stats.FalsePositives++
+		atomic.AddUint64(&c.stats.FalsePositives, 1)
 		c.filter.Delete(h)
 		if c.rec != nil {
 			c.rec.Note(fabric.StageFilterProbe, c.eng.C.Clock(),
 				fmt.Sprintf("sfc false positive at prefix %d: unlearned", l))
 		}
 	}
-	c.stats.RootStarts++
+	atomic.AddUint64(&c.stats.RootStarts, 1)
+	if c.index != nil {
+		c.index.SFCProbes.Observe(probes)
+	}
 	if c.rec != nil {
 		c.rec.Note(fabric.StageFilterProbe, c.eng.C.Clock(), "sfc miss on all prefixes: root start")
 	}
@@ -75,6 +85,9 @@ func (c *Client) fetchValidated(prefix []byte) (*rart.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.index != nil {
+		c.index.INHTCandidates.Observe(uint64(len(cands)))
+	}
 	if len(cands) == 0 {
 		return nil, nil
 	}
@@ -91,11 +104,16 @@ func (c *Client) fetchValidated(prefix []byte) (*rart.Node, error) {
 		case n.Hdr.Status == wire.StatusInvalid:
 			// Retired by a type switch whose table update this entry
 			// predates; clean it up so future lookups stay single-read.
-			c.stats.StaleEntries++
+			atomic.AddUint64(&c.stats.StaleEntries, 1)
 			if err := view.Remove(h42, cands[i].Entry); err != nil {
 				return nil, err
 			}
-		case c.validPrefixNode(n, prefix) && found == nil:
+		case !c.validPrefixNode(n, prefix):
+			// The 12-bit entry fingerprint matched, but the node's depth or
+			// 42-bit full-prefix hash did not: a hash-table-level
+			// fingerprint collision, paid for with a wasted node read.
+			atomic.AddUint64(&c.stats.FPMismatches, 1)
+		case found == nil:
 			found = n
 		}
 	}
@@ -177,7 +195,7 @@ func (c *Client) locateParallel(key []byte, maxLen int) (*rart.Node, int, error)
 			return nil, 0, err
 		}
 	}
-	c.stats.FilterFallbacks++
+	atomic.AddUint64(&c.stats.FilterFallbacks, 1)
 
 	// Deepest first: validate the bucket read, collect candidates, fetch.
 	for i := len(pendings) - 1; i >= 0; i-- {
@@ -204,7 +222,7 @@ func (c *Client) locateParallel(key []byte, maxLen int) (*rart.Node, int, error)
 			}
 		}
 	}
-	c.stats.RootStarts++
+	atomic.AddUint64(&c.stats.RootStarts, 1)
 	root, err := c.readRoot()
 	return root, 0, err
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sphinx/internal/fabric"
 	"sphinx/internal/rart"
@@ -83,7 +84,7 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 	if err := c.checkKey(key); err != nil {
 		return nil, false, err
 	}
-	c.stats.Searches++
+	atomic.AddUint64(&c.stats.Searches, 1)
 	maxLen := len(key)
 	var last error
 	for bo := c.eng.Backoff(); ; {
@@ -114,7 +115,7 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 		if !retriable(err) {
 			return nil, false, err
 		}
-		c.stats.Restarts++
+		atomic.AddUint64(&c.stats.Restarts, 1)
 		c.noteRestart(err)
 		last = err
 		// maxLen stays narrowed: a retriable fabric fault says nothing
@@ -129,7 +130,7 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 }
 
 func (c *Client) noteCollision(key []byte, startLen int) {
-	c.stats.CollisionRetry++
+	atomic.AddUint64(&c.stats.CollisionRetry, 1)
 	if c.filter != nil {
 		c.filter.Delete(PrefixFilterHash(key[:startLen]))
 	}
@@ -147,7 +148,7 @@ func (c *Client) Insert(key, value []byte) (bool, error) {
 	if err := c.checkKey(key); err != nil {
 		return false, err
 	}
-	c.stats.Inserts++
+	atomic.AddUint64(&c.stats.Inserts, 1)
 	return c.put(key, value, rart.PutUpsert)
 }
 
@@ -158,7 +159,7 @@ func (c *Client) Update(key, value []byte) (bool, error) {
 	if err := c.checkKey(key); err != nil {
 		return false, err
 	}
-	c.stats.Updates++
+	atomic.AddUint64(&c.stats.Updates, 1)
 	return c.put(key, value, rart.PutUpdateOnly)
 }
 
@@ -176,7 +177,7 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 				// deterministic structural condition, not contention: re-route
 				// immediately through a path that knows the parent, without
 				// consuming retry budget or injecting backoff sleep.
-				c.stats.ParentRetries++
+				atomic.AddUint64(&c.stats.ParentRetries, 1)
 				if c.rec != nil {
 					c.rec.Note(fabric.StagePublish, c.eng.C.Clock(),
 						fmt.Sprintf("need parent: re-routing via prefix %d, no backoff", startLen-1))
@@ -184,7 +185,7 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 				maxLen = startLen - 1
 				continue
 			case retriable(err) || errors.Is(err, rart.ErrNeedParent):
-				c.stats.Restarts++
+				atomic.AddUint64(&c.stats.Restarts, 1)
 				c.noteRestart(err)
 				maxLen = len(key)
 			case err != nil:
@@ -193,7 +194,7 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 				return existed, nil
 			}
 		} else if retriable(err) {
-			c.stats.Restarts++
+			atomic.AddUint64(&c.stats.Restarts, 1)
 			c.noteRestart(err)
 			maxLen = len(key)
 		} else {
@@ -211,7 +212,7 @@ func (c *Client) Delete(key []byte) (bool, error) {
 	if err := c.checkKey(key); err != nil {
 		return false, err
 	}
-	c.stats.Deletes++
+	atomic.AddUint64(&c.stats.Deletes, 1)
 	maxLen := len(key)
 	var last error
 	for bo := c.eng.Backoff(); ; {
@@ -243,7 +244,7 @@ func (c *Client) Delete(key []byte) (bool, error) {
 		if !retriable(err) {
 			return false, err
 		}
-		c.stats.Restarts++
+		atomic.AddUint64(&c.stats.Restarts, 1)
 		c.noteRestart(err)
 		last = err
 		maxLen = len(key)
@@ -273,7 +274,7 @@ func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
 	}
 	// Counted after validation: rejected calls pay no round trip and must
 	// not inflate per-op metrics.
-	c.stats.Scans++
+	atomic.AddUint64(&c.stats.Scans, 1)
 	var last error
 	for bo := c.eng.Backoff(); ; {
 		root, err := c.readRoot()
@@ -287,7 +288,7 @@ func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
 		if !retriable(err) {
 			return nil, err
 		}
-		c.stats.Restarts++
+		atomic.AddUint64(&c.stats.Restarts, 1)
 		c.noteRestart(err)
 		last = err
 		if !bo.Wait() {

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"sphinx/internal/fabric"
+	"sphinx/internal/racehash"
 	"sphinx/internal/rart"
 )
 
@@ -54,6 +55,10 @@ type Pipeline struct {
 	shared Shared
 	opts   Options
 	pipe   *fabric.Pipe
+
+	// laneMu guards the lane slices: Run appends lanes on demand while a
+	// metrics scrape may be aggregating Stats from another goroutine.
+	laneMu sync.Mutex
 	lanefc []*fabric.Client
 	lanes  []*Client
 }
@@ -77,14 +82,28 @@ func NewPipeline(shared Shared, main *fabric.Client, opts Options) *Pipeline {
 func (p *Pipeline) Pipe() *fabric.Pipe { return p.pipe }
 
 // Lanes returns how many lanes have been materialized so far.
-func (p *Pipeline) Lanes() int { return len(p.lanes) }
+func (p *Pipeline) Lanes() int {
+	p.laneMu.Lock()
+	defer p.laneMu.Unlock()
+	return len(p.lanes)
+}
 
 func (p *Pipeline) ensureLanes(n int) {
+	p.laneMu.Lock()
+	defer p.laneMu.Unlock()
 	for len(p.lanes) < n {
 		fc := p.pipe.NewLane()
 		p.lanefc = append(p.lanefc, fc)
 		p.lanes = append(p.lanes, NewClient(p.shared, fc, p.opts))
 	}
+}
+
+// snapshotLanes returns the current lane set; the returned slice is safe
+// to iterate while Run grows the pipeline.
+func (p *Pipeline) snapshotLanes() []*Client {
+	p.laneMu.Lock()
+	defer p.laneMu.Unlock()
+	return p.lanes[:len(p.lanes):len(p.lanes)]
 }
 
 // Run executes ops with up to depth in flight. Ops are dealt round-robin
@@ -143,7 +162,7 @@ func runPipeOp(cl *Client, fc *fabric.Client, op *PipeOp) {
 // Stats aggregates the Sphinx-level counters of all lanes.
 func (p *Pipeline) Stats() Stats {
 	var agg Stats
-	for _, cl := range p.lanes {
+	for _, cl := range p.snapshotLanes() {
 		agg = agg.Add(cl.Stats())
 	}
 	return agg
@@ -152,8 +171,18 @@ func (p *Pipeline) Stats() Stats {
 // EngineStats aggregates the node-engine recovery counters of all lanes.
 func (p *Pipeline) EngineStats() rart.EngineStats {
 	var agg rart.EngineStats
-	for _, cl := range p.lanes {
+	for _, cl := range p.snapshotLanes() {
 		agg = agg.Add(cl.Engine().Stats())
+	}
+	return agg
+}
+
+// HashStats aggregates the inner-node-hash-table view counters of all
+// lanes.
+func (p *Pipeline) HashStats() racehash.Stats {
+	var agg racehash.Stats
+	for _, cl := range p.snapshotLanes() {
+		agg = agg.Add(cl.HashStats())
 	}
 	return agg
 }

@@ -39,6 +39,8 @@ type Stats struct {
 	SecondWins  uint64 // inserts resolved by replacing a cold (hot=0) entry
 	Relocations uint64 // entries moved by cuckoo kicks
 	Evictions   uint64 // entries dropped (cold replacement or kick overflow)
+	KickDrops   uint64 // evictions caused by kick-chain overflow specifically
+	HotMarks    uint64 // cold→hot transitions (hotness-bit churn)
 	Deletes     uint64 // successful deletes
 }
 
@@ -68,6 +70,12 @@ type Filter struct {
 	rng      uint64
 	policy   Policy
 	stats    Stats
+	// occupied is the live occupied-slot count, maintained symmetrically
+	// by every insert/evict/delete path so occupancy telemetry never
+	// needs the O(n) scan. Every slot transition empty→full adds one,
+	// full→empty subtracts one; overwrites (evictions that immediately
+	// reuse the slot) are net zero.
+	occupied uint64
 }
 
 // New creates a filter with capacity for at least n entries at ~95% load,
@@ -106,6 +114,10 @@ func (f *Filter) Capacity() int { return len(f.buckets) }
 
 // Stats returns a snapshot of the filter's counters.
 func (f *Filter) Stats() Stats { return f.stats }
+
+// Occupancy returns the current number of occupied slots, maintained
+// incrementally (no scan).
+func (f *Filter) Occupancy() uint64 { return f.occupied }
 
 // fp derives the non-zero 12-bit fingerprint from a 64-bit item hash.
 func fp(hash uint64) uint16 {
@@ -149,6 +161,9 @@ func (f *Filter) Contains(hash uint64) bool {
 		for s := 0; s < SlotsPerBucket; s++ {
 			e := f.slot(b, s)
 			if *e&fpMask == fpv {
+				if *e&hotBit == 0 {
+					f.stats.HotMarks++
+				}
 				*e |= hotBit
 				f.stats.Hits++
 				return true
@@ -173,6 +188,9 @@ func (f *Filter) Insert(hash uint64) bool {
 		for s := 0; s < SlotsPerBucket; s++ {
 			e := f.slot(b, s)
 			if *e&fpMask == fpv {
+				if *e&hotBit == 0 {
+					f.stats.HotMarks++
+				}
 				*e |= hotBit
 				f.stats.Duplicates++
 				return true
@@ -187,12 +205,14 @@ func (f *Filter) Insert(hash uint64) bool {
 			e := f.slot(b, s)
 			if *e == 0 {
 				*e = fpv
+				f.occupied++
 				f.stats.Inserts++
 				return true
 			}
 		}
 	}
-	// Both buckets full: evict per policy.
+	// Both buckets full: evict per policy. Replacements reuse the
+	// victim's slot, so occupancy is unchanged (evict −1, insert +1).
 	if f.policy == PolicyRandom {
 		b := [2]uint64{i1, i2}[f.rand(2)]
 		*f.slot(b, f.rand(SlotsPerBucket)) = fpv
@@ -214,9 +234,11 @@ func (f *Filter) Insert(hash uint64) bool {
 		return true
 	}
 	// Kick chain overflowed: the new item was placed by the first kick;
-	// the entry displaced at the end of the chain is dropped.
+	// the entry displaced at the end of the chain is dropped. One entry
+	// in, one entry out: occupancy is unchanged here too.
 	f.stats.Inserts++
 	f.stats.Evictions++
+	f.stats.KickDrops++
 	return false
 }
 
@@ -258,7 +280,10 @@ func (f *Filter) relocate(i uint64, fpv uint16) bool {
 		for s := 0; s < SlotsPerBucket; s++ {
 			e := f.slot(b, s)
 			if *e == 0 {
+				// The chain ends in a previously empty slot: the insert
+				// that started it nets one more occupied slot.
 				*e = cur
+				f.occupied++
 				return true
 			}
 		}
@@ -278,6 +303,7 @@ func (f *Filter) Delete(hash uint64) bool {
 			e := f.slot(b, s)
 			if *e&fpMask == fpv {
 				*e = 0
+				f.occupied--
 				f.stats.Deletes++
 				return true
 			}
@@ -286,15 +312,18 @@ func (f *Filter) Delete(hash uint64) bool {
 	return false
 }
 
-// Load returns the fraction of occupied slots.
+// Load returns the fraction of occupied slots, from the incrementally
+// maintained count (the churn test cross-checks it against a scan).
 func (f *Filter) Load() float64 {
-	used := 0
-	for _, e := range f.buckets {
-		if e != 0 {
-			used++
-		}
-	}
-	return float64(used) / float64(len(f.buckets))
+	return float64(f.occupied) / float64(len(f.buckets))
+}
+
+// AnalyticFPBound returns the standard cuckoo-filter false-positive bound
+// at the filter's current load: ε ≈ load · 2b / 2^f for b slots per
+// bucket and f fingerprint bits [14]. Exported so telemetry can place the
+// measured rate next to the bound it is supposed to obey.
+func (f *Filter) AnalyticFPBound() float64 {
+	return f.Load() * 2 * SlotsPerBucket / (1 << fpBits)
 }
 
 // rand returns a deterministic pseudo-random int in [0, n) (xorshift64*).

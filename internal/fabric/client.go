@@ -3,6 +3,7 @@ package fabric
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"sphinx/internal/mem"
 )
@@ -12,6 +13,11 @@ import (
 // index implementations are validated against them directly in tests. The
 // fault counters record what the installed FaultPlan injected against this
 // client; they stay zero on a fault-free fabric.
+//
+// The client increments these fields atomically and Client.Stats loads
+// them atomically, so a live metrics scrape can snapshot a client while
+// pipeline flushes drive it from another goroutine. A snapshot is a set
+// of monotone counters, not an atomic cut across fields.
 type Stats struct {
 	RoundTrips uint64
 	Verbs      uint64
@@ -134,12 +140,28 @@ func (c *Client) Clock() int64 { return c.clock }
 // Index code uses it to charge non-network work such as hashing.
 func (c *Client) AdvanceClock(ps int64) { c.clock += ps }
 
-// Stats returns a snapshot of the client's accounting.
-func (c *Client) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the client's accounting. The fields are
+// loaded atomically so a metrics scrape may call this concurrently with
+// the goroutine driving the client.
+func (c *Client) Stats() Stats {
+	var s Stats
+	s.RoundTrips = atomic.LoadUint64(&c.stats.RoundTrips)
+	s.Verbs = atomic.LoadUint64(&c.stats.Verbs)
+	s.BytesRead = atomic.LoadUint64(&c.stats.BytesRead)
+	s.BytesWrite = atomic.LoadUint64(&c.stats.BytesWrite)
+	for i := range s.ByKind {
+		s.ByKind[i] = atomic.LoadUint64(&c.stats.ByKind[i])
+	}
+	s.Transients = atomic.LoadUint64(&c.stats.Transients)
+	s.Timeouts = atomic.LoadUint64(&c.stats.Timeouts)
+	s.NodeDownRejects = atomic.LoadUint64(&c.stats.NodeDownRejects)
+	s.Delays = atomic.LoadUint64(&c.stats.Delays)
+	return s
+}
 
 // RoundTrips returns the client's round-trip count without copying the
 // whole Stats struct; per-op metric deltas read it on the hot path.
-func (c *Client) RoundTrips() uint64 { return c.stats.RoundTrips }
+func (c *Client) RoundTrips() uint64 { return atomic.LoadUint64(&c.stats.RoundTrips) }
 
 // SetStage annotates the client with the stage its next batches serve and
 // returns the previous stage, enabling the save/restore idiom
@@ -218,7 +240,7 @@ func (c *Client) run(ops []Op) (int, error) {
 		return c.runBatch(ops)
 	}
 	startPs := c.clock
-	rt0 := c.stats.RoundTrips
+	rt0 := atomic.LoadUint64(&c.stats.RoundTrips)
 	n, err := c.runBatch(ops)
 	var bytes uint64
 	for i := 0; i < n; i++ {
@@ -230,7 +252,7 @@ func (c *Client) run(ops []Op) (int, error) {
 		EndPs:      c.clock,
 		Verbs:      n,
 		Bytes:      bytes,
-		RoundTrips: c.stats.RoundTrips - rt0,
+		RoundTrips: atomic.LoadUint64(&c.stats.RoundTrips) - rt0,
 		Err:        err,
 	})
 	return n, err
@@ -301,7 +323,7 @@ func (c *Client) runBatch(ops []Op) (int, error) {
 		}
 		for _, sh := range shares {
 			if w, down := plan.downNode(sh.node, c.clock); down {
-				c.stats.NodeDownRejects++
+				atomic.AddUint64(&c.stats.NodeDownRejects, 1)
 				if n, err := c.f.node(sh.node); err == nil {
 					n.nic.chargeFault()
 				}
@@ -316,14 +338,14 @@ func (c *Client) runBatch(ops []Op) (int, error) {
 		switch {
 		case uint32(rT&0xffff) < plan.TransientPer64k:
 			execUpTo = int((rT >> 16) % uint64(len(ops)))
-			c.stats.Transients++
+			atomic.AddUint64(&c.stats.Transients, 1)
 			faultRes = faultErr(ErrTransient, "verb %d/%d %v", execUpTo, len(ops), ops[execUpTo].Kind)
 		case uint32(rTo&0xffff) < plan.TimeoutPer64k:
-			c.stats.Timeouts++
+			atomic.AddUint64(&c.stats.Timeouts, 1)
 			extraPs = plan.timeoutPs()
 			faultRes = faultErr(ErrTimeout, "batch of %d verbs", len(ops))
 		case uint32(rD&0xffff) < plan.DelayPer64k:
-			c.stats.Delays++
+			atomic.AddUint64(&c.stats.Delays, 1)
 			extraPs = plan.delayPs()
 		}
 		if faultRes != nil {
@@ -360,8 +382,8 @@ func (c *Client) runBatch(ops []Op) (int, error) {
 
 	c.posted += uint64(execUpTo)
 	c.clock = completion + extraPs
-	c.stats.RoundTrips++
-	c.stats.Verbs += uint64(execUpTo)
+	atomic.AddUint64(&c.stats.RoundTrips, 1)
+	atomic.AddUint64(&c.stats.Verbs, uint64(execUpTo))
 	return execUpTo, faultRes
 }
 
@@ -375,20 +397,20 @@ func (c *Client) execute(op *Op) error {
 	switch op.Kind {
 	case Read:
 		r.Read(off, op.Data)
-		c.stats.BytesRead += uint64(len(op.Data))
+		atomic.AddUint64(&c.stats.BytesRead, uint64(len(op.Data)))
 	case Write:
 		r.Write(off, op.Data)
-		c.stats.BytesWrite += uint64(len(op.Data))
+		atomic.AddUint64(&c.stats.BytesWrite, uint64(len(op.Data)))
 	case CAS:
 		op.Old = r.CompareSwap(off, op.Expect, op.Desired)
-		c.stats.BytesWrite += 8
+		atomic.AddUint64(&c.stats.BytesWrite, 8)
 	case FAA:
 		op.Old = r.FetchAdd(off, op.Delta)
-		c.stats.BytesWrite += 8
+		atomic.AddUint64(&c.stats.BytesWrite, 8)
 	default:
 		return fmt.Errorf("fabric: unknown verb %d", op.Kind)
 	}
-	c.stats.ByKind[op.Kind]++
+	atomic.AddUint64(&c.stats.ByKind[op.Kind], 1)
 	if c.f.Trace != nil {
 		c.f.Trace(c, op)
 	}

@@ -1,0 +1,33 @@
+package obs
+
+// IndexMetrics holds the index-semantic distributions the transport-level
+// metrics cannot see: how deep the Succinct Filter Cache routes each
+// locate, how many local probes that takes, and how many fingerprint-
+// matching candidates each hash-entry read returns. One instance is
+// shared by every worker (and pipeline lane) of a session or bench
+// cluster; histograms are atomic, so concurrent observation and snapshot
+// are race-clean.
+type IndexMetrics struct {
+	// SFCHitDepth is the prefix length (bytes) of filter-routed locates —
+	// the paper's "longest live prefix" the warm path jumps to.
+	SFCHitDepth Histogram
+	// SFCProbes is the number of local filter probes one locate spent
+	// before resolving (hit, false-positive retry chain, or full miss).
+	SFCProbes Histogram
+	// INHTCandidates is the number of fingerprint-matching candidates per
+	// hash-entry lookup; >1 means a 12-bit fingerprint collision forced
+	// extra node reads.
+	INHTCandidates Histogram
+}
+
+// NewIndexMetrics returns an empty metric set.
+func NewIndexMetrics() *IndexMetrics { return &IndexMetrics{} }
+
+// Register exposes the histograms on a registry as sfc_hit_depth,
+// sfc_probes and inht_candidates (the sphinx_sfc_* / sphinx_inht_*
+// families once the exporter's namespace is applied).
+func (im *IndexMetrics) Register(r *Registry) {
+	r.AddHistogram("sfc_hit_depth", &im.SFCHitDepth)
+	r.AddHistogram("sfc_probes", &im.SFCProbes)
+	r.AddHistogram("inht_candidates", &im.INHTCandidates)
+}

@@ -21,12 +21,24 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	counters []counterSource
+	gauges   []gaugeSource
+	hists    []histSource
 	metrics  []metricsSource
 }
 
 type counterSource struct {
 	prefix string
 	fn     func() map[string]uint64
+}
+
+type gaugeSource struct {
+	prefix string
+	fn     func() map[string]float64
+}
+
+type histSource struct {
+	name string
+	h    *Histogram
 }
 
 type metricsSource struct {
@@ -54,6 +66,25 @@ func (r *Registry) AddCounterStruct(prefix string, fn func() any) {
 	r.AddCounters(prefix, func() map[string]uint64 { return Fields(fn()) })
 }
 
+// AddGauges registers a named gauge source: fn is called at snapshot
+// time and each entry becomes a float64 gauge named prefix_key. Gauges
+// carry instantaneous values (ratios, load factors), so Sub keeps the
+// newer snapshot's reading instead of differencing.
+func (r *Registry) AddGauges(prefix string, fn func() map[string]float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, gaugeSource{prefix: prefix, fn: fn})
+}
+
+// AddHistogram registers a standalone histogram under a fixed name
+// (which may carry a {label} block). The index-semantic distributions —
+// SFC hit depth, INHT candidates per lookup — plug in here.
+func (r *Registry) AddHistogram(name string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists = append(r.hists, histSource{name: name, h: h})
+}
+
 // AddMetrics registers a Metrics set: its per-op and per-stage
 // histograms appear as prefix_op_latency_ps{op="..."} etc., and the
 // per-stage verb/byte/fault counters as plain counters.
@@ -71,12 +102,21 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters: make(map[string]uint64),
+		Gauges:   make(map[string]float64),
 		Hists:    make(map[string]HistSnapshot),
 	}
 	for _, src := range r.counters {
 		for k, v := range src.fn() {
 			s.Counters[src.prefix+"_"+k] += v
 		}
+	}
+	for _, src := range r.gauges {
+		for k, v := range src.fn() {
+			s.Gauges[src.prefix+"_"+k] = v
+		}
+	}
+	for _, src := range r.hists {
+		addHist(s.Hists, src.name, src.h.Snapshot())
 	}
 	for _, src := range r.metrics {
 		for k := 0; k < NumOps; k++ {
@@ -109,18 +149,24 @@ func addHist(dst map[string]HistSnapshot, key string, h HistSnapshot) {
 // Snapshot is one point-in-time reading of a Registry.
 type Snapshot struct {
 	Counters map[string]uint64       `json:"counters"`
+	Gauges   map[string]float64      `json:"gauges,omitempty"`
 	Hists    map[string]HistSnapshot `json:"histograms"`
 }
 
 // Sub returns s - prev, entry-wise; entries absent from prev are taken
-// as zero.
+// as zero. Gauges are instantaneous readings, not monotone counters, so
+// the diff carries s's values unchanged.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out := Snapshot{
 		Counters: make(map[string]uint64, len(s.Counters)),
+		Gauges:   make(map[string]float64, len(s.Gauges)),
 		Hists:    make(map[string]HistSnapshot, len(s.Hists)),
 	}
 	for k, v := range s.Counters {
 		out.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
 	}
 	for k, v := range s.Hists {
 		d := v.Sub(prev.Hists[k])
@@ -174,6 +220,17 @@ func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
 		}
 	}
 	keys = keys[:0]
+	for k := range s.Gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		name, labels := splitName(k)
+		if _, err := fmt.Fprintf(w, "%s%s%s %g\n", ns, name, labels, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	keys = keys[:0]
 	for k := range s.Hists {
 		keys = append(keys, k)
 	}
@@ -214,9 +271,11 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
 		Counters map[string]uint64   `json:"counters"`
+		Gauges   map[string]float64  `json:"gauges,omitempty"`
 		Hists    map[string]histJSON `json:"histograms"`
 	}{
 		Counters: s.Counters,
+		Gauges:   s.Gauges,
 		Hists:    histsJSON(s.Hists),
 	})
 }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeOptions configures the observability HTTP handler.
+type ServeOptions struct {
+	// Registry backs /metrics and /snapshot. Required.
+	Registry *Registry
+	// Namespace prefixes every Prometheus metric name; default "sphinx".
+	Namespace string
+	// Tail, when non-nil, backs /traces with the captured slow-op
+	// timelines.
+	Tail *TailSampler
+}
+
+// NewHandler builds the live observability endpoint:
+//
+//	/metrics   Prometheus text exposition (cumulative counters)
+//	/snapshot  JSON registry diff since the handler was created
+//	/traces    recent tail-sampled slow-op traces, annotated
+//	/debug/pprof/...  the standard Go profiling endpoints
+//
+// The handler snapshots the registry once at creation so /snapshot
+// reports activity "since serving started"; /metrics stays cumulative,
+// as Prometheus counters must.
+func NewHandler(opts ServeOptions) http.Handler {
+	ns := opts.Namespace
+	if ns == "" {
+		ns = "sphinx"
+	}
+	var base Snapshot
+	if opts.Registry != nil {
+		base = opts.Registry.Snapshot()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "sphinx observability endpoint\n\n"+
+			"/metrics       Prometheus text exposition\n"+
+			"/snapshot      JSON registry diff since serving started\n"+
+			"/traces        recent tail-sampled slow-op traces\n"+
+			"/debug/pprof/  Go profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Registry == nil {
+			http.Error(w, "no registry", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = opts.Registry.Snapshot().WritePrometheus(w, ns)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Registry == nil {
+			http.Error(w, "no registry", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		s := opts.Registry.Snapshot()
+		if r.URL.Query().Get("absolute") == "" {
+			s = s.Sub(base)
+		}
+		_ = s.WriteJSON(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		offered, captured := opts.Tail.Stats()
+		fmt.Fprintf(w, "tail samples: %d captured of %d ops offered\n\n", captured, offered)
+		for _, s := range opts.Tail.Samples() {
+			fmt.Fprintf(w, "#%d %s: %.2f µs (threshold %.2f µs)\n  cause: %s\n%s\n",
+				s.Seq, s.Kind, float64(s.LatencyPs)/1e6, float64(s.ThresholdPs)/1e6,
+				s.Cause, s.Trace.Format())
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (pass host:0 for an ephemeral port) and serves h in a
+// background goroutine. The caller owns the returned server: Close it to
+// stop serving. The returned address is the bound listen address.
+func Serve(addr string, h http.Handler) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

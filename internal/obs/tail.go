@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync"
+
+	"sphinx/internal/fabric"
+)
+
+// TailSample is one auto-captured slow operation: its full round-trip
+// timeline plus a derived one-line cause, so the trace arrives
+// pre-explained ("sfc false positive at prefix 3: unlearned" or a
+// dominant-stage summary).
+type TailSample struct {
+	Trace       *Trace
+	Kind        OpKind
+	LatencyPs   uint64
+	ThresholdPs uint64 // the moving-quantile bar the op cleared
+	Cause       string
+	Seq         uint64 // monotone capture number
+}
+
+// TailSampler is an always-on reservoir of slow-operation traces: every
+// finished op's latency feeds a per-op-kind moving distribution, and ops
+// at or above the configured quantile (p99 by default) have their trace
+// deep-copied into a bounded ring. It is mutex-guarded so sequential
+// workers across goroutines can share one sampler; the recorders feeding
+// it remain per-worker.
+type TailSampler struct {
+	mu       sync.Mutex
+	quantile float64
+	warmup   uint64
+	buckets  [NumOps][NumBuckets]uint64 // power-of-two latency counts
+	counts   [NumOps]uint64
+	samples  []TailSample // ring of the most recent captures
+	next     int
+	seq      uint64
+	offered  uint64
+	captured uint64
+}
+
+// NewTailSampler creates a sampler keeping up to capacity traces at or
+// above the given latency quantile (0 < quantile < 1; out-of-range
+// values select the default p99). A per-op-kind warmup of 64
+// observations must pass before anything is captured, so cold-start
+// outliers do not flood the ring.
+func NewTailSampler(quantile float64, capacity int) *TailSampler {
+	if quantile <= 0 || quantile >= 1 {
+		quantile = 0.99
+	}
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &TailSampler{
+		quantile: quantile,
+		warmup:   64,
+		samples:  make([]TailSample, 0, capacity),
+	}
+}
+
+// thresholdLocked returns the lower edge of the bucket holding the
+// quantile-th observation for kind: an op is "tail" when it lands in the
+// same power-of-two bucket as the quantile or above it.
+func (ts *TailSampler) thresholdLocked(kind OpKind) uint64 {
+	target := uint64(math.Ceil(ts.quantile * float64(ts.counts[kind])))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range ts.buckets[kind] {
+		cum += b
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return BucketUpper(i-1) + 1
+		}
+	}
+	return math.MaxUint64
+}
+
+// Offer feeds one finished operation. It always updates the latency
+// distribution; if the op clears the current quantile bar (and warmup
+// has passed) its trace is cloned and retained, and Offer reports true.
+// Nil-receiver- and nil-trace-safe.
+func (ts *TailSampler) Offer(kind OpKind, tr *Trace) bool {
+	if ts == nil || tr == nil {
+		return false
+	}
+	lat := uint64(0)
+	if d := tr.EndPs - tr.StartPs; d > 0 {
+		lat = uint64(d)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.offered++
+	ts.buckets[kind][bits.Len64(lat)]++
+	ts.counts[kind]++
+	if ts.counts[kind] <= ts.warmup {
+		return false
+	}
+	thr := ts.thresholdLocked(kind)
+	if lat < thr || lat == 0 {
+		return false
+	}
+	ts.seq++
+	sample := TailSample{
+		Trace: tr.Clone(), Kind: kind, LatencyPs: lat,
+		ThresholdPs: thr, Cause: Explain(tr), Seq: ts.seq,
+	}
+	if len(ts.samples) < cap(ts.samples) {
+		ts.samples = append(ts.samples, sample)
+	} else {
+		ts.samples[ts.next] = sample
+		ts.next = (ts.next + 1) % len(ts.samples)
+	}
+	ts.captured++
+	return true
+}
+
+// Samples returns the retained captures, newest first.
+func (ts *TailSampler) Samples() []TailSample {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n := len(ts.samples)
+	out := make([]TailSample, 0, n)
+	if n == 0 {
+		return out
+	}
+	// Walk the ring backwards from the most recent write.
+	start := n - 1
+	if n == cap(ts.samples) {
+		start = (ts.next - 1 + n) % n
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, ts.samples[(start-i+n)%n])
+	}
+	return out
+}
+
+// Stats reports how many ops were offered and how many were captured.
+func (ts *TailSampler) Stats() (offered, captured uint64) {
+	if ts == nil {
+		return 0, 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.offered, ts.captured
+}
+
+// Threshold returns the current capture bar for an op kind in
+// picoseconds (0 before warmup).
+func (ts *TailSampler) Threshold(kind OpKind) uint64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.counts[kind] <= ts.warmup {
+		return 0
+	}
+	return ts.thresholdLocked(kind)
+}
+
+// Counters exposes the sampler's totals for registry registration.
+func (ts *TailSampler) Counters() map[string]uint64 {
+	offered, captured := ts.Stats()
+	return map[string]uint64{"offered": offered, "captured": captured}
+}
+
+// Explain derives a one-line cause from a trace: the stage that consumed
+// the most virtual time, any faulted batches, and the recorder's local
+// annotations (false positives, collisions, restarts), which name the
+// event that bought the extra round trips.
+func Explain(t *Trace) string {
+	if t == nil {
+		return ""
+	}
+	var stageDur [fabric.NumStages]int64
+	var stageRT [fabric.NumStages]uint64
+	var notes []string
+	faulted := 0
+	for _, e := range t.Events {
+		if e.Batch {
+			if int(e.Stage) < fabric.NumStages {
+				stageDur[e.Stage] += e.EndPs - e.StartPs
+				stageRT[e.Stage] += e.RoundTrips
+			}
+			if e.Err != "" {
+				faulted++
+			}
+		} else if e.Note != "" {
+			notes = append(notes, e.Note)
+		}
+	}
+	best := -1
+	for i, d := range stageDur {
+		if d > 0 && (best < 0 || d > stageDur[best]) {
+			best = i
+		}
+	}
+	var parts []string
+	if best >= 0 {
+		parts = append(parts, fmt.Sprintf("dominant stage %s: %d rt, %.2fµs of %.2fµs",
+			fabric.Stage(best), stageRT[best], us(stageDur[best]), us(t.EndPs-t.StartPs)))
+	}
+	if faulted > 0 {
+		parts = append(parts, fmt.Sprintf("%d faulted batches", faulted))
+	}
+	if len(notes) > 0 {
+		const keep = 3
+		if len(notes) > keep {
+			notes = append(notes[:keep], fmt.Sprintf("(+%d more notes)", len(notes)-keep))
+		}
+		parts = append(parts, strings.Join(notes, "; "))
+	}
+	if len(parts) == 0 {
+		return "no batches recorded"
+	}
+	return strings.Join(parts, "; ")
+}

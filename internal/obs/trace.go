@@ -58,6 +58,15 @@ func (t *Trace) Bytes() uint64 {
 	return total
 }
 
+// Clone returns a deep copy of the trace, safe to retain after the
+// recorder that produced it reuses its storage (tail sampling keeps
+// clones; live recording keeps reusing the original).
+func (t *Trace) Clone() *Trace {
+	cp := *t
+	cp.Events = append([]Event(nil), t.Events...)
+	return &cp
+}
+
 func us(ps int64) float64 { return float64(ps) / 1e6 }
 
 // Format renders the trace as the round-trip timeline sphinxcli prints:
@@ -102,6 +111,10 @@ func (t *Trace) Format() string {
 // skip argument construction.
 type Recorder struct {
 	tr *Trace
+	// live gates event capture to the Begin..End window, so a recorder
+	// can stay installed as a permanent observer (always-on tail
+	// sampling) without accumulating events between operations.
+	live bool
 }
 
 // NewRecorder returns an idle recorder; call Begin to start a trace.
@@ -114,6 +127,22 @@ func (r *Recorder) Begin(op string, nowPs int64) {
 		return
 	}
 	r.tr = &Trace{Op: op, StartPs: nowPs}
+	r.live = true
+}
+
+// BeginReuse is Begin reusing the previous trace's storage: after the
+// first few operations an always-on recorder stops allocating entirely.
+// Callers that keep a trace across BeginReuse calls must Clone it.
+func (r *Recorder) BeginReuse(op string, nowPs int64) {
+	if r == nil {
+		return
+	}
+	if r.tr == nil {
+		r.tr = &Trace{}
+	}
+	r.tr.Op, r.tr.StartPs, r.tr.EndPs = op, nowPs, 0
+	r.tr.Events = r.tr.Events[:0]
+	r.live = true
 }
 
 // End closes the active trace at the given virtual time.
@@ -122,6 +151,7 @@ func (r *Recorder) End(nowPs int64) {
 		return
 	}
 	r.tr.EndPs = nowPs
+	r.live = false
 }
 
 // Trace returns the most recently recorded trace (nil before Begin).
@@ -134,7 +164,7 @@ func (r *Recorder) Trace() *Trace {
 
 // Note appends a local (non-batch) annotation at the given virtual time.
 func (r *Recorder) Note(stage fabric.Stage, nowPs int64, note string) {
-	if r == nil || r.tr == nil {
+	if r == nil || !r.live {
 		return
 	}
 	r.tr.Events = append(r.tr.Events, Event{
@@ -144,7 +174,7 @@ func (r *Recorder) Note(stage fabric.Stage, nowPs int64, note string) {
 
 // ObserveBatch implements fabric.BatchObserver.
 func (r *Recorder) ObserveBatch(ev fabric.BatchEvent) {
-	if r == nil || r.tr == nil {
+	if r == nil || !r.live {
 		return
 	}
 	e := Event{

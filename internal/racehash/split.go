@@ -3,6 +3,7 @@ package racehash
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
@@ -55,7 +56,7 @@ func (v *View) split(h uint64, alloc *mem.Allocator) error {
 		return err
 	}
 	for _, lo := range leftovers {
-		v.stats.Reinserted++
+		atomic.AddUint64(&v.stats.Reinserted, 1)
 		if err := v.Insert(lo.h, lo.entry, alloc); err != nil {
 			return fmt.Errorf("racehash: re-inserting split leftover: %w", err)
 		}
@@ -98,7 +99,7 @@ func (v *View) splitLocked(h uint64, alloc *mem.Allocator) ([]leftover, error) {
 		}
 	}
 	suffix := h & depthMask(localDepth)
-	v.stats.Splits++
+	atomic.AddUint64(&v.stats.Splits, 1)
 
 	// Lock every bucket header of the old segment in one doorbell batch.
 	unlocked := packBucketHeader(localDepth, suffix, false)
@@ -253,7 +254,7 @@ func (v *View) doubleDirectory(alloc *mem.Allocator) error {
 	v.depth = newDepth
 	v.dir = newCache
 	v.dirAddr = newDir
-	v.stats.DirDoubles++
+	atomic.AddUint64(&v.stats.DirDoubles, 1)
 	return nil
 }
 

@@ -1,0 +1,72 @@
+package racehash
+
+import "sphinx/internal/mem"
+
+// Usage is an MN-side occupancy summary of one inner node hash table,
+// produced by scanning the table's live segments.
+type Usage struct {
+	GlobalDepth uint8
+	DirEntries  uint64 // directory size (2^GlobalDepth)
+	Segments    uint64 // distinct live segments
+	Entries     uint64 // valid hash entries stored
+	Capacity    uint64 // Segments × SegBuckets × EntriesPerBucket
+}
+
+// LoadFactor returns Entries / Capacity (0 for an empty table).
+func (u Usage) LoadFactor() float64 {
+	if u.Capacity == 0 {
+		return 0
+	}
+	return float64(u.Entries) / float64(u.Capacity)
+}
+
+// Add returns u + v with Segments/Entries/Capacity summed and the deepest
+// directory kept; used to aggregate the per-memory-node tables of one
+// cluster into a single INHT gauge set.
+func (u Usage) Add(v Usage) Usage {
+	if v.GlobalDepth > u.GlobalDepth {
+		u.GlobalDepth = v.GlobalDepth
+	}
+	u.DirEntries += v.DirEntries
+	u.Segments += v.Segments
+	u.Entries += v.Entries
+	u.Capacity += v.Capacity
+	return u
+}
+
+// ReadUsage scans a table through direct region access: meta word →
+// directory → each distinct segment, counting non-empty entry words. It
+// is a telemetry path — it bypasses the fabric (no virtual-clock cost, no
+// round-trip accounting) and tolerates concurrent mutation: the region's
+// internal locking keeps every word read race-clean, and the result is a
+// point-in-time approximation, exactly what a load-factor gauge needs.
+func ReadUsage(region *mem.Region, t Table) Usage {
+	depth, dirAddr := unpackMeta(region.ReadUint64(t.Meta.Offset() + metaWordOff))
+	u := Usage{GlobalDepth: depth, DirEntries: uint64(1) << depth}
+
+	// With localDepth < globalDepth a segment appears under several
+	// directory slots; count each segment once.
+	seen := make(map[mem.Addr]struct{}, u.DirEntries)
+	for i := uint64(0); i < u.DirEntries; i++ {
+		_, seg := unpackDirEntry(region.ReadUint64(dirAddr.Offset() + i*8))
+		if seg == 0 {
+			continue
+		}
+		if _, dup := seen[seg]; dup {
+			continue
+		}
+		seen[seg] = struct{}{}
+		u.Segments++
+		var buf [SegmentSize]byte
+		region.Read(seg.Offset(), buf[:])
+		for b := 0; b < SegBuckets; b++ {
+			for s := 0; s < EntriesPerBucket; s++ {
+				if getUint64(buf[b*BucketSize+8*(1+s):]) != 0 {
+					u.Entries++
+				}
+			}
+		}
+	}
+	u.Capacity = u.Segments * SegBuckets * EntriesPerBucket
+	return u
+}

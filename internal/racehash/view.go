@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
@@ -17,15 +18,40 @@ var ErrRetryExhausted = errors.New("racehash: retries exhausted")
 
 const maxAttempts = 64
 
-// Stats counts a view's table interactions.
+// Stats counts a view's table interactions. The view increments the
+// fields atomically and Stats() loads them atomically, so a live metrics
+// scrape can read a view its worker goroutine is driving.
 type Stats struct {
-	Lookups     uint64
-	Refreshes   uint64
-	Splits      uint64
-	DirDoubles  uint64
-	SplitWaits  uint64
-	Reinserted  uint64 // leftover entries re-inserted after a split
-	StaleChecks uint64 // post-CAS verifications forced by a concurrent split
+	Lookups         uint64
+	Inserts         uint64 // Insert calls (idempotent re-inserts included)
+	Replaces        uint64 // Replace calls
+	Removes         uint64 // Remove calls
+	Refreshes       uint64
+	RetryReads      uint64 // bucket-pair reads retried on a stale directory
+	Splits          uint64
+	DirDoubles      uint64
+	SplitWaits      uint64
+	BucketOverflows uint64 // inserts that found both candidate buckets full
+	Reinserted      uint64 // leftover entries re-inserted after a split
+	StaleChecks     uint64 // post-CAS verifications forced by a concurrent split
+}
+
+// Add returns s + t, field-wise; used to aggregate the per-memory-node
+// views of one client.
+func (s Stats) Add(t Stats) Stats {
+	s.Lookups += t.Lookups
+	s.Inserts += t.Inserts
+	s.Replaces += t.Replaces
+	s.Removes += t.Removes
+	s.Refreshes += t.Refreshes
+	s.RetryReads += t.RetryReads
+	s.Splits += t.Splits
+	s.DirDoubles += t.DirDoubles
+	s.SplitWaits += t.SplitWaits
+	s.BucketOverflows += t.BucketOverflows
+	s.Reinserted += t.Reinserted
+	s.StaleChecks += t.StaleChecks
+	return s
 }
 
 // View is one client's handle on one memory node's table. It holds the
@@ -61,8 +87,23 @@ func NewViewNoCache(t Table, c *fabric.Client) *View {
 // Table returns the table this view operates on.
 func (v *View) Table() Table { return v.t }
 
-// Stats returns a snapshot of the view's counters.
-func (v *View) Stats() Stats { return v.stats }
+// Stats returns a snapshot of the view's counters, loaded atomically.
+func (v *View) Stats() Stats {
+	var s Stats
+	s.Lookups = atomic.LoadUint64(&v.stats.Lookups)
+	s.Inserts = atomic.LoadUint64(&v.stats.Inserts)
+	s.Replaces = atomic.LoadUint64(&v.stats.Replaces)
+	s.Removes = atomic.LoadUint64(&v.stats.Removes)
+	s.Refreshes = atomic.LoadUint64(&v.stats.Refreshes)
+	s.RetryReads = atomic.LoadUint64(&v.stats.RetryReads)
+	s.Splits = atomic.LoadUint64(&v.stats.Splits)
+	s.DirDoubles = atomic.LoadUint64(&v.stats.DirDoubles)
+	s.SplitWaits = atomic.LoadUint64(&v.stats.SplitWaits)
+	s.BucketOverflows = atomic.LoadUint64(&v.stats.BucketOverflows)
+	s.Reinserted = atomic.LoadUint64(&v.stats.Reinserted)
+	s.StaleChecks = atomic.LoadUint64(&v.stats.StaleChecks)
+	return s
+}
 
 // DirCacheBytes returns the size of the client-side directory cache.
 func (v *View) DirCacheBytes() uint64 { return uint64(len(v.dir)) * 8 }
@@ -86,7 +127,7 @@ func (v *View) refresh() error {
 	for i := range v.dir {
 		v.dir[i] = getUint64(buf[i*8:])
 	}
-	v.stats.Refreshes++
+	atomic.AddUint64(&v.stats.Refreshes, 1)
 	return nil
 }
 
@@ -277,6 +318,9 @@ func (v *View) readInto(p *PreparedRead, h uint64) error {
 		if p.Valid() {
 			return nil
 		}
+		// Stale directory cache: the retried bucket read is an extra
+		// round trip charged to this stage.
+		atomic.AddUint64(&v.stats.RetryReads, 1)
 		if err := v.refresh(); err != nil {
 			return err
 		}
@@ -294,7 +338,7 @@ func (v *View) Lookup(h uint64, fp uint16) ([]Candidate, error) {
 // read itself reuses view-held scratch, so a warm hit in already-grown dst
 // allocates nothing.
 func (v *View) LookupAppend(dst []Candidate, h uint64, fp uint16) ([]Candidate, error) {
-	v.stats.Lookups++
+	atomic.AddUint64(&v.stats.Lookups, 1)
 	if err := v.readInto(&v.scratch, h); err != nil {
 		return dst, err
 	}
@@ -324,7 +368,7 @@ func (v *View) casChecked(slot mem.Addr, old, new, wantHdr uint64) (won, ambiguo
 // waitSplit polls the candidate buckets of h until no split lock is
 // visible, then returns the fresh read.
 func (v *View) waitSplit(h uint64) (*PreparedRead, error) {
-	v.stats.SplitWaits++
+	atomic.AddUint64(&v.stats.SplitWaits, 1)
 	for attempt := 0; attempt < maxAttempts*16; attempt++ {
 		p, err := v.read(h)
 		if err != nil {
@@ -346,6 +390,7 @@ func (v *View) waitSplit(h uint64) (*PreparedRead, error) {
 // race). Full candidate buckets trigger a segment split, for which alloc
 // provides memory.
 func (v *View) Insert(h uint64, e wire.HashEntry, alloc *mem.Allocator) error {
+	atomic.AddUint64(&v.stats.Inserts, 1)
 	word := e.Encode()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		p, err := v.read(h)
@@ -363,6 +408,7 @@ func (v *View) Insert(h uint64, e wire.HashEntry, alloc *mem.Allocator) error {
 		}
 		slot, hdr, ok := p.emptySlot()
 		if !ok {
+			atomic.AddUint64(&v.stats.BucketOverflows, 1)
 			if err := v.split(h, alloc); err != nil {
 				return err
 			}
@@ -382,7 +428,7 @@ func (v *View) Insert(h uint64, e wire.HashEntry, alloc *mem.Allocator) error {
 		// before our entry landed and rebuilt the segment without it.
 		// Wait for the split, then verify through the (possibly new)
 		// segment.
-		v.stats.StaleChecks++
+		atomic.AddUint64(&v.stats.StaleChecks, 1)
 		q, err := v.waitSplit(h)
 		if err != nil {
 			return err
@@ -405,6 +451,7 @@ func (v *View) Insert(h uint64, e wire.HashEntry, alloc *mem.Allocator) error {
 // atomically using an RDMA CAS"). The caller must hold the node-grained
 // lock that serializes competing replaces of the same entry.
 func (v *View) Replace(h uint64, old, new wire.HashEntry) error {
+	atomic.AddUint64(&v.stats.Replaces, 1)
 	oldWord, newWord := old.Encode(), new.Encode()
 	waits := 0
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -445,7 +492,7 @@ func (v *View) Replace(h uint64, old, new wire.HashEntry) error {
 			return nil
 		}
 		if won && ambiguous {
-			v.stats.StaleChecks++
+			atomic.AddUint64(&v.stats.StaleChecks, 1)
 			q, err := v.waitSplit(h)
 			if err != nil {
 				return err
@@ -466,6 +513,7 @@ func (v *View) Replace(h uint64, old, new wire.HashEntry) error {
 // Remove deletes an existing entry (key delete path). Idempotent: removing
 // an absent entry succeeds.
 func (v *View) Remove(h uint64, old wire.HashEntry) error {
+	atomic.AddUint64(&v.stats.Removes, 1)
 	oldWord := old.Encode()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		p, err := v.read(h)
@@ -492,7 +540,7 @@ func (v *View) Remove(h uint64, old wire.HashEntry) error {
 		if won && ambiguous {
 			// The split may have resurrected the entry from its pre-CAS
 			// snapshot; loop until a clean read shows it gone.
-			v.stats.StaleChecks++
+			atomic.AddUint64(&v.stats.StaleChecks, 1)
 			if _, err := v.waitSplit(h); err != nil {
 				return err
 			}

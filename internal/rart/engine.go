@@ -3,6 +3,7 @@ package rart
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sphinx/internal/consistenthash"
 	"sphinx/internal/fabric"
@@ -156,8 +157,17 @@ func (s EngineStats) Add(t EngineStats) EngineStats {
 	return s
 }
 
-// Stats returns a snapshot of the engine's recovery counters.
-func (e *Engine) Stats() EngineStats { return e.stats }
+// Stats returns a snapshot of the engine's recovery counters, loaded
+// atomically so a live metrics scrape may call it concurrently with the
+// worker driving the engine.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		LockSteals:     atomic.LoadUint64(&e.stats.LockSteals),
+		LeafLockBreaks: atomic.LoadUint64(&e.stats.LeafLockBreaks),
+		DeleteRepairs:  atomic.LoadUint64(&e.stats.DeleteRepairs),
+		PublishRetries: atomic.LoadUint64(&e.stats.PublishRetries),
+	}
+}
 
 // Backoff starts one retry sequence under the engine's policy; the
 // index layers above use it for their operation-level restart loops so
@@ -306,7 +316,7 @@ func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
 						return nil, err
 					}
 					if old == hdrWord {
-						e.stats.LeafLockBreaks++
+						atomic.AddUint64(&e.stats.LeafLockBreaks, 1)
 					}
 					watching = 0
 					bo.ResetWatch()
@@ -414,7 +424,7 @@ func (e *Engine) Lock(addr mem.Addr, hint wire.NodeType, expectLease uint64) (*N
 		}
 		if casIdx >= 0 && ops[casIdx].Old == expect {
 			if expect != 0 {
-				e.stats.LockSteals++
+				atomic.AddUint64(&e.stats.LockSteals, 1)
 			}
 			hdr := wire.DecodeNodeHeader(leUint64(buf))
 			if hdr.Status == wire.StatusInvalid {

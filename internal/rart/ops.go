@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
@@ -359,10 +360,10 @@ func (e *Engine) completeBatch(ops []fabric.Op) error {
 		case err == nil:
 			return nil
 		case errors.Is(err, fabric.ErrTimeout):
-			e.stats.PublishRetries++
+			atomic.AddUint64(&e.stats.PublishRetries, 1)
 			return nil
 		case errors.Is(err, fabric.ErrTransient) || errors.Is(err, fabric.ErrNodeDown):
-			e.stats.PublishRetries++
+			atomic.AddUint64(&e.stats.PublishRetries, 1)
 			if !bo.Wait() {
 				return fmt.Errorf("%w: publish batch", ErrRetriesExhausted)
 			}
@@ -389,7 +390,7 @@ func (e *Engine) completeHook(run func() error) error {
 			return nil
 		case errors.Is(err, fabric.ErrTransient) || errors.Is(err, fabric.ErrTimeout) ||
 			errors.Is(err, fabric.ErrNodeDown):
-			e.stats.PublishRetries++
+			atomic.AddUint64(&e.stats.PublishRetries, 1)
 			if !bo.Wait() {
 				return fmt.Errorf("%w: hook publication", ErrRetriesExhausted)
 			}
@@ -666,7 +667,7 @@ func (e *Engine) updateLeafInPlace(leaf *Leaf, value []byte) error {
 				if broke, err := e.C.CompareSwap(leaf.Addr, old, wire.WithStatus(old, wire.StatusIdle)); err != nil {
 					return err
 				} else if broke == old {
-					e.stats.LeafLockBreaks++
+					atomic.AddUint64(&e.stats.LeafLockBreaks, 1)
 				}
 				idleWord = wire.WithStatus(old, wire.StatusIdle)
 				watching = 0
@@ -856,7 +857,7 @@ func (e *Engine) completeDelete(n *Node, key []byte, leafAddr mem.Addr) (bool, e
 		return false, err
 	}
 	if cleared {
-		e.stats.DeleteRepairs++
+		atomic.AddUint64(&e.stats.DeleteRepairs, 1)
 	}
 	return cleared, nil
 }

@@ -148,16 +148,20 @@ func (p *Pipeline) runSequential() {
 // (and accounting) on the session's own fabric client and sharing the
 // compute node's filter cache across lanes.
 func (s *Session) corePipeline() *core.Pipeline {
-	if s.pl == nil {
-		s.pl = core.NewPipeline(s.cn.cluster.sphinxShared, s.fc, core.Options{
-			Filter: s.cn.filter,
-			// Lanes report their stage-attributed share of each flush into
-			// the session metrics; the flush itself accounts on s.fc, whose
-			// observer is already the same metrics set.
-			Observer: s.metrics,
-		})
+	if pl := s.pl.Load(); pl != nil {
+		return pl
 	}
-	return s.pl
+	pl := core.NewPipeline(s.cn.cluster.sphinxShared, s.fc, core.Options{
+		Filter: s.cn.filter,
+		// Lanes report their stage-attributed share of each flush into
+		// the session metrics; the flush itself accounts on s.fc, whose
+		// observer is already the same metrics set. Lanes share the
+		// session's index distributions.
+		Observer: s.metrics,
+		Index:    s.index,
+	})
+	s.pl.Store(pl)
+	return pl
 }
 
 // MultiGet looks up keys with up to depth in flight, coalescing the

@@ -1,10 +1,14 @@
 package sphinx
 
 import (
+	"net/http"
+	"sync/atomic"
+
 	"sphinx/internal/artdm"
 	"sphinx/internal/core"
 	"sphinx/internal/fabric"
 	"sphinx/internal/obs"
+	"sphinx/internal/racehash"
 	"sphinx/internal/rart"
 	"sphinx/internal/smart"
 )
@@ -34,12 +38,23 @@ type Session struct {
 	art    *artdm.Client
 
 	// pl is the session's pipelined executor (Sphinx only), created on
-	// first use and kept so its lanes' directory caches stay warm.
-	pl *core.Pipeline
+	// first use and kept so its lanes' directory caches stay warm. An
+	// atomic pointer: registry closures aggregate the pipeline's counters
+	// from scrape goroutines while the session creates it lazily.
+	pl atomic.Pointer[core.Pipeline]
 
-	// metrics is installed as the fabric client's batch observer for the
-	// session's lifetime; registry is built lazily over it.
-	metrics  *obs.Metrics
+	// metrics (teed with the tail recorder) is installed as the fabric
+	// client's batch observer for the session's lifetime; registry is
+	// built lazily over it.
+	metrics *obs.Metrics
+	// index receives SFC/INHT distribution observations from the core
+	// client and all pipeline lanes.
+	index *obs.IndexMetrics
+	// tail is the always-on slow-op sampler: every sequential operation
+	// records its round-trip timeline into tailRec, and timelines above
+	// the moving p99 for their op kind are retained, pre-explained.
+	tail     *obs.TailSampler
+	tailRec  *obs.Recorder
 	registry *obs.Registry
 }
 
@@ -47,11 +62,18 @@ type Session struct {
 func (cn *ComputeNode) NewSession() *Session {
 	c := cn.cluster
 	fc := c.f.NewClient()
-	s := &Session{cn: cn, fc: fc, metrics: obs.NewMetrics()}
-	fc.SetObserver(s.metrics)
+	s := &Session{
+		cn: cn, fc: fc,
+		metrics: obs.NewMetrics(),
+		index:   obs.NewIndexMetrics(),
+		tail:    obs.NewTailSampler(0, 0), // defaults: p99, 32 samples
+		tailRec: obs.NewRecorder(),
+	}
+	fc.SetObserver(obs.Tee{A: s.metrics, B: s.tailRec})
 	switch c.cfg.System {
 	case SystemSphinx:
-		s.sphinx = core.NewClient(c.sphinxShared, fc, core.Options{Filter: cn.filter})
+		s.sphinx = core.NewClient(c.sphinxShared, fc, core.Options{Filter: cn.filter, Index: s.index})
+		s.sphinx.SetRecorder(s.tailRec)
 	case SystemSMART:
 		s.smart = smart.NewClient(c.smartShared, fc, smart.Options{Cache: cn.cache})
 	case SystemART:
@@ -60,16 +82,28 @@ func (cn *ComputeNode) NewSession() *Session {
 	return s
 }
 
-// observeOp records one finished operation into the session metrics;
-// invoked as a defer with the start clock and round-trip count captured
-// at entry.
+// beginOp arms the tail recorder for one operation and captures the
+// start clock and round-trip count; its results feed observeOp via
+// `defer s.observeOp(s.beginOp(kind))`.
+func (s *Session) beginOp(k obs.OpKind) (obs.OpKind, int64, uint64) {
+	start := s.fc.Clock()
+	s.tailRec.BeginReuse(k.String(), start)
+	return k, start, s.fc.RoundTrips()
+}
+
+// observeOp records one finished operation into the session metrics and
+// offers its recorded timeline to the tail sampler, which clones and
+// retains it if the operation landed above the moving tail threshold.
 func (s *Session) observeOp(k obs.OpKind, startPs int64, rt0 uint64) {
-	s.metrics.ObserveOp(k, s.fc.Clock()-startPs, s.fc.RoundTrips()-rt0)
+	end := s.fc.Clock()
+	s.metrics.ObserveOp(k, end-startPs, s.fc.RoundTrips()-rt0)
+	s.tailRec.End(end)
+	s.tail.Offer(k, s.tailRec.Trace())
 }
 
 // Get returns the value stored for key.
 func (s *Session) Get(key []byte) (value []byte, ok bool, err error) {
-	defer s.observeOp(obs.OpGet, s.fc.Clock(), s.fc.RoundTrips())
+	defer s.observeOp(s.beginOp(obs.OpGet))
 	switch {
 	case s.sphinx != nil:
 		return s.sphinx.Search(key)
@@ -82,7 +116,7 @@ func (s *Session) Get(key []byte) (value []byte, ok bool, err error) {
 
 // Put stores value for key, overwriting any existing value.
 func (s *Session) Put(key, value []byte) error {
-	defer s.observeOp(obs.OpPut, s.fc.Clock(), s.fc.RoundTrips())
+	defer s.observeOp(s.beginOp(obs.OpPut))
 	var err error
 	switch {
 	case s.sphinx != nil:
@@ -98,7 +132,7 @@ func (s *Session) Put(key, value []byte) error {
 // Update overwrites the value of an existing key, reporting whether the
 // key was present; absent keys are left absent.
 func (s *Session) Update(key, value []byte) (bool, error) {
-	defer s.observeOp(obs.OpUpdate, s.fc.Clock(), s.fc.RoundTrips())
+	defer s.observeOp(s.beginOp(obs.OpUpdate))
 	switch {
 	case s.sphinx != nil:
 		return s.sphinx.Update(key, value)
@@ -111,7 +145,7 @@ func (s *Session) Update(key, value []byte) (bool, error) {
 
 // Delete removes key, reporting whether it was present.
 func (s *Session) Delete(key []byte) (bool, error) {
-	defer s.observeOp(obs.OpDelete, s.fc.Clock(), s.fc.RoundTrips())
+	defer s.observeOp(s.beginOp(obs.OpDelete))
 	switch {
 	case s.sphinx != nil:
 		return s.sphinx.Delete(key)
@@ -125,7 +159,7 @@ func (s *Session) Delete(key []byte) (bool, error) {
 // Scan returns key-value pairs in [lo, hi] (inclusive; nil bounds are
 // open) in ascending key order, at most limit pairs when limit > 0.
 func (s *Session) Scan(lo, hi []byte, limit int) ([]KV, error) {
-	defer s.observeOp(obs.OpScan, s.fc.Clock(), s.fc.RoundTrips())
+	defer s.observeOp(s.beginOp(obs.OpScan))
 	var kvs []rart.KV
 	var err error
 	switch {
@@ -200,8 +234,8 @@ func (s *Session) SphinxStats() (SphinxCounters, bool) {
 		return SphinxCounters{}, false
 	}
 	st := s.sphinx.Stats()
-	if s.pl != nil {
-		st = st.Add(s.pl.Stats())
+	if pl := s.pl.Load(); pl != nil {
+		st = st.Add(pl.Stats())
 	}
 	return SphinxCounters{
 		Searches: st.Searches, Inserts: st.Inserts, Updates: st.Updates,
@@ -228,15 +262,40 @@ func (s *Session) Trace(name string, op func() error) (*Trace, error) {
 	}
 	err := op()
 	if s.sphinx != nil {
-		s.sphinx.SetRecorder(nil)
+		// Restore the always-on tail recorder, not nil: tail sampling
+		// continues after an explicit trace.
+		s.sphinx.SetRecorder(s.tailRec)
 	}
 	s.fc.SetObserver(prev)
 	rec.End(s.fc.Clock())
 	return rec.Trace(), err
 }
 
+// ServeObservability starts serving the session's registry over HTTP in
+// the background and returns the owning server plus its bound address
+// (pass "127.0.0.1:0" for an ephemeral port). Endpoints: /metrics
+// (Prometheus text), /snapshot (JSON diff since serving started, or
+// ?absolute), /traces (tail-sampled slow-op timelines), and
+// /debug/pprof. The registry is assembled here, on the caller's
+// goroutine, before any scrape can race its construction; its counter
+// sources are atomic, so scrapes stay race-clean against live
+// operations. Close the returned server to stop serving.
+func (s *Session) ServeObservability(addr string) (*http.Server, string, error) {
+	h := obs.NewHandler(obs.ServeOptions{Registry: s.Registry(), Tail: s.tail})
+	srv, bound, err := obs.Serve(addr, h)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound.String(), nil
+}
+
 // Metrics returns the session's always-on metric set.
 func (s *Session) Metrics() *Metrics { return s.metrics }
+
+// Tail returns the session's always-on tail sampler: the retained
+// slow-op timelines, each annotated with the stage (and index event)
+// that bought the extra round trips.
+func (s *Session) Tail() *obs.TailSampler { return s.tail }
 
 // Registry returns the session's unified metrics registry, assembling it
 // on first use: fabric counters, index counters, filter-cache counters
@@ -252,24 +311,73 @@ func (s *Session) Registry() *Registry {
 	case s.sphinx != nil:
 		r.AddCounterStruct("core", func() any {
 			st := s.sphinx.Stats()
-			if s.pl != nil {
-				st = st.Add(s.pl.Stats())
+			if pl := s.pl.Load(); pl != nil {
+				st = st.Add(pl.Stats())
 			}
 			return st
 		})
 		r.AddCounterStruct("engine", func() any {
 			st := s.sphinx.Engine().Stats()
-			if s.pl != nil {
-				st = st.Add(s.pl.EngineStats())
+			if pl := s.pl.Load(); pl != nil {
+				st = st.Add(pl.EngineStats())
+			}
+			return st
+		})
+		r.AddCounterStruct("inht", func() any {
+			st := s.sphinx.HashStats()
+			if pl := s.pl.Load(); pl != nil {
+				st = st.Add(pl.HashStats())
 			}
 			return st
 		})
 		if f := s.sphinx.Filter(); f != nil {
 			r.AddCounterStruct("filter", func() any { return f.FilterStats() })
+			r.AddGauges("sfc", func() map[string]float64 {
+				occupied, capacity := f.Occupancy()
+				g := map[string]float64{
+					"occupied_slots":    float64(occupied),
+					"capacity_slots":    float64(capacity),
+					"load":              f.Load(),
+					"analytic_fp_bound": f.AnalyticFPBound(),
+				}
+				// Probes count CN-wide filter traffic; false positives and
+				// hits count this session (plus its pipeline lanes). With a
+				// single session per CN — the exporter's usual shape — the
+				// ratio is the measured per-probe FP rate, comparable to
+				// the analytic bound above.
+				st := s.sphinx.Stats()
+				if pl := s.pl.Load(); pl != nil {
+					st = st.Add(pl.Stats())
+				}
+				fst := f.FilterStats()
+				if probes := fst.Hits + fst.Misses; probes > 0 {
+					g["false_positive_rate"] = float64(st.FalsePositives) / float64(probes)
+				}
+				if claims := st.FilterHits + st.FalsePositives; claims > 0 {
+					g["fp_per_claim"] = float64(st.FalsePositives) / float64(claims)
+				}
+				return g
+			})
 		}
+		r.AddGauges("inht", func() map[string]float64 {
+			c := s.cn.cluster
+			var u racehash.Usage
+			for node, t := range c.sphinxShared.Tables {
+				u = u.Add(racehash.ReadUsage(c.f.Region(node), t))
+			}
+			return map[string]float64{
+				"load_factor":      u.LoadFactor(),
+				"entries":          float64(u.Entries),
+				"capacity_entries": float64(u.Capacity),
+				"segments":         float64(u.Segments),
+				"dir_entries":      float64(u.DirEntries),
+			}
+		})
+		s.index.Register(r)
 	case s.smart != nil:
 		r.AddCounterStruct("smart", func() any { return s.smart.ClientStats() })
 	}
+	r.AddCounters("tail", s.tail.Counters)
 	r.AddMetrics("session", s.metrics)
 	s.registry = r
 	return r
