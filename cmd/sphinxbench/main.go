@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"time"
@@ -41,8 +42,9 @@ func main() {
 	metrics := flag.Bool("metrics", false, "record per-op and per-stage histograms and emit a metrics section per result (fails the run if round-trip totals do not reconcile)")
 	serveAddr := flag.String("serve", "", "serve live observability HTTP on this address while experiments run (host:0 for an ephemeral port): /metrics, /snapshot, /traces, /debug/pprof")
 	serveLinger := flag.Duration("serve-linger", 0, "with -serve, keep serving this long after the experiments finish (lets scrapers read final totals)")
+	scaleWorkers := flag.String("scale-workers", "", "comma-separated worker counts for the scaling experiment (default 1,2,4,8,16)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|valsweep|pipeline|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|treedepth|valsweep|pipeline|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -131,7 +133,13 @@ func main() {
 			case "ablation":
 				results, err = bench.Ablation(cfg, os.Stdout)
 			case "scaling":
-				results, err = bench.Scaling(cfg, nil, os.Stdout)
+				var steps []int
+				steps, err = parseWorkerSteps(*scaleWorkers)
+				if err == nil {
+					results, err = bench.WorkerScaling(cfg, steps, os.Stdout)
+				}
+			case "treedepth":
+				results, err = bench.TreeDepthScaling(cfg, nil, os.Stdout)
 			case "valsweep":
 				results, err = bench.ValueSweep(cfg, nil, os.Stdout)
 			case "pipeline":
@@ -229,6 +237,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lingering %v for final scrapes\n", *serveLinger)
 		time.Sleep(*serveLinger)
 	}
+}
+
+// parseWorkerSteps parses the -scale-workers flag ("1,4,16"); empty
+// selects the experiment's default sweep.
+func parseWorkerSteps(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	steps := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -scale-workers element %q", p)
+		}
+		steps = append(steps, n)
+	}
+	return steps, nil
 }
 
 // printDiags dumps Sphinx routing diagnostics after an experiment when

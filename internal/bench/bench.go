@@ -103,6 +103,11 @@ type Config struct {
 	SmartCache  uint64
 	SmartCCache uint64
 
+	// SFCMode selects the Succinct Filter Cache's concurrency control for
+	// the Sphinx-family systems: the default lock-free filter, or the
+	// mutex-serialized baseline the scaling experiment ablates against.
+	SFCMode core.FilterCacheMode
+
 	// Faults, when non-nil, is installed on the fabric at cluster
 	// creation: every phase (load and run) then exercises the retry,
 	// backoff and recovery paths, and each result's fault/recovery
@@ -281,7 +286,7 @@ func NewCluster(sys System, cfg Config) (*Cluster, error) {
 				budget /= 64
 				policy = cuckoo.PolicyRandom
 			}
-			cl.filters[i] = core.NewFilterCacheBytesPolicy(budget, uint64(cfg.Seed)+uint64(i)|1, policy)
+			cl.filters[i] = core.NewFilterCacheBytesPolicyMode(budget, uint64(cfg.Seed)+uint64(i)|1, policy, cfg.SFCMode)
 		}
 	case SMART, SMARTC:
 		cl.smartShared, err = smart.Bootstrap(f, ring)

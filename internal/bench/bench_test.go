@@ -190,7 +190,7 @@ func TestResultRow(t *testing.T) {
 func TestScalingTrend(t *testing.T) {
 	var sb strings.Builder
 	base := smallConfig(dataset.Email)
-	results, err := Scaling(base, []int{1000, 8000}, &sb)
+	results, err := TreeDepthScaling(base, []int{1000, 8000}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,6 +207,59 @@ func TestScalingTrend(t *testing.T) {
 	if sphinxBig.RoundTripsPerOp > sphinxSmall.RoundTripsPerOp+0.5 {
 		t.Errorf("Sphinx RT/op grew with keys: %.2f vs %.2f",
 			sphinxSmall.RoundTripsPerOp, sphinxBig.RoundTripsPerOp)
+	}
+}
+
+func TestWorkerScalingShape(t *testing.T) {
+	var sb strings.Builder
+	base := smallConfig(dataset.U64)
+	base.Keys = 2000
+	base.OpsPerWorker = 60
+	results, err := WorkerScaling(base, []int{1, 2}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two modes × two worker counts, in mode-major order.
+	if len(results) != 4 {
+		t.Fatalf("worker scaling returned %d results", len(results))
+	}
+	wantSys := []string{"Sphinx", "Sphinx", "Sphinx-mutexSFC", "Sphinx-mutexSFC"}
+	wantWkr := []int{1, 2, 1, 2}
+	for i, r := range results {
+		if r.System != wantSys[i] || r.Workers != wantWkr[i] {
+			t.Errorf("result %d = %s/%d workers, want %s/%d", i, r.System, r.Workers, wantSys[i], wantWkr[i])
+		}
+		if r.WallElapsedNs <= 0 || r.WallMops <= 0 {
+			t.Errorf("result %d (%s w%d) has no wall-clock measurement: %+v ns %.4f Mops",
+				i, r.System, r.Workers, r.WallElapsedNs, r.WallMops)
+		}
+		if r.ParallelEfficiency <= 0 {
+			t.Errorf("result %d (%s w%d) has no parallel efficiency", i, r.System, r.Workers)
+		}
+		if r.Workload != fmt.Sprintf("C/w%d", r.Workers) {
+			t.Errorf("result %d workload = %q", i, r.Workload)
+		}
+	}
+	// First point of each mode is its own efficiency baseline.
+	if results[0].ParallelEfficiency != 1 || results[2].ParallelEfficiency != 1 {
+		t.Errorf("first-point efficiencies = %.2f, %.2f, want 1",
+			results[0].ParallelEfficiency, results[2].ParallelEfficiency)
+	}
+	// The mutex shim must not change what the cluster computes, only how
+	// fast the CPU gets it done: op counts match point for point, and
+	// virtual throughput stays in the same ballpark (exact equality does
+	// not hold — worker interleaving on the shared filter perturbs
+	// replacement decisions in either mode).
+	for i := 0; i < 2; i++ {
+		lf, mx := results[i], results[i+2]
+		if lf.Ops != mx.Ops {
+			t.Errorf("op counts diverged between SFC modes at %d workers: %d vs %d",
+				lf.Workers, lf.Ops, mx.Ops)
+		}
+		if ratio := lf.ThroughputMops / mx.ThroughputMops; ratio < 0.5 || ratio > 2 {
+			t.Errorf("virtual throughput diverged between SFC modes at %d workers: %.4f vs %.4f",
+				lf.Workers, lf.ThroughputMops, mx.ThroughputMops)
+		}
 	}
 }
 

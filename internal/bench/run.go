@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sphinx/internal/core"
 	"sphinx/internal/fabric"
@@ -35,6 +36,19 @@ type Result struct {
 	RoundTripsPerOp float64 `json:"rt_per_op"`
 	VerbsPerOp      float64 `json:"verbs_per_op"`
 	BytesPerOp      float64 `json:"bytes_per_op"`
+
+	// Wall-clock counterparts of the virtual-time numbers: the phase's
+	// real elapsed time and throughput. The virtual clock is deterministic
+	// and blind to CN-side CPU work, so lock contention and cache-line
+	// ping-pong between workers only ever show up here — the scaling
+	// experiment reads these fields. Noisy by nature (real scheduling),
+	// unlike everything above.
+	WallElapsedNs int64   `json:"wall_ns,omitempty"`
+	WallMops      float64 `json:"wall_tput_mops,omitempty"`
+	// ParallelEfficiency is set by the scaling sweep: this point's
+	// per-worker wall-clock throughput relative to the sweep's first
+	// point (1.0 = perfect scaling when the sweep starts at 1 worker).
+	ParallelEfficiency float64 `json:"parallel_efficiency,omitempty"`
 
 	// Sphinx-only diagnostics (zero for other systems): how operations
 	// were routed and how often the probabilistic machinery misfired.
@@ -113,6 +127,7 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 	cl.beginPhaseMetrics()
 	keys := cl.keys
 	value := cl.value
+	wallStart := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
 	lats := make([][]int64, workers)
@@ -147,11 +162,13 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	wall := time.Since(wallStart)
 	close(errCh)
 	for err := range errCh {
 		return Result{}, err
 	}
 	r := cl.summarize("LOAD", workers, clients, lats)
+	attachWall(&r, wall)
 	r.Depth = 1 // loading is always sequential
 	coreAgg, hashAgg, isSphinx := cl.aggSphinx(idxs, nil)
 	cl.attachSphinxDiag(&r, coreAgg, isSphinx)
@@ -199,6 +216,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 	}
 	cl.F.ResetTimelines() // fresh measurement phase: idle network
 	cl.beginPhaseMetrics()
+	wallStart := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
 	lats := make([][]int64, workers)
@@ -261,11 +279,13 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 		}(wk)
 	}
 	wg.Wait()
+	wall := time.Since(wallStart)
 	close(errCh)
 	for err := range errCh {
 		return Result{}, err
 	}
 	r := cl.summarize(w.Name, workers, clients, lats)
+	attachWall(&r, wall)
 	r.Depth = depth
 	coreAgg, hashAgg, isSphinx := cl.aggSphinx(idxs, pls)
 	cl.attachSphinxDiag(&r, coreAgg, isSphinx)
@@ -273,6 +293,16 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 	cl.attachMetrics(&r)
 	cl.attachIndexBlocks(&r, coreAgg, hashAgg, isSphinx)
 	return r, nil
+}
+
+// attachWall fills the wall-clock throughput fields from a measured
+// phase duration.
+func attachWall(r *Result, wall time.Duration) {
+	if wall <= 0 {
+		return
+	}
+	r.WallElapsedNs = wall.Nanoseconds()
+	r.WallMops = float64(r.Ops) / wall.Seconds() / 1e6
 }
 
 // ycsbOpKind maps a YCSB op to its metrics op kind.

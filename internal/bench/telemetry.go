@@ -48,9 +48,10 @@ func (lv *Live) attach(cl *Cluster) {
 // Registry assembles (once) the registry behind /metrics and /snapshot:
 // the live histograms, index distributions, tail counters, and gauge/
 // counter sources that follow the current cluster. Every source is
-// scrape-safe concurrently with running workers: filter caches are
-// mutex-guarded, INHT usage scans go through the region locks, and the
-// finished-phase core/hash counters are mutex-guarded on the cluster.
+// scrape-safe concurrently with running workers: filter cache stats are
+// padded atomics (lock-free SFC), INHT usage scans go through the region
+// locks, and the finished-phase core/hash counters are mutex-guarded on
+// the cluster.
 func (lv *Live) Registry() *obs.Registry {
 	if lv.reg != nil {
 		return lv.reg

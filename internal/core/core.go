@@ -69,19 +69,69 @@ func Bootstrap(f *fabric.Fabric, ring *consistenthash.Ring, expectedKeys int) (S
 	return Shared{Root: root, Ring: ring, Tables: tables}, nil
 }
 
+// FilterCacheMode selects the concurrency control of a FilterCache.
+type FilterCacheMode int
+
+// FilterCache concurrency modes.
+const (
+	// FilterModeDefault resolves to the build's default: lock-free,
+	// unless the `sfc_mutex` build tag selects the serialized baseline.
+	FilterModeDefault FilterCacheMode = iota
+	// FilterLockFree shares the lock-free cuckoo filter directly (the
+	// filter's own whole-word CAS protocols carry all synchronization).
+	FilterLockFree
+	// FilterMutex serializes every access behind one mutex — the
+	// pre-lock-free design, retained as the CN-scaling ablation baseline
+	// (see the `sphinxbench scaling` experiment).
+	FilterMutex
+)
+
+func (m FilterCacheMode) resolve() FilterCacheMode {
+	if m == FilterModeDefault {
+		return buildFilterCacheMode
+	}
+	return m
+}
+
+// String names the mode as the scaling experiment's tables do.
+func (m FilterCacheMode) String() string {
+	switch m.resolve() {
+	case FilterMutex:
+		return "mutex"
+	default:
+		return "lockfree"
+	}
+}
+
 // FilterCache is the per-compute-node Succinct Filter Cache: a cuckoo
 // filter shared by all workers of one CN (paper §III-B, "a lightweight
-// per-CN cache"). Access is mutex-serialized — it lives in CN-local
-// memory, where a lock costs nanoseconds against the microseconds of any
-// network operation it saves.
+// per-CN cache"). By default it is lock-free — Contains is two atomic
+// bucket loads (plus a best-effort CAS marking hotness), so the
+// read-dominant warm path scales with the CN's cores instead of
+// funnelling every worker through one lock. The mutex mode keeps the old
+// serialized behaviour for ablation.
 type FilterCache struct {
-	mu sync.Mutex
+	mu *sync.Mutex // non-nil only in FilterMutex mode
 	f  *cuckoo.Filter
+}
+
+func newFilterCache(f *cuckoo.Filter, mode FilterCacheMode) *FilterCache {
+	fc := &FilterCache{f: f}
+	if mode.resolve() == FilterMutex {
+		fc.mu = new(sync.Mutex)
+	}
+	return fc
 }
 
 // NewFilterCache creates a filter cache with capacity for n prefixes.
 func NewFilterCache(n int, seed uint64) *FilterCache {
-	return &FilterCache{f: cuckoo.New(n, seed)}
+	return NewFilterCacheMode(n, seed, FilterModeDefault)
+}
+
+// NewFilterCacheMode creates a capacity-sized filter cache with an
+// explicit concurrency mode.
+func NewFilterCacheMode(n int, seed uint64, mode FilterCacheMode) *FilterCache {
+	return newFilterCache(cuckoo.New(n, seed), mode)
 }
 
 // NewFilterCacheBytes creates a filter cache bounded by a CN-side memory
@@ -94,70 +144,72 @@ func NewFilterCacheBytes(budget uint64, seed uint64) *FilterCache {
 // the paper's hotness-driven second chance, or random replacement for the
 // ablation comparison.
 func NewFilterCacheBytesPolicy(budget uint64, seed uint64, policy cuckoo.Policy) *FilterCache {
-	// Two bytes per slot; size so SizeBytes() ≈ budget.
-	n := int(budget / 2 * 95 / 100)
-	if n < 8 {
-		n = 8
+	return NewFilterCacheBytesPolicyMode(budget, seed, policy, FilterModeDefault)
+}
+
+// NewFilterCacheBytesPolicyMode additionally selects the concurrency
+// mode. The filter fills the budget exactly (within one 8-byte bucket
+// word): cuckoo bucket counts are not constrained to powers of two, so
+// none of the budget is lost to rounding.
+func NewFilterCacheBytesPolicyMode(budget uint64, seed uint64, policy cuckoo.Policy, mode FilterCacheMode) *FilterCache {
+	if budget < 16 {
+		budget = 16
 	}
-	return &FilterCache{f: cuckoo.NewWithPolicy(n, seed, policy)}
+	return newFilterCache(cuckoo.NewBytesPolicy(budget, seed, policy), mode)
+}
+
+// Mode reports the cache's resolved concurrency mode.
+func (fc *FilterCache) Mode() FilterCacheMode {
+	if fc.mu != nil {
+		return FilterMutex
+	}
+	return FilterLockFree
 }
 
 // Contains checks a prefix hash, marking it hot on a hit.
 func (fc *FilterCache) Contains(h uint64) bool {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
+	if fc.mu != nil {
+		fc.mu.Lock()
+		defer fc.mu.Unlock()
+	}
 	return fc.f.Contains(h)
 }
 
 // Insert learns a prefix hash.
 func (fc *FilterCache) Insert(h uint64) {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
+	if fc.mu != nil {
+		fc.mu.Lock()
+		defer fc.mu.Unlock()
+	}
 	fc.f.Insert(h)
 }
 
 // Delete unlearns a prefix hash (after a detected false positive).
 func (fc *FilterCache) Delete(h uint64) {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
+	if fc.mu != nil {
+		fc.mu.Lock()
+		defer fc.mu.Unlock()
+	}
 	fc.f.Delete(h)
 }
 
 // SizeBytes returns the filter's memory footprint.
-func (fc *FilterCache) SizeBytes() uint64 {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
-	return fc.f.SizeBytes()
-}
+func (fc *FilterCache) SizeBytes() uint64 { return fc.f.SizeBytes() }
 
 // FilterStats returns the underlying filter counters.
-func (fc *FilterCache) FilterStats() cuckoo.Stats {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
-	return fc.f.Stats()
-}
+func (fc *FilterCache) FilterStats() cuckoo.Stats { return fc.f.Stats() }
 
 // Occupancy returns the filter's occupied slots and total slot capacity.
 func (fc *FilterCache) Occupancy() (occupied, capacity uint64) {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
 	return fc.f.Occupancy(), uint64(fc.f.Capacity())
 }
 
 // Load returns the filter's occupied-slot fraction.
-func (fc *FilterCache) Load() float64 {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
-	return fc.f.Load()
-}
+func (fc *FilterCache) Load() float64 { return fc.f.Load() }
 
 // AnalyticFPBound returns the filter's analytic false-positive bound at
 // its current load.
-func (fc *FilterCache) AnalyticFPBound() float64 {
-	fc.mu.Lock()
-	defer fc.mu.Unlock()
-	return fc.f.AnalyticFPBound()
-}
+func (fc *FilterCache) AnalyticFPBound() float64 { return fc.f.AnalyticFPBound() }
 
 // Options tunes one Sphinx client.
 type Options struct {

@@ -1,0 +1,10 @@
+//go:build !sfc_mutex
+
+package core
+
+// buildFilterCacheMode is the FilterCache concurrency mode that
+// FilterModeDefault resolves to in this build: the lock-free filter.
+// Build with `-tags sfc_mutex` to flip every default-constructed
+// FilterCache to the mutex-serialized baseline — the shim the scaling
+// ablation keeps around for before/after comparison.
+const buildFilterCacheMode = FilterLockFree

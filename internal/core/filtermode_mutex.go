@@ -1,0 +1,9 @@
+//go:build sfc_mutex
+
+package core
+
+// buildFilterCacheMode under the `sfc_mutex` tag: every
+// default-constructed FilterCache serializes behind one mutex, restoring
+// the pre-lock-free behaviour for A/B runs of the scaling experiment
+// without touching call sites.
+const buildFilterCacheMode = FilterMutex

@@ -8,12 +8,25 @@
 // one hotness bit, and spare. With 4-way buckets this is ~2 bytes per
 // tracked prefix versus the 40–2056 bytes per node of node-based caching —
 // the space argument of the paper.
+//
+// The filter is lock-free and safe for concurrent use by all workers of a
+// compute node: each 4-slot bucket is one 64-bit word mutated only by
+// whole-word compare-and-swap, so a reader can never observe a torn
+// fingerprint. Races are resolved in the direction that is always safe
+// for a cache — a lost race may drop an entry or a hotness mark, both
+// re-learned on the next traversal. See DESIGN.md §5.10 for the word
+// layout and the per-operation CAS protocols.
 package cuckoo
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
 
 // SlotsPerBucket is the filter's bucket width. Four slots is the standard
-// cuckoo-filter configuration [14] and what MemC3-style analyses assume.
+// cuckoo-filter configuration [14] and what MemC3-style analyses assume;
+// it is also exactly what packs one bucket into a single atomic uint64.
 const SlotsPerBucket = 4
 
 // MaxKicks bounds a cuckoo relocation chain before the insert falls back
@@ -26,11 +39,21 @@ const (
 	fpBits = 12
 	fpMask = 1<<fpBits - 1
 	hotBit = 1 << fpBits
+
+	slotBits = 16
+	slotMask = 1<<slotBits - 1
 )
 
-// Stats counts filter events, including everything the paper's text
-// evaluates (false-positive probes are counted by the caller; eviction
-// pressure is visible here).
+// maxSpins bounds the CAS retry loops of Insert and Delete. Exhausting it
+// means the bucket pair is under heavy concurrent mutation and the
+// operation gives up — benign for a cache (the entry is re-learned, or
+// re-unlearned, on the next traversal). Single-threaded, no CAS ever
+// fails, so the bound is never reached.
+const maxSpins = 8
+
+// Stats is a snapshot of the filter's event counters, including
+// everything the paper's text evaluates (false-positive probes are
+// counted by the caller; eviction pressure is visible here).
 type Stats struct {
 	Inserts     uint64 // successful inserts
 	Duplicates  uint64 // inserts of already-present fingerprints
@@ -42,6 +65,15 @@ type Stats struct {
 	KickDrops   uint64 // evictions caused by kick-chain overflow specifically
 	HotMarks    uint64 // cold→hot transitions (hotness-bit churn)
 	Deletes     uint64 // successful deletes
+}
+
+// counter is an atomic event counter padded out to its own cache line:
+// different operations bump different counters concurrently, and exact
+// telemetry must not reintroduce the cross-worker sharing the lock-free
+// rewrite removed.
+type counter struct {
+	atomic.Uint64
+	_ [56]byte
 }
 
 // Policy selects the replacement behaviour when both candidate buckets
@@ -59,34 +91,47 @@ const (
 	PolicyRandom
 )
 
-// Filter is a cuckoo filter with hotness-based second-chance eviction.
-// It is not safe for concurrent use: the paper's filter cache is per-CN
-// and accessed by that CN's workers through its client structure; the
-// sphinx core wraps it accordingly.
+// Filter is a cuckoo filter with hotness-based second-chance eviction,
+// safe for concurrent use without external locking. The paper's filter
+// cache is per-CN and shared by that CN's workers; the sphinx core hands
+// this structure to them directly.
 type Filter struct {
-	buckets  []uint16 // numBuckets * SlotsPerBucket entries
-	nBuckets uint64   // power of two
-	mask     uint64
-	rng      uint64
+	nBuckets uint64
 	policy   Policy
-	stats    Stats
-	// occupied is the live occupied-slot count, maintained symmetrically
-	// by every insert/evict/delete path so occupancy telemetry never
-	// needs the O(n) scan. Every slot transition empty→full adds one,
-	// full→empty subtracts one; overwrites (evictions that immediately
-	// reuse the slot) are net zero.
-	occupied uint64
+	// rng is the shared replacement-randomness state: a Weyl sequence
+	// advanced by one wait-free atomic add per decision. Concurrent
+	// callers may draw from the same state value — that merely correlates
+	// two replacement choices; single-threaded use stays deterministic.
+	rng counter
+	// Event counters, one cache line each (see counter).
+	inserts, duplicates, hits, misses, secondWins counter
+	relocations, evictions, kickDrops             counter
+	hotMarks, deletes                             counter
+	// occupied is the live occupied-slot gauge, maintained symmetrically
+	// by tying every movement to exactly one successful CAS transition:
+	// empty→full adds one, full→empty subtracts one, full→full overwrites
+	// (evictions, kicks) are net zero. The churn tests cross-check it
+	// against a full scan and against inserts−evictions−deletes, in both
+	// single-threaded and hammered-concurrent runs.
+	occupied counter
+	// buckets holds one 64-bit word per bucket: 4 slots × 16 bits, slot s
+	// in bits [16s, 16s+16). All mutations are whole-word CAS.
+	buckets []atomic.Uint64
 }
 
 // New creates a filter with capacity for at least n entries at ~95% load,
-// using the paper's second-chance policy. The bucket count is rounded up
-// to a power of two. Seed makes replacement decisions deterministic for
-// reproducible experiments.
+// using the paper's second-chance policy. Seed makes replacement decisions
+// deterministic for reproducible experiments.
 func New(n int, seed uint64) *Filter {
 	return NewWithPolicy(n, seed, PolicySecondChance)
 }
 
 // NewWithPolicy creates a filter with an explicit replacement policy.
+// The bucket count is rounded up to a power of two: because the policy
+// evicts a cold entry whenever an insert finds both candidate buckets
+// full (cache semantics — it does not kick unless everything is hot),
+// "capacity for n entries" needs slack beyond the raw slot count so that
+// full bucket pairs stay improbable while n entries are live.
 func NewWithPolicy(n int, seed uint64, policy Policy) *Filter {
 	if n < 1 {
 		n = 1
@@ -96,28 +141,64 @@ func NewWithPolicy(n int, seed uint64, policy Policy) *Filter {
 	for nb < want {
 		nb <<= 1
 	}
-	return &Filter{
-		buckets:  make([]uint16, nb*SlotsPerBucket),
-		nBuckets: nb,
-		mask:     nb - 1,
-		rng:      seed | 1,
-		policy:   policy,
+	return newFilter(nb, seed, policy)
+}
+
+// NewBytes creates a filter whose entry array fills the byte budget as
+// closely as possible without exceeding it, using the paper's
+// second-chance policy.
+func NewBytes(budget uint64, seed uint64) *Filter {
+	return NewBytesPolicy(budget, seed, PolicySecondChance)
+}
+
+// NewBytesPolicy creates a byte-budgeted filter with an explicit policy.
+// Bucket counts are not constrained to powers of two (the index is a
+// multiplicative range reduction and the partner bucket a subtractive
+// involution, both of which work for any modulus), so SizeBytes() lands
+// within one 8-byte bucket word of the budget.
+func NewBytesPolicy(budget uint64, seed uint64, policy Policy) *Filter {
+	return newFilter(budget/8, seed, policy)
+}
+
+func newFilter(nb uint64, seed uint64, policy Policy) *Filter {
+	if nb < 1 {
+		nb = 1
 	}
+	f := &Filter{
+		nBuckets: nb,
+		policy:   policy,
+		buckets:  make([]atomic.Uint64, nb),
+	}
+	f.rng.Store(seed | 1)
+	return f
 }
 
 // SizeBytes returns the memory footprint of the filter's entry array — the
 // number the CN-side cache budget is charged with.
-func (f *Filter) SizeBytes() uint64 { return uint64(len(f.buckets)) * 2 }
+func (f *Filter) SizeBytes() uint64 { return f.nBuckets * 8 }
 
 // Capacity returns the number of slots in the filter.
-func (f *Filter) Capacity() int { return len(f.buckets) }
+func (f *Filter) Capacity() int { return int(f.nBuckets * SlotsPerBucket) }
 
 // Stats returns a snapshot of the filter's counters.
-func (f *Filter) Stats() Stats { return f.stats }
+func (f *Filter) Stats() Stats {
+	return Stats{
+		Inserts:     f.inserts.Load(),
+		Duplicates:  f.duplicates.Load(),
+		Hits:        f.hits.Load(),
+		Misses:      f.misses.Load(),
+		SecondWins:  f.secondWins.Load(),
+		Relocations: f.relocations.Load(),
+		Evictions:   f.evictions.Load(),
+		KickDrops:   f.kickDrops.Load(),
+		HotMarks:    f.hotMarks.Load(),
+		Deletes:     f.deletes.Load(),
+	}
+}
 
 // Occupancy returns the current number of occupied slots, maintained
 // incrementally (no scan).
-func (f *Filter) Occupancy() uint64 { return f.occupied }
+func (f *Filter) Occupancy() uint64 { return f.occupied.Load() }
 
 // fp derives the non-zero 12-bit fingerprint from a 64-bit item hash.
 func fp(hash uint64) uint16 {
@@ -128,13 +209,31 @@ func fp(hash uint64) uint16 {
 	return v
 }
 
-// index derives the primary bucket from the item hash.
-func (f *Filter) index(hash uint64) uint64 { return hash & f.mask }
+// index derives the primary bucket from the item hash. The hash is
+// remixed before the range reduction: reduce consumes the value's high
+// bits, which in the raw hash are the fingerprint bits, and a bucket
+// index correlated with its own fingerprint would collapse the filter's
+// false-positive behaviour.
+func (f *Filter) index(hash uint64) uint64 { return reduce(mix(hash), f.nBuckets) }
 
 // altIndex derives the partner bucket from a bucket and a fingerprint
-// (partial-key cuckoo hashing: i2 = i1 XOR h(fp), an involution).
+// (partial-key cuckoo hashing). Instead of the classic XOR trick, which
+// requires a power-of-two bucket count, it uses the subtractive form
+// i2 = (h(fp) − i1) mod n — an involution for any n, which is what lets
+// NewBytesPolicy hit arbitrary byte budgets exactly.
 func (f *Filter) altIndex(i uint64, fingerprint uint16) uint64 {
-	return (i ^ mix(uint64(fingerprint))) & f.mask
+	d := reduce(mix(uint64(fingerprint)), f.nBuckets) + f.nBuckets - i
+	if d >= f.nBuckets {
+		d -= f.nBuckets
+	}
+	return d
+}
+
+// reduce maps a 64-bit value uniformly onto [0, n) without division
+// (Lemire's multiplicative range reduction).
+func reduce(x, n uint64) uint64 {
+	hi, _ := bits.Mul64(x, n)
+	return hi
 }
 
 func mix(h uint64) uint64 {
@@ -146,145 +245,232 @@ func mix(h uint64) uint64 {
 	return h
 }
 
-func (f *Filter) slot(bucket uint64, s int) *uint16 {
-	return &f.buckets[bucket*SlotsPerBucket+uint64(s)]
+// slotOf extracts slot s from a bucket word.
+func slotOf(w uint64, s int) uint16 { return uint16(w >> (uint(s) * slotBits)) }
+
+// withSlot returns the bucket word with slot s replaced by e.
+func withSlot(w uint64, s int, e uint16) uint64 {
+	sh := uint(s) * slotBits
+	return w&^(uint64(slotMask)<<sh) | uint64(e)<<sh
 }
 
-// Contains reports whether an item with the given hash may be present.
-// A hit sets the entry's hotness bit (second-chance "recently used" mark,
-// paper §III-B).
+// Contains reports whether an item with the given hash may be present: two
+// atomic bucket loads on the read path. A hit on a cold entry additionally
+// attempts one best-effort CAS to set the hotness bit (second-chance
+// "recently used" mark, paper §III-B); if the bucket changed underneath,
+// the mark is skipped — losing a hot-mark is harmless and the next hit
+// retries.
 func (f *Filter) Contains(hash uint64) bool {
 	fpv := fp(hash)
 	i1 := f.index(hash)
-	i2 := f.altIndex(i1, fpv)
-	for _, b := range [2]uint64{i1, i2} {
-		for s := 0; s < SlotsPerBucket; s++ {
-			e := f.slot(b, s)
-			if *e&fpMask == fpv {
-				if *e&hotBit == 0 {
-					f.stats.HotMarks++
-				}
-				*e |= hotBit
-				f.stats.Hits++
-				return true
+	// The alternate index is derived lazily: most hits land in the
+	// primary bucket, and altIndex costs a multiply-mix the hot read
+	// path shouldn't pay unless the primary probe comes up empty.
+	if f.probe(i1, fpv) {
+		f.hits.Add(1)
+		return true
+	}
+	if f.probe(f.altIndex(i1, fpv), fpv) {
+		f.hits.Add(1)
+		return true
+	}
+	f.misses.Add(1)
+	return false
+}
+
+// probe scans one bucket for fpv and hot-marks a cold match (one
+// best-effort CAS, skipped on contention).
+func (f *Filter) probe(b uint64, fpv uint16) bool {
+	w := f.buckets[b].Load()
+	for s := 0; s < SlotsPerBucket; s++ {
+		e := slotOf(w, s)
+		if e&fpMask == fpv {
+			if e&hotBit == 0 && f.buckets[b].CompareAndSwap(w, withSlot(w, s, e|hotBit)) {
+				f.hotMarks.Add(1)
 			}
+			return true
 		}
 	}
-	f.stats.Misses++
 	return false
 }
 
 // Insert adds an item by hash. It returns false only if the item could not
-// be stored without dropping another entry — which, for a cache, still
-// leaves the filter correct; the return value exists for accounting.
-// Duplicate fingerprints in the candidate buckets are not re-inserted.
+// be stored — kick-chain overflow, or (under concurrency) persistent CAS
+// contention — which, for a cache, still leaves the filter correct; the
+// return value exists for accounting. Duplicate fingerprints in the
+// candidate buckets are not re-inserted.
 func (f *Filter) Insert(hash uint64) bool {
 	fpv := fp(hash)
 	i1 := f.index(hash)
 	i2 := f.altIndex(i1, fpv)
-
-	// Already present (same fp in a candidate bucket) → refresh hotness.
-	for _, b := range [2]uint64{i1, i2} {
-		for s := 0; s < SlotsPerBucket; s++ {
-			e := f.slot(b, s)
-			if *e&fpMask == fpv {
-				if *e&hotBit == 0 {
-					f.stats.HotMarks++
+	for spin := 0; spin < maxSpins; spin++ {
+		// Already present (same fp in a candidate bucket) → refresh
+		// hotness, best effort like Contains.
+		for _, b := range [2]uint64{i1, i2} {
+			w := f.buckets[b].Load()
+			for s := 0; s < SlotsPerBucket; s++ {
+				e := slotOf(w, s)
+				if e&fpMask == fpv {
+					if e&hotBit == 0 && f.buckets[b].CompareAndSwap(w, withSlot(w, s, e|hotBit)) {
+						f.hotMarks.Add(1)
+					}
+					f.duplicates.Add(1)
+					return true
 				}
-				*e |= hotBit
-				f.stats.Duplicates++
-				return true
 			}
 		}
-	}
-	// Free slot in either bucket: new entries start cold (hot=0),
-	// matching the second-chance policy's "not recently used" initial
-	// state (paper §III-B).
-	for _, b := range [2]uint64{i1, i2} {
-		for s := 0; s < SlotsPerBucket; s++ {
-			e := f.slot(b, s)
-			if *e == 0 {
-				*e = fpv
-				f.occupied++
-				f.stats.Inserts++
-				return true
+		// Free slot in either bucket: new entries start cold (hot=0),
+		// matching the second-chance policy's "not recently used" initial
+		// state (paper §III-B). A lost CAS means the bucket changed —
+		// possibly a racing insert of this very fingerprint — so rescan
+		// from the duplicate check.
+		lost := false
+		for _, b := range [2]uint64{i1, i2} {
+			w := f.buckets[b].Load()
+			for s := 0; s < SlotsPerBucket; s++ {
+				if slotOf(w, s) == 0 {
+					if f.buckets[b].CompareAndSwap(w, withSlot(w, s, fpv)) {
+						f.occupied.Add(1)
+						f.inserts.Add(1)
+						return true
+					}
+					lost = true
+					break
+				}
+			}
+			if lost {
+				break
 			}
 		}
+		if lost {
+			continue
+		}
+		// Both buckets full: evict per policy. Replacements overwrite the
+		// victim's slot in the same CAS, so occupancy is unchanged
+		// (evict −1, insert +1) — unless a racing delete emptied the slot
+		// between load and CAS, in which case the "eviction" is really a
+		// claim of an empty slot and counts as such.
+		if f.policy == PolicyRandom {
+			b := [2]uint64{i1, i2}[f.rand(2)]
+			s := f.rand(SlotsPerBucket)
+			w := f.buckets[b].Load()
+			victim := slotOf(w, s)
+			if !f.buckets[b].CompareAndSwap(w, withSlot(w, s, fpv)) {
+				continue
+			}
+			f.inserts.Add(1)
+			if victim == 0 {
+				f.occupied.Add(1)
+			} else {
+				f.evictions.Add(1)
+			}
+			return true
+		}
+		// Second chance: replace a random cold entry if one exists.
+		switch f.replaceCold(i1, i2, fpv) {
+		case replaceDone:
+			f.inserts.Add(1)
+			f.secondWins.Add(1)
+			f.evictions.Add(1)
+			return true
+		case replaceLost:
+			continue
+		}
+		// All entries hot: cuckoo relocation. Relocated entries have their
+		// hotness reset, making them eligible for future eviction.
+		if f.relocate(i1, fpv) {
+			f.inserts.Add(1)
+			return true
+		}
+		// Kick chain overflowed: the new item was placed by the first kick;
+		// the entry displaced at the end of the chain is dropped. One entry
+		// in, one entry out: occupancy is unchanged here too.
+		f.inserts.Add(1)
+		f.evictions.Add(1)
+		f.kickDrops.Add(1)
+		return false
 	}
-	// Both buckets full: evict per policy. Replacements reuse the
-	// victim's slot, so occupancy is unchanged (evict −1, insert +1).
-	if f.policy == PolicyRandom {
-		b := [2]uint64{i1, i2}[f.rand(2)]
-		*f.slot(b, f.rand(SlotsPerBucket)) = fpv
-		f.stats.Inserts++
-		f.stats.Evictions++
-		return true
-	}
-	// Second chance: replace a random cold entry if one exists.
-	if f.replaceCold(i1, i2, fpv) {
-		f.stats.Inserts++
-		f.stats.SecondWins++
-		f.stats.Evictions++
-		return true
-	}
-	// All entries hot: cuckoo relocation. Relocated entries have their
-	// hotness reset, making them eligible for future eviction.
-	if f.relocate(i1, fpv) {
-		f.stats.Inserts++
-		return true
-	}
-	// Kick chain overflowed: the new item was placed by the first kick;
-	// the entry displaced at the end of the chain is dropped. One entry
-	// in, one entry out: occupancy is unchanged here too.
-	f.stats.Inserts++
-	f.stats.Evictions++
-	f.stats.KickDrops++
+	// Persistent contention: every CAS lost for maxSpins rounds. Drop the
+	// new entry rather than spin unboundedly — always safe for a cache,
+	// and unreachable single-threaded. Nothing is counted, so the
+	// occupancy identity occupied == inserts−evictions−deletes holds.
 	return false
 }
 
-// replaceCold overwrites one randomly chosen hot=0 entry among the two
-// candidate buckets with fpv. It returns false if every entry is hot.
-func (f *Filter) replaceCold(i1, i2 uint64, fpv uint16) bool {
-	var cold [2 * SlotsPerBucket]*uint16
+type replaceResult int
+
+const (
+	replaceNoCold replaceResult = iota // every candidate entry is hot
+	replaceDone                        // a cold entry was overwritten
+	replaceLost                        // the chosen bucket changed underneath; rescan
+)
+
+// replaceCold overwrites one randomly chosen cold (hot=0, non-empty)
+// entry among the two candidate buckets with fpv.
+func (f *Filter) replaceCold(i1, i2 uint64, fpv uint16) replaceResult {
+	var (
+		cb [2 * SlotsPerBucket]uint64 // bucket of each cold entry
+		cw [2 * SlotsPerBucket]uint64 // bucket word it was seen in
+		cs [2 * SlotsPerBucket]int    // slot within the bucket
+	)
 	n := 0
 	for _, b := range [2]uint64{i1, i2} {
+		w := f.buckets[b].Load()
 		for s := 0; s < SlotsPerBucket; s++ {
-			e := f.slot(b, s)
-			if *e&hotBit == 0 {
-				cold[n] = e
+			e := slotOf(w, s)
+			if e != 0 && e&hotBit == 0 {
+				cb[n], cw[n], cs[n] = b, w, s
 				n++
 			}
 		}
 	}
 	if n == 0 {
-		return false
+		return replaceNoCold
 	}
-	*cold[f.rand(n)] = fpv
-	return true
+	j := f.rand(n)
+	if f.buckets[cb[j]].CompareAndSwap(cw[j], withSlot(cw[j], cs[j], fpv)) {
+		return replaceDone
+	}
+	return replaceLost
 }
 
 // relocate performs cuckoo kicks starting at bucket i, inserting fpv. On
 // chain overflow the last displaced fingerprint is dropped (counted as an
-// eviction by the caller).
+// eviction by the caller). Every hop is one whole-word CAS that swaps the
+// carried fingerprint for the victim; a lost CAS burns one kick and
+// retries, so the chain stays bounded under contention.
 func (f *Filter) relocate(i uint64, fpv uint16) bool {
 	cur := fpv
 	b := i
 	for k := 0; k < MaxKicks; k++ {
 		s := f.rand(SlotsPerBucket)
-		e := f.slot(b, s)
-		victim := *e
-		*e = cur // relocated entries enter cold (hot=0)
-		f.stats.Relocations++
+		w := f.buckets[b].Load()
+		victim := slotOf(w, s)
+		if victim == 0 {
+			// A racing delete emptied the slot since the bucket was seen
+			// full: claim it and the chain ends with one more occupied slot.
+			if f.buckets[b].CompareAndSwap(w, withSlot(w, s, cur)) {
+				f.occupied.Add(1)
+				return true
+			}
+			continue
+		}
+		if !f.buckets[b].CompareAndSwap(w, withSlot(w, s, cur)) {
+			continue
+		}
+		f.relocations.Add(1) // relocated entries enter cold (hot=0)
 		cur = victim & fpMask
 		b = f.altIndex(b, cur)
+		w = f.buckets[b].Load()
 		for s := 0; s < SlotsPerBucket; s++ {
-			e := f.slot(b, s)
-			if *e == 0 {
+			if slotOf(w, s) == 0 {
 				// The chain ends in a previously empty slot: the insert
 				// that started it nets one more occupied slot.
-				*e = cur
-				f.occupied++
-				return true
+				if f.buckets[b].CompareAndSwap(w, withSlot(w, s, cur)) {
+					f.occupied.Add(1)
+					return true
+				}
+				break // word changed underneath: kick again from here
 			}
 		}
 	}
@@ -298,24 +484,34 @@ func (f *Filter) Delete(hash uint64) bool {
 	fpv := fp(hash)
 	i1 := f.index(hash)
 	i2 := f.altIndex(i1, fpv)
-	for _, b := range [2]uint64{i1, i2} {
-		for s := 0; s < SlotsPerBucket; s++ {
-			e := f.slot(b, s)
-			if *e&fpMask == fpv {
-				*e = 0
-				f.occupied--
-				f.stats.Deletes++
-				return true
+	for spin := 0; spin < maxSpins; spin++ {
+		lost := false
+		for _, b := range [2]uint64{i1, i2} {
+			w := f.buckets[b].Load()
+			for s := 0; s < SlotsPerBucket; s++ {
+				if slotOf(w, s)&fpMask == fpv {
+					if f.buckets[b].CompareAndSwap(w, withSlot(w, s, 0)) {
+						f.occupied.Add(^uint64(0))
+						f.deletes.Add(1)
+						return true
+					}
+					lost = true
+				}
 			}
 		}
+		if !lost {
+			return false
+		}
 	}
+	// Persistent contention: report not-found. A stale surviving entry is
+	// at worst one more false positive, re-unlearned on detection.
 	return false
 }
 
 // Load returns the fraction of occupied slots, from the incrementally
-// maintained count (the churn test cross-checks it against a scan).
+// maintained count (the churn tests cross-check it against a scan).
 func (f *Filter) Load() float64 {
-	return float64(f.occupied) / float64(len(f.buckets))
+	return float64(f.occupied.Load()) / float64(f.nBuckets*SlotsPerBucket)
 }
 
 // AnalyticFPBound returns the standard cuckoo-filter false-positive bound
@@ -326,12 +522,13 @@ func (f *Filter) AnalyticFPBound() float64 {
 	return f.Load() * 2 * SlotsPerBucket / (1 << fpBits)
 }
 
-// rand returns a deterministic pseudo-random int in [0, n) (xorshift64*).
+// rand returns a pseudo-random int in [0, n): one wait-free atomic add on
+// a Weyl sequence, finalized through mix. Deterministic when the filter
+// is driven by one goroutine (the figure experiments); under concurrency,
+// two callers may draw correlated values, which only correlates two
+// replacement decisions.
 func (f *Filter) rand(n int) int {
-	f.rng ^= f.rng << 13
-	f.rng ^= f.rng >> 7
-	f.rng ^= f.rng << 17
-	return int((f.rng * 0x2545f4914f6cdd1d) >> 33 % uint64(n))
+	return int(mix(f.rng.Add(0x9e3779b97f4a7c15)) % uint64(n))
 }
 
 // String summarizes the filter.

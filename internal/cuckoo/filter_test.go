@@ -140,8 +140,10 @@ func TestRelocationResetsHotness(t *testing.T) {
 
 func TestSizeBytes(t *testing.T) {
 	f := New(1000, 1)
-	// 1000/0.95/4 → 264 → rounded to 512 buckets × 4 slots × 2 B.
-	if f.SizeBytes() != 512*SlotsPerBucket*2 {
+	// 1000/0.95/4 → 264 → rounded to 512 buckets × one 8-byte word
+	// (4 slots × 16 bits). NewBytes skips the rounding; see
+	// TestNewBytesWithinBudget.
+	if f.SizeBytes() != 512*8 {
 		t.Errorf("SizeBytes = %d", f.SizeBytes())
 	}
 	// ~2 bytes per tracked item keeps the paper's "succinct" claim honest.

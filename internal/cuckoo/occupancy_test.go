@@ -8,9 +8,12 @@ import (
 // scanOccupied is the ground truth the incremental counter must track.
 func scanOccupied(f *Filter) uint64 {
 	var used uint64
-	for _, e := range f.buckets {
-		if e != 0 {
-			used++
+	for i := range f.buckets {
+		w := f.buckets[i].Load()
+		for s := 0; s < SlotsPerBucket; s++ {
+			if slotOf(w, s) != 0 {
+				used++
+			}
 		}
 	}
 	return used

@@ -28,6 +28,11 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	buckets [NumBuckets]atomic.Uint64
+	// Pad the struct to a cache-line multiple (536 → 576 bytes) so that
+	// in the per-op and per-stage histogram arrays one histogram's hot
+	// count/sum words never share a line with a neighbour's tail buckets
+	// — every worker of a phase observes into the same array.
+	_ [40]byte
 }
 
 // Observe records one value.

@@ -82,9 +82,16 @@ const MaxScanLen = 100
 // factory for novel keys, and the global insert cursor that the Latest
 // distribution follows. Safe for concurrent use by many generators.
 type KeySpace struct {
-	base    [][]byte
-	novel   func(i int64) []byte
-	nextIns atomic.Int64 // count of keys inserted beyond base
+	base  [][]byte
+	novel func(i int64) []byte
+	// nextIns (count of keys inserted beyond base) is the one mutable,
+	// cross-worker word of the key space: every inserting worker bumps it
+	// while every other worker's chooseKey reads base/novel. Padding on
+	// both sides keeps that write traffic off the cache lines holding the
+	// read-only fields.
+	_       [64]byte
+	nextIns atomic.Int64
+	_       [56]byte
 }
 
 // NewKeySpace wraps the loaded keys. novel produces the i-th key inserted
