@@ -44,7 +44,7 @@ func main() {
 	serveLinger := flag.Duration("serve-linger", 0, "with -serve, keep serving this long after the experiments finish (lets scrapers read final totals)")
 	scaleWorkers := flag.String("scale-workers", "", "comma-separated worker counts for the scaling experiment (default 1,2,4,8,16)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|treedepth|valsweep|pipeline|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|treedepth|valsweep|pipeline|failover|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -145,6 +145,12 @@ func main() {
 			case "pipeline":
 				results, err = bench.PipelineSweep(cfg, nil, os.Stdout)
 				printDiags(results, *stats)
+			case "failover":
+				var frep *bench.FailoverReport
+				frep, err = bench.Failover(cfg, os.Stdout)
+				if err == nil {
+					report(name).Failover = frep
+				}
 			default:
 				return fmt.Errorf("unknown experiment %q", name)
 			}

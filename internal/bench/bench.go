@@ -108,6 +108,13 @@ type Config struct {
 	// mutex-serialized baseline the scaling experiment ablates against.
 	SFCMode core.FilterCacheMode
 
+	// Replication enables the memory-node fault-tolerance layer for the
+	// Sphinx-family systems: every published entry is replicated to this
+	// many distinct MNs, reads fail over behind the per-node health
+	// breaker, and repair sweeps re-replicate after a loss. 0 (the
+	// default) disables the layer; the failover experiment forces >= 2.
+	Replication int
+
 	// Faults, when non-nil, is installed on the fabric at cluster
 	// creation: every phase (load and run) then exercises the retry,
 	// backoff and recovery paths, and each result's fault/recovery
@@ -274,7 +281,11 @@ func NewCluster(sys System, cfg Config) (*Cluster, error) {
 	var err error
 	switch sys {
 	case Sphinx, SphinxNoSFC, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoDirCache:
-		cl.sphinxShared, err = core.Bootstrap(f, ring, cfg.Keys)
+		if cfg.Replication > 0 {
+			cl.sphinxShared, err = core.BootstrapReplicated(f, ring, cfg.Keys, cfg.Replication)
+		} else {
+			cl.sphinxShared, err = core.Bootstrap(f, ring, cfg.Keys)
+		}
 		cl.filters = make([]*core.FilterCache, cfg.CNs)
 		for i := range cl.filters {
 			budget := cfg.SphinxCache

@@ -21,6 +21,9 @@ type JSONReport struct {
 	// MemUsages carries fig6's per-system memory accounting (its runs
 	// produce no Result rows).
 	MemUsages []MemUsage `json:"mem_usages,omitempty"`
+	// Failover carries the MN-loss chaos experiment's durability and
+	// repair verdict (its run produces no Result rows).
+	Failover *FailoverReport `json:"failover,omitempty"`
 }
 
 // NewJSONReport captures the experiment's sweep-invariant settings.

@@ -77,6 +77,71 @@ func TestStabilityUnderNodeAddition(t *testing.T) {
 	}
 }
 
+func TestRemovalRemapsOnlyRemovedNodesKeys(t *testing.T) {
+	// Vnode hashes depend only on the node ID, so a ring built over the
+	// surviving node subset is exactly the ring with the dead node's
+	// points removed. On removal, a key may change owner only if the
+	// removed node owned it — everyone else's keys must stay put.
+	full := New([]mem.NodeID{0, 1, 2, 3}, DefaultVirtualNodes)
+	without := New([]mem.NodeID{0, 1, 3}, DefaultVirtualNodes)
+	const removed = mem.NodeID(2)
+	const total = 20000
+	movedFromRemoved := 0
+	for i := 0; i < total; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		before, after := full.OwnerKey(key), without.OwnerKey(key)
+		if before == after {
+			continue
+		}
+		if before != removed {
+			t.Fatalf("key %q moved %d→%d though node %d was the one removed",
+				key, before, after, removed)
+		}
+		if after == removed {
+			t.Fatalf("key %q assigned to removed node %d", key, removed)
+		}
+		movedFromRemoved++
+	}
+	if movedFromRemoved == 0 {
+		t.Error("no keys moved off the removed node (it owned none?)")
+	}
+}
+
+func TestOwnersDistinctAndOrdered(t *testing.T) {
+	nodes := []mem.NodeID{0, 1, 2, 3, 4}
+	r := New(nodes, DefaultVirtualNodes)
+	for i := 0; i < 5000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		for n := 1; n <= len(nodes); n++ {
+			owners := r.OwnersKey(key, n)
+			if len(owners) != n {
+				t.Fatalf("OwnersKey(%q, %d) returned %d owners", key, n, len(owners))
+			}
+			if owners[0] != r.OwnerKey(key) {
+				t.Fatalf("OwnersKey(%q)[0] = %d, Owner = %d", key, owners[0], r.OwnerKey(key))
+			}
+			seen := make(map[mem.NodeID]bool, n)
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("OwnersKey(%q, %d) placed two replicas on node %d: %v",
+						key, n, o, owners)
+				}
+				seen[o] = true
+			}
+		}
+	}
+}
+
+func TestOwnersClampAndEmpty(t *testing.T) {
+	r := New([]mem.NodeID{0, 1}, 8)
+	if got := r.Owners(42, 5); len(got) != 2 {
+		t.Errorf("Owners clamped to node count: got %v", got)
+	}
+	if got := r.Owners(42, 0); got != nil {
+		t.Errorf("Owners(h, 0) = %v, want nil", got)
+	}
+}
+
 func TestEmptyRingPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

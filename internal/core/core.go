@@ -41,6 +41,11 @@ type Shared struct {
 	Root   mem.Addr
 	Ring   *consistenthash.Ring
 	Tables map[mem.NodeID]racehash.Table
+	// FT, when non-nil, enables the MN fault-tolerance layer (replicated
+	// anchors, health-gated failover, online repair — see replica.go).
+	// Built by BootstrapReplicated; nil keeps the original single-copy
+	// behaviour byte-for-byte.
+	FT *FaultTolerance
 }
 
 // Bootstrap creates an empty Sphinx index: the root node plus one inner
@@ -258,6 +263,10 @@ type Stats struct {
 	ParentRetries   uint64 // ErrNeedParent re-routes (structural, no backoff)
 	StaleEntries    uint64 // invalid hash entries cleaned opportunistically
 	FPMismatches    uint64 // candidate nodes read but failing the §III-B checks
+	Failovers       uint64 // reads served from anchor replicas after node loss
+	DegradedPuts    uint64 // writes/deletes served anchor-only (tree path dead)
+	PartialReplicas uint64 // acked writes that reached fewer than R replicas
+	AnchorConfirms  uint64 // degraded-mode absent answers verified via anchors
 }
 
 // Add returns s + t, field-wise; used to aggregate workers.
@@ -276,6 +285,10 @@ func (s Stats) Add(t Stats) Stats {
 	s.ParentRetries += t.ParentRetries
 	s.StaleEntries += t.StaleEntries
 	s.FPMismatches += t.FPMismatches
+	s.Failovers += t.Failovers
+	s.DegradedPuts += t.DegradedPuts
+	s.PartialReplicas += t.PartialReplicas
+	s.AnchorConfirms += t.AnchorConfirms
 	return s
 }
 
@@ -294,6 +307,10 @@ type Client struct {
 	index *obs.IndexMetrics // nil when index distributions are off
 	rec   *obs.Recorder     // armed per-op by Session.Trace; nil when idle
 
+	// Fault-tolerance state (nil without Shared.FT): per-node views on
+	// the anchor tables.
+	anchorViews map[mem.NodeID]*racehash.View
+
 	// Warm-path scratch, reused across operations (clients are
 	// single-goroutine). Valid only within one locate step.
 	candScratch []racehash.Candidate
@@ -304,6 +321,12 @@ type Client struct {
 
 // NewClient mounts a Sphinx index over one fabric client.
 func NewClient(shared Shared, c *fabric.Client, opts Options) *Client {
+	if ft := shared.FT; ft != nil {
+		// Steer new tree allocations (inner nodes, leaves) to the first
+		// healthy successor, so post-loss growth avoids dead nodes.
+		ring := shared.Ring
+		opts.Engine.Place = func(key []byte) mem.NodeID { return ft.place(ring, key) }
+	}
 	alloc := mem.NewAllocator(c, 0)
 	cl := &Client{
 		shared: shared,
@@ -318,6 +341,12 @@ func NewClient(shared Shared, c *fabric.Client, opts Options) *Client {
 			cl.views[node] = racehash.NewViewNoCache(t, c)
 		} else {
 			cl.views[node] = racehash.NewView(t, c)
+		}
+	}
+	if shared.FT != nil {
+		cl.anchorViews = make(map[mem.NodeID]*racehash.View, len(shared.FT.Anchors))
+		for node, t := range shared.FT.Anchors {
+			cl.anchorViews[node] = racehash.NewView(t, c)
 		}
 	}
 	if cl.filter == nil && !opts.DisableFilter {
@@ -360,6 +389,10 @@ func (c *Client) Stats() Stats {
 	s.ParentRetries = atomic.LoadUint64(&c.stats.ParentRetries)
 	s.StaleEntries = atomic.LoadUint64(&c.stats.StaleEntries)
 	s.FPMismatches = atomic.LoadUint64(&c.stats.FPMismatches)
+	s.Failovers = atomic.LoadUint64(&c.stats.Failovers)
+	s.DegradedPuts = atomic.LoadUint64(&c.stats.DegradedPuts)
+	s.PartialReplicas = atomic.LoadUint64(&c.stats.PartialReplicas)
+	s.AnchorConfirms = atomic.LoadUint64(&c.stats.AnchorConfirms)
 	return s
 }
 
@@ -391,6 +424,12 @@ func (c *Client) CacheBytes() uint64 {
 }
 
 // viewFor returns the hash-table view of the memory node owning a prefix.
+// With fault tolerance active, ownership skips dead nodes: new entries and
+// lookups for prefixes whose ring owner died consistently use the first
+// healthy successor's table.
 func (c *Client) viewFor(prefix []byte) *racehash.View {
+	if ft := c.shared.FT; ft != nil {
+		return c.views[ft.place(c.shared.Ring, prefix)]
+	}
 	return c.views[c.shared.Ring.OwnerKey(prefix)]
 }

@@ -26,6 +26,13 @@ var (
 	// ErrInvalidScan reports a malformed Scan range before any round trip
 	// is paid.
 	ErrInvalidScan = errors.New("core: invalid scan range")
+
+	// ErrReplicaSetUnavailable is the typed terminal error of the
+	// fault-tolerance layer: every replica of a key's anchor set is
+	// unreachable, so the operation cannot be served (or acknowledged) even
+	// degraded. It means more simultaneous MN losses than the replication
+	// factor tolerates.
+	ErrReplicaSetUnavailable = errors.New("core: replica set unavailable")
 )
 
 // exhausted builds the terminal error for an operation that ran out of

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sphinx/internal/consistenthash"
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+)
+
+// newReplicatedCluster is newCluster with the fault-tolerance layer
+// bootstrapped (anchor tables, R=2 replication, breaker gating on).
+func newReplicatedCluster(t *testing.T, mns int, cfg fabric.Config, expected int) (*fabric.Fabric, Shared) {
+	t.Helper()
+	f := fabric.New(cfg)
+	nodes := make([]mem.NodeID, mns)
+	for i := range nodes {
+		nodes[i] = f.AddNode(256 << 20)
+	}
+	ring := consistenthash.New(nodes, 0)
+	shared, err := BootstrapReplicated(f, ring, expected, DefaultReplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, shared
+}
+
+// victimFor returns a node that owns at least one of the keys, so killing
+// it actually severs tree paths.
+func victimFor(shared Shared, keys [][]byte) mem.NodeID {
+	for _, k := range keys {
+		return shared.Ring.OwnerKey(k)
+	}
+	return shared.Ring.Nodes()[0]
+}
+
+func testKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("failover-key-%04d", i))
+	}
+	return keys
+}
+
+// TestSearchFailoverNoBackoff is the retry-accounting satellite: with the
+// breaker aware of the dead node, a read whose home died must fail over to
+// a replica without consuming a single backoff sleep. Under InstantConfig
+// every verb is free and gated rejects cost nothing, so any clock advance
+// can only come from backoff sleeps — which the fail-fast path must not
+// take.
+func TestSearchFailoverNoBackoff(t *testing.T) {
+	f, shared := newReplicatedCluster(t, 3, fabric.InstantConfig(), 1000)
+	c := newTestClient(f, shared, Options{})
+	keys := testKeys(64)
+	for _, k := range keys {
+		if _, err := c.Insert(k, append([]byte("val-"), k...)); err != nil {
+			t.Fatalf("insert %q: %v", k, err)
+		}
+	}
+	victim := victimFor(shared, keys)
+	f.KillNode(victim)
+	// One discovery contact teaches the shared breaker about the death (a
+	// dedicated client keeps the measured client's stats clean).
+	probe := newTestClient(f, shared, Options{})
+	probe.Search(keys[0])
+	if f.Health().State(victim) != fabric.HealthDead {
+		t.Fatalf("breaker did not learn the death")
+	}
+
+	clock0 := c.eng.C.Clock()
+	served := 0
+	for _, k := range keys {
+		v, ok, err := c.Search(k)
+		if err != nil {
+			t.Fatalf("search %q after kill: %v", k, err)
+		}
+		if !ok || !bytes.Equal(v, append([]byte("val-"), k...)) {
+			t.Fatalf("search %q after kill: ok=%v v=%q", k, ok, v)
+		}
+		served++
+	}
+	if dt := c.eng.C.Clock() - clock0; dt != 0 {
+		t.Errorf("post-kill searches advanced the clock by %dps: backoff sleeps on the failover path", dt)
+	}
+	st := c.Stats()
+	if st.Failovers == 0 {
+		t.Errorf("no failovers recorded across %d post-kill searches", served)
+	}
+	if st.Restarts != 0 {
+		t.Errorf("Restarts = %d, want 0 (failover must bypass the retry loop)", st.Restarts)
+	}
+}
+
+// TestKilledClusterWritesSurvive: every acknowledged write before and
+// after the kill must stay readable; degraded writes land anchor-only and
+// are found via the degraded-absent confirmation path.
+func TestKilledClusterWritesSurvive(t *testing.T) {
+	f, shared := newReplicatedCluster(t, 3, fabric.InstantConfig(), 1000)
+	c := newTestClient(f, shared, Options{})
+	keys := testKeys(200)
+	for i, k := range keys {
+		if _, err := c.Insert(k, []byte(fmt.Sprintf("v0-%d", i))); err != nil {
+			t.Fatalf("insert %q: %v", k, err)
+		}
+	}
+	victim := victimFor(shared, keys)
+	f.KillNode(victim)
+
+	// Post-kill writes: updates of old keys and brand-new inserts, all of
+	// which must be acknowledged and durable.
+	for i, k := range keys[:100] {
+		if _, err := c.Insert(k, []byte(fmt.Sprintf("v1-%d", i))); err != nil {
+			t.Fatalf("post-kill update %q: %v", k, err)
+		}
+	}
+	fresh := make([][]byte, 50)
+	for i := range fresh {
+		fresh[i] = []byte(fmt.Sprintf("post-kill-key-%04d", i))
+		if _, err := c.Insert(fresh[i], []byte(fmt.Sprintf("p-%d", i))); err != nil {
+			t.Fatalf("post-kill insert %q: %v", fresh[i], err)
+		}
+	}
+
+	for i, k := range keys {
+		want := fmt.Sprintf("v0-%d", i)
+		if i < 100 {
+			want = fmt.Sprintf("v1-%d", i)
+		}
+		v, ok, err := c.Search(k)
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("search %q: ok=%v v=%q err=%v (want %q)", k, ok, v, err, want)
+		}
+	}
+	for i, k := range fresh {
+		v, ok, err := c.Search(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("p-%d", i) {
+			t.Fatalf("search fresh %q: ok=%v v=%q err=%v", k, ok, v, err)
+		}
+	}
+	// Absent keys stay absent (the degraded confirm path must not
+	// fabricate values).
+	if _, ok, err := c.Search([]byte("never-written")); err != nil || ok {
+		t.Errorf("absent key after kill: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestRepairConvergence: after a kill, sweeps re-replicate every surviving
+// anchor onto a healthy successor and the deficit gauge reaches zero.
+func TestRepairConvergence(t *testing.T) {
+	f, shared := newReplicatedCluster(t, 4, fabric.InstantConfig(), 1000)
+	c := newTestClient(f, shared, Options{})
+	keys := testKeys(300)
+	for i, k := range keys {
+		if _, err := c.Insert(k, []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatalf("insert %q: %v", k, err)
+		}
+	}
+	victim := victimFor(shared, keys)
+	f.KillNode(victim)
+	// Teach the breaker (repair placement consults Health).
+	newTestClient(f, shared, Options{}).Search(keys[0])
+
+	repairer := newTestClient(f, shared, Options{})
+	var rep RepairReport
+	converged := false
+	for sweep := 0; sweep < 6; sweep++ {
+		var err error
+		rep, err = repairer.RepairSweep()
+		if err != nil {
+			t.Fatalf("sweep %d: %v", sweep, err)
+		}
+		if rep.Deficits == 0 {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatalf("repair did not converge: final report %+v", rep)
+	}
+	if shared.FT.UnderReplicated() != 0 {
+		t.Errorf("under-replicated gauge = %d after convergence", shared.FT.UnderReplicated())
+	}
+	sweeps, copied := shared.FT.RepairTotals()
+	if sweeps == 0 || copied == 0 {
+		t.Errorf("repair totals: sweeps=%d copied=%d, want both > 0", sweeps, copied)
+	}
+	// Kill a second node: every key must still be served, because repair
+	// restored full replication — any acked key now has a live replica
+	// among the survivors.
+	var second mem.NodeID
+	for _, n := range shared.Ring.Nodes() {
+		if n != victim {
+			second = n
+			break
+		}
+	}
+	f.KillNode(second)
+	reader := newTestClient(f, shared, Options{})
+	for i, k := range keys {
+		v, ok, err := reader.Search(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("search %q after second kill: ok=%v v=%q err=%v", k, ok, v, err)
+		}
+	}
+}
+
+// TestConcurrentKillRepairServe drives workers, a mid-run kill and repair
+// sweeps concurrently; run under -race this is the data-race check for the
+// whole failover stack.
+func TestConcurrentKillRepairServe(t *testing.T) {
+	f, shared := newReplicatedCluster(t, 3, fabric.InstantConfig(), 2000)
+	loader := newTestClient(f, shared, Options{})
+	const workers = 4
+	const perWorker = 120
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			k := []byte(fmt.Sprintf("w%d-key-%04d", w, i))
+			if _, err := loader.Insert(k, []byte("seed")); err != nil {
+				t.Fatalf("load %q: %v", k, err)
+			}
+		}
+	}
+	victim := shared.Ring.OwnerKey([]byte("w0-key-0000"))
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newTestClient(f, shared, Options{})
+			for i := 0; i < perWorker; i++ {
+				k := []byte(fmt.Sprintf("w%d-key-%04d", w, i))
+				if w == 0 && i == perWorker/2 {
+					f.KillNode(victim)
+				}
+				if i%2 == 0 {
+					if _, err := c.Insert(k, []byte(fmt.Sprintf("v%d", i))); err != nil && !errors.Is(err, ErrReplicaSetUnavailable) {
+						errCh <- fmt.Errorf("w%d insert %q: %w", w, k, err)
+						return
+					}
+				} else {
+					if _, _, err := c.Search(k); err != nil && !errors.Is(err, ErrReplicaSetUnavailable) {
+						errCh <- fmt.Errorf("w%d search %q: %w", w, k, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := newTestClient(f, shared, Options{})
+		for s := 0; s < 4; s++ {
+			if _, err := r.RepairSweep(); err != nil {
+				errCh <- fmt.Errorf("repair sweep %d: %w", s, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -85,6 +85,15 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 		return nil, false, err
 	}
 	atomic.AddUint64(&c.stats.Searches, 1)
+	if c.degraded() {
+		// A node is permanently lost, so the tree is not authoritative:
+		// degraded writes land only in the anchor store, while a tree read
+		// may still succeed on a stale leaf via a path that happens to
+		// avoid the dead node. Serve from the replicated anchors — for any
+		// acked key a healthy replica exists by the placement invariant.
+		atomic.AddUint64(&c.stats.Failovers, 1)
+		return c.anchorGet(key)
+	}
 	maxLen := len(key)
 	var last error
 	for bo := c.eng.Backoff(); ; {
@@ -94,7 +103,7 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 			leaf, err = c.eng.SearchFrom(start, key, hooks{c})
 			if err == nil {
 				if leaf == nil {
-					return nil, false, nil
+					return c.searchAbsent(key)
 				}
 				if !bytes.Equal(leaf.Key, key) {
 					if cp := rart.CommonPrefixLen(leaf.Key, key); cp < startLen {
@@ -107,10 +116,18 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 						maxLen = startLen - 1
 						continue
 					}
-					return nil, false, nil
+					return c.searchAbsent(key)
 				}
 				return leaf.Value, true, nil
 			}
+		}
+		if c.failoverable(err) {
+			// The key's tree path crosses a lost node: answer from the
+			// anchor replicas in one decision, no backoff (acked writes
+			// reached every replica, so any survivor is authoritative).
+			atomic.AddUint64(&c.stats.Failovers, 1)
+			c.noteRestart(err)
+			return c.anchorGet(key)
 		}
 		if !retriable(err) {
 			return nil, false, err
@@ -127,6 +144,17 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 			return nil, false, exhausted("search", key, last)
 		}
 	}
+}
+
+// searchAbsent finalizes a tree search that found nothing. In degraded
+// mode (a node permanently lost) absence in the tree is not authoritative:
+// degraded writes land only in the anchors, so confirm there.
+func (c *Client) searchAbsent(key []byte) ([]byte, bool, error) {
+	if !c.degraded() {
+		return nil, false, nil
+	}
+	atomic.AddUint64(&c.stats.AnchorConfirms, 1)
+	return c.anchorGet(key)
 }
 
 func (c *Client) noteCollision(key []byte, startLen int) {
@@ -184,6 +212,8 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 				}
 				maxLen = startLen - 1
 				continue
+			case c.failoverable(err):
+				return c.degradedPut(key, value, mode)
 			case retriable(err) || errors.Is(err, rart.ErrNeedParent):
 				atomic.AddUint64(&c.stats.Restarts, 1)
 				c.noteRestart(err)
@@ -191,8 +221,22 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 			case err != nil:
 				return false, err
 			default:
+				// Publish-to-completion to the replica set before the write
+				// is acknowledged: from here on, losing any single replica
+				// cannot lose this write. An update-only miss wrote nothing
+				// to the tree, so nothing is published either — except in
+				// degraded mode, where the key may live only in the anchors.
+				if c.shared.FT != nil && (mode == rart.PutUpsert || existed || c.degraded()) {
+					anchorExisted, aerr := c.anchorUpsert(key, value)
+					if aerr != nil {
+						return false, aerr
+					}
+					existed = existed || anchorExisted
+				}
 				return existed, nil
 			}
+		} else if c.failoverable(err) {
+			return c.degradedPut(key, value, mode)
 		} else if retriable(err) {
 			atomic.AddUint64(&c.stats.Restarts, 1)
 			c.noteRestart(err)
@@ -205,6 +249,24 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 			return false, exhausted("put", key, last)
 		}
 	}
+}
+
+// degradedPut serves a write whose tree path crosses a permanently lost
+// node: the value goes to the anchor replicas only, acknowledged once the
+// reachable replica set holds it. Update-only semantics are preserved by
+// checking anchor presence first — an absent key stays absent. The tree
+// copy is reconstructed offline (tree rebuild is future work; degraded
+// reads are served from the anchors, so the gap is invisible).
+func (c *Client) degradedPut(key, value []byte, mode rart.PutMode) (bool, error) {
+	atomic.AddUint64(&c.stats.DegradedPuts, 1)
+	if mode == rart.PutUpdateOnly {
+		if _, ok, err := c.anchorGet(key); err != nil {
+			return false, err
+		} else if !ok {
+			return false, nil
+		}
+	}
+	return c.anchorUpsert(key, value)
 }
 
 // Delete removes key (paper §IV Delete), reporting whether it was present.
@@ -238,8 +300,24 @@ func (c *Client) Delete(key []byte) (bool, error) {
 				}
 			}
 			if err == nil {
+				if c.shared.FT != nil {
+					// Remove the anchors before acknowledging, mirroring the
+					// put path's publish-to-completion.
+					anchorPresent, aerr := c.anchorRemove(key)
+					if aerr != nil {
+						return false, aerr
+					}
+					ok = ok || anchorPresent
+				}
 				return ok, nil
 			}
+		}
+		if c.failoverable(err) {
+			// Tree path lost: delete the anchors only; presence is judged
+			// from them (acked writes reached every replica).
+			atomic.AddUint64(&c.stats.DegradedPuts, 1)
+			c.noteRestart(err)
+			return c.anchorRemove(key)
 		}
 		if !retriable(err) {
 			return false, err
@@ -275,6 +353,14 @@ func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
 	// Counted after validation: rejected calls pay no round trip and must
 	// not inflate per-op metrics.
 	atomic.AddUint64(&c.stats.Scans, 1)
+	if c.degraded() {
+		// Degraded writes live only in the unordered anchor store, so a
+		// tree traversal — even one that avoids the dead node — could
+		// return stale values. Scans fail fast rather than lie; point
+		// reads keep full coverage via the anchors.
+		return nil, fmt.Errorf("%w: scan %q..%q while a memory node is lost (tree not authoritative)",
+			ErrReplicaSetUnavailable, lo, hi)
+	}
 	var last error
 	for bo := c.eng.Backoff(); ; {
 		root, err := c.readRoot()
@@ -284,6 +370,15 @@ func (c *Client) Scan(lo, hi []byte, limit int) ([]rart.KV, error) {
 			if err == nil {
 				return kvs, nil
 			}
+		}
+		if errors.Is(err, fabric.ErrNodeKilled) || errors.Is(err, fabric.ErrBreakerOpen) {
+			// The traversal crossed a permanently lost (or breaker-
+			// rejected) node. Anchors are unordered, so scans cannot fail
+			// over to them; fail fast with a typed error instead of
+			// sleeping out the backoff budget. Post-loss scans regain full
+			// coverage only after a tree rebuild (future work).
+			return nil, fmt.Errorf("%w: scan range %q..%q crosses a lost node (%v)",
+				ErrReplicaSetUnavailable, lo, hi, err)
 		}
 		if !retriable(err) {
 			return nil, err

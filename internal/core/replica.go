@@ -1,0 +1,478 @@
+// MN fault tolerance: replicated anchor placement, health-gated failover
+// and online anti-entropy repair.
+//
+// The tree and the inner-node hash table shard entries across MNs with no
+// redundancy, so a permanently lost MN takes its slice of both with it.
+// The fault-tolerance layer adds a replicated "anchor" store beside them:
+// every acknowledged write also publishes an immutable anchor record —
+// (key, value, version) — to the first R healthy memory nodes clockwise
+// from the key on the consistent-hash ring, each node holding its replicas
+// in a dedicated RACE-style table. Writes acknowledge only after the
+// anchor publish completes, so:
+//
+//   - a read that hits a killed node on its tree path fails over to the
+//     key's anchor replicas in one decision (the fabric health breaker
+//     rejects suspect nodes locally, at zero virtual-time cost);
+//   - killing any single MN of an R=2 placement loses no acknowledged
+//     write: the surviving replica of every acked key is, by construction,
+//     the first healthy successor at read time;
+//   - a background repair sweep walks every live node's anchor table and
+//     re-replicates entries whose replica set fell below R onto the next
+//     healthy successors, returning the system to full replication while
+//     CNs keep serving.
+//
+// Anchor records are immutable and versioned; updates publish a new record
+// and swap the table entry with the view's CAS-based Replace, giving
+// last-writer-wins per replica (exact when a key has one writer, as the
+// failover benchmark arranges; approximate under concurrent writers to the
+// same key, like the tree itself). The record's first word is a
+// wire.NodeHeader carrying the key's 42-bit prefix hash — the format the
+// hash table's one-sided segment split relies on to re-derive placement.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"sphinx/internal/consistenthash"
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/racehash"
+	"sphinx/internal/wire"
+)
+
+// DefaultReplication is the replication factor the paper-scale clusters
+// use: every anchor on two distinct MNs, surviving any single MN loss.
+const DefaultReplication = 2
+
+// FaultTolerance is the cluster-wide descriptor of the replication layer,
+// created by BootstrapReplicated and shared read-only (its counters are
+// atomic) by every client.
+type FaultTolerance struct {
+	// R is the replication factor: each anchor targets the first R healthy
+	// distinct successors of its key on the ring.
+	R int
+	// Health is the fabric's shared per-MN breaker table; placement skips
+	// nodes it reports dead.
+	Health *fabric.Health
+	// Anchors maps each memory node to its anchor table.
+	Anchors map[mem.NodeID]racehash.Table
+
+	// verCounter issues LWW versions for anchor records. Shared across
+	// clients (modelling a CN-side timestamp oracle) so that versions are
+	// totally ordered cluster-wide: a fresh client's update must outrank
+	// anchors written earlier by longer-lived clients.
+	verCounter uint64
+
+	// underReplicated is the gauge the repair sweeper maintains: replica
+	// deficits found by the latest sweep (0 once repair has converged).
+	underReplicated uint64
+	// repairSweeps / repairCopied accumulate across sweeps for metrics.
+	repairSweeps uint64
+	repairCopied uint64
+}
+
+// UnderReplicated returns the latest sweep's replica-deficit gauge.
+func (ft *FaultTolerance) UnderReplicated() uint64 {
+	return atomic.LoadUint64(&ft.underReplicated)
+}
+
+// RepairTotals returns the cumulative sweep count and copied-replica count.
+func (ft *FaultTolerance) RepairTotals() (sweeps, copied uint64) {
+	return atomic.LoadUint64(&ft.repairSweeps), atomic.LoadUint64(&ft.repairCopied)
+}
+
+// place returns the first healthy successor of key — the node that must
+// hold every acknowledged key, and where new tree allocations and hash
+// entries go so they avoid dead nodes.
+func (ft *FaultTolerance) place(ring *consistenthash.Ring, key []byte) mem.NodeID {
+	owners := ring.OwnersKey(key, len(ring.Nodes()))
+	for _, o := range owners {
+		if ft.Health.Alive(o) {
+			return o
+		}
+	}
+	return owners[0]
+}
+
+// targets returns the key's anchor replica set: the first R healthy
+// distinct successors (fewer when fewer healthy nodes remain).
+func (ft *FaultTolerance) targets(ring *consistenthash.Ring, key []byte) []mem.NodeID {
+	owners := ring.OwnersKey(key, len(ring.Nodes()))
+	targets := make([]mem.NodeID, 0, ft.R)
+	for _, o := range owners {
+		if ft.Health.Alive(o) {
+			targets = append(targets, o)
+			if len(targets) == ft.R {
+				break
+			}
+		}
+	}
+	return targets
+}
+
+// anyDead reports whether any ring node is known permanently lost — the
+// cluster's degraded mode, in which tree-"absent" answers are confirmed
+// against the anchors (degraded writes are anchor-only).
+func (ft *FaultTolerance) anyDead(ring *consistenthash.Ring) bool {
+	for _, n := range ring.Nodes() {
+		if !ft.Health.Alive(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// BootstrapReplicated is Bootstrap plus the fault-tolerance layer: one
+// anchor table per memory node (sized for the expected keys at replication
+// factor r), the shared FaultTolerance descriptor, and health-breaker
+// gating enabled on the fabric. r < 2 selects DefaultReplication.
+func BootstrapReplicated(f *fabric.Fabric, ring *consistenthash.Ring, expectedKeys, r int) (Shared, error) {
+	if r < 2 {
+		r = DefaultReplication
+	}
+	sh, err := Bootstrap(f, ring, expectedKeys)
+	if err != nil {
+		return Shared{}, err
+	}
+	alloc := mem.NewAllocator(f.Regions(), 0)
+	perNode := expectedKeys*r/len(ring.Nodes()) + 1
+	anchors := make(map[mem.NodeID]racehash.Table, len(ring.Nodes()))
+	for _, node := range ring.Nodes() {
+		t, err := racehash.Bootstrap(f.Region(node), alloc, node, perNode)
+		if err != nil {
+			return Shared{}, fmt.Errorf("core: bootstrap anchor table on node %d: %w", node, err)
+		}
+		anchors[node] = t
+	}
+	sh.FT = &FaultTolerance{R: r, Health: f.Health(), Anchors: anchors}
+	f.Health().EnableGating(true)
+	return sh, nil
+}
+
+// Anchor record layout (immutable once written):
+//
+//	word 0: wire.NodeHeader — Status Idle, Type Node4, Depth = len(key),
+//	        PrefixHash = the key's 42-bit hash. The hash table's segment
+//	        split recovers entry placement by reading this word, so anchor
+//	        records must carry it exactly like inner nodes do.
+//	word 1: version (LWW order: per-writer counter ‖ writer ID)
+//	word 2: len(key) | len(value)<<16
+//	24..  : key bytes, then value bytes
+const (
+	anchorVersionOff = 8
+	anchorLensOff    = 16
+	anchorDataOff    = 24
+	// anchorSpecRead is the speculative first-read size for anchor records
+	// of unknown length: header plus a typical small-key/64-byte-value
+	// payload in one round trip.
+	anchorSpecRead = 256
+)
+
+func encodeAnchor(key, value []byte, version uint64) []byte {
+	img := make([]byte, anchorDataOff+len(key)+len(value))
+	hdr := wire.NodeHeader{
+		Status:     wire.StatusIdle,
+		Type:       wire.Node4,
+		Depth:      uint16(len(key)),
+		PrefixHash: wire.PrefixHash42(key),
+	}
+	binary.LittleEndian.PutUint64(img[0:], hdr.Encode())
+	binary.LittleEndian.PutUint64(img[anchorVersionOff:], version)
+	binary.LittleEndian.PutUint64(img[anchorLensOff:], uint64(len(key))|uint64(len(value))<<16)
+	copy(img[anchorDataOff:], key)
+	copy(img[anchorDataOff+len(key):], value)
+	return img
+}
+
+// readAnchor fetches and decodes one anchor record: a speculative read
+// clamped at the region boundary, with a follow-up read when the record
+// outgrows the speculation.
+func (c *Client) readAnchor(addr mem.Addr) (key, value []byte, version uint64, err error) {
+	regionSize := c.eng.C.Fabric().RegionSize(addr.Node())
+	size := uint64(anchorSpecRead)
+	if addr.Offset()+size > regionSize {
+		size = regionSize - addr.Offset()
+	}
+	if size < anchorDataOff {
+		return nil, nil, 0, fmt.Errorf("core: anchor record at %v truncated by region boundary", addr)
+	}
+	buf := make([]byte, size)
+	if err := c.eng.C.Read(addr, buf); err != nil {
+		return nil, nil, 0, err
+	}
+	lens := binary.LittleEndian.Uint64(buf[anchorLensOff:])
+	keyLen := int(lens & 0xffff)
+	valLen := int(lens >> 16)
+	if keyLen == 0 || keyLen > wire.MaxDepth || uint64(anchorDataOff+keyLen+valLen) > regionSize {
+		return nil, nil, 0, fmt.Errorf("core: malformed anchor record at %v (keyLen=%d valLen=%d)", addr, keyLen, valLen)
+	}
+	total := anchorDataOff + keyLen + valLen
+	if total > len(buf) {
+		buf = make([]byte, total)
+		if err := c.eng.C.Read(addr, buf); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	version = binary.LittleEndian.Uint64(buf[anchorVersionOff:])
+	key = append([]byte(nil), buf[anchorDataOff:anchorDataOff+keyLen]...)
+	value = append([]byte(nil), buf[anchorDataOff+keyLen:total]...)
+	return key, value, version, nil
+}
+
+// findAnchor locates the exact key's live entry in one node's anchor
+// table, returning the entry, its record's value and version.
+func (c *Client) findAnchor(node mem.NodeID, key []byte) (entry wire.HashEntry, value []byte, version uint64, found bool, err error) {
+	view := c.anchorViews[node]
+	cands, err := view.Lookup(racehash.PlacementHash(key), wire.FP12(key))
+	if err != nil {
+		return wire.HashEntry{}, nil, 0, false, err
+	}
+	for _, cand := range cands {
+		k, v, ver, err := c.readAnchor(cand.Entry.Addr)
+		if err != nil {
+			return wire.HashEntry{}, nil, 0, false, err
+		}
+		if bytes.Equal(k, key) {
+			return cand.Entry, v, ver, true, nil
+		}
+	}
+	return wire.HashEntry{}, nil, 0, false, nil
+}
+
+// anchorPutOne publishes (key, value, version) to one node's anchor table:
+// allocate an immutable record, write it, then CAS the table entry in
+// (Insert for a new key, Replace for an update). Last-writer-wins: a
+// replica already holding version ≥ ours is left untouched.
+func (c *Client) anchorPutOne(node mem.NodeID, key, value []byte, version uint64) (existed, wrote bool, err error) {
+	oldEntry, _, oldVer, found, err := c.findAnchor(node, key)
+	if err != nil {
+		return false, false, err
+	}
+	if found && oldVer >= version {
+		return true, false, nil
+	}
+	img := encodeAnchor(key, value, version)
+	addr, err := c.eng.Alloc.Alloc(node, mem.ClassLeaf, uint64(len(img)))
+	if err != nil {
+		return found, false, err
+	}
+	if err := c.eng.C.Write(addr, img); err != nil {
+		return found, false, err
+	}
+	h42 := racehash.PlacementHash(key)
+	newEntry := wire.HashEntry{Valid: true, FP: wire.FP12(key), Type: wire.Node4, Addr: addr}
+	view := c.anchorViews[node]
+	if found {
+		err = view.Replace(h42, oldEntry, newEntry)
+	} else {
+		err = view.Insert(h42, newEntry, c.eng.Alloc)
+	}
+	if err != nil {
+		return found, false, err
+	}
+	return found, true, nil
+}
+
+// nextVersion returns a fresh LWW version from the cluster-wide counter,
+// tagged with the client ID for debuggability. Totally ordered across
+// clients — exact when each key has a single writer at a time,
+// last-writer-wins under concurrent writers to the same key.
+func (c *Client) nextVersion() uint64 {
+	return atomic.AddUint64(&c.shared.FT.verCounter, 1)<<8 | uint64(c.eng.C.ID())&0xff
+}
+
+// anchorUpsert publishes the write to the key's replica set,
+// publish-to-completion: the caller acknowledges only after it returns.
+// Dead or unreachable replicas are skipped (counted as partial); if no
+// replica is reachable the write fails with ErrReplicaSetUnavailable.
+func (c *Client) anchorUpsert(key, value []byte) (existed bool, err error) {
+	ft := c.shared.FT
+	version := c.nextVersion()
+	targets := ft.targets(c.shared.Ring, key)
+	written := 0
+	for _, t := range targets {
+		ex, _, err := c.anchorPutOne(t, key, value, version)
+		if err != nil {
+			if errors.Is(err, fabric.ErrNodeDown) {
+				continue
+			}
+			return false, err
+		}
+		existed = existed || ex
+		written++
+	}
+	if written == 0 {
+		return false, fmt.Errorf("%w: no anchor replica reachable for %q", ErrReplicaSetUnavailable, key)
+	}
+	if written < ft.R {
+		atomic.AddUint64(&c.stats.PartialReplicas, 1)
+	}
+	return existed, nil
+}
+
+// anchorGet reads the key from its replica set, returning the freshest
+// version found across reachable replicas. Absence on every reachable
+// replica is an authoritative "not found" for acknowledged data: an acked
+// write reached all (then-healthy) replicas, so any one surviving replica
+// suffices. If no replica is reachable, ErrReplicaSetUnavailable.
+func (c *Client) anchorGet(key []byte) (value []byte, ok bool, err error) {
+	ft := c.shared.FT
+	targets := ft.targets(c.shared.Ring, key)
+	reached := 0
+	var best []byte
+	var bestVer uint64
+	var found bool
+	for _, t := range targets {
+		_, v, ver, f, err := c.findAnchor(t, key)
+		if err != nil {
+			if errors.Is(err, fabric.ErrNodeDown) {
+				continue
+			}
+			return nil, false, err
+		}
+		reached++
+		if f && (!found || ver > bestVer) {
+			found, best, bestVer = true, v, ver
+		}
+	}
+	if reached == 0 {
+		return nil, false, fmt.Errorf("%w: no anchor replica reachable for %q", ErrReplicaSetUnavailable, key)
+	}
+	return best, found, nil
+}
+
+// anchorRemove deletes the key from every reachable replica. No
+// tombstones: a replica that was unreachable during the delete and later
+// repairs from a stale peer can resurrect the key (documented in
+// docs/failure-model.md).
+func (c *Client) anchorRemove(key []byte) (present bool, err error) {
+	ft := c.shared.FT
+	targets := ft.targets(c.shared.Ring, key)
+	reached := 0
+	for _, t := range targets {
+		entry, _, _, f, err := c.findAnchor(t, key)
+		if err != nil {
+			if errors.Is(err, fabric.ErrNodeDown) {
+				continue
+			}
+			return false, err
+		}
+		if f {
+			if err := c.anchorViews[t].Remove(racehash.PlacementHash(key), entry); err != nil {
+				if errors.Is(err, fabric.ErrNodeDown) {
+					continue
+				}
+				return false, err
+			}
+			present = true
+		}
+		reached++
+	}
+	if reached == 0 {
+		return false, fmt.Errorf("%w: no anchor replica reachable for %q", ErrReplicaSetUnavailable, key)
+	}
+	return present, nil
+}
+
+// RepairReport summarizes one anti-entropy sweep.
+type RepairReport struct {
+	// Scanned counts anchor records visited across all live nodes (each
+	// replica counts once, so a fully replicated key at R=2 contributes 2).
+	Scanned uint64
+	// Deficits counts missing or stale replica slots found by this sweep —
+	// the under-replicated gauge. 0 means the sweep found the system fully
+	// replicated.
+	Deficits uint64
+	// Copied counts replicas this sweep re-published.
+	Copied uint64
+	// Remaining counts deficits the sweep could not repair (unreachable
+	// target, lost race); they stay for the next sweep.
+	Remaining uint64
+}
+
+// RepairSweep runs one online anti-entropy pass: walk every live node's
+// anchor table, and for each record make sure the key is present at its
+// record's version on all current replica targets, re-publishing where a
+// target is missing it or holds an older version. Serving continues
+// throughout — the sweep uses only the same one-sided protocols as
+// foreground writes, and last-writer-wins versioning makes it idempotent
+// and safe against concurrent updates.
+//
+// The walk is a best-effort snapshot under concurrent splits, so
+// convergence is judged across sweeps: once a sweep reports zero deficits,
+// the system is fully replicated. The sweep updates the shared
+// under-replicated gauge with its deficit count.
+func (c *Client) RepairSweep() (RepairReport, error) {
+	ft := c.shared.FT
+	if ft == nil {
+		return RepairReport{}, errors.New("core: repair sweep on a cluster without fault tolerance")
+	}
+	var rep RepairReport
+	for _, src := range c.shared.Ring.Nodes() {
+		if !ft.Health.Alive(src) {
+			continue
+		}
+		err := c.anchorViews[src].Walk(func(e wire.HashEntry) error {
+			key, value, ver, err := c.readAnchor(e.Addr)
+			if err != nil {
+				// Concurrently replaced record or transient fault: the
+				// surviving entry will be seen by the next sweep.
+				rep.Remaining++
+				return nil
+			}
+			rep.Scanned++
+			for _, t := range ft.targets(c.shared.Ring, key) {
+				if t == src {
+					continue // this record is node src's replica
+				}
+				_, wrote, err := c.anchorPutOne(t, key, value, ver)
+				if err != nil {
+					rep.Deficits++
+					rep.Remaining++
+					continue
+				}
+				if wrote {
+					rep.Deficits++
+					rep.Copied++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, fabric.ErrNodeDown) {
+				// src died mid-walk: its records are repaired from the
+				// surviving replicas on later sweeps. Counted as a deficit
+				// so this sweep cannot report convergence.
+				rep.Deficits++
+				rep.Remaining++
+				continue
+			}
+			return rep, fmt.Errorf("core: repair walk of node %d: %w", src, err)
+		}
+	}
+	atomic.StoreUint64(&ft.underReplicated, rep.Deficits)
+	atomic.AddUint64(&ft.repairSweeps, 1)
+	atomic.AddUint64(&ft.repairCopied, rep.Copied)
+	return rep, nil
+}
+
+// failoverable reports whether an error should trigger replica failover
+// rather than backoff-and-retry: the fault-tolerance layer is active and
+// the error says the target node is permanently gone (killed) or
+// breaker-rejected (suspected down). Plain down-window errors keep the
+// retry path — the node will come back.
+func (c *Client) failoverable(err error) bool {
+	return c.shared.FT != nil &&
+		(errors.Is(err, fabric.ErrNodeKilled) || errors.Is(err, fabric.ErrBreakerOpen))
+}
+
+// degraded reports whether the cluster has lost a node permanently; in
+// that mode tree-"absent" answers are double-checked against the anchors,
+// because degraded writes land only there.
+func (c *Client) degraded() bool {
+	return c.shared.FT != nil && c.shared.FT.anyDead(c.shared.Ring)
+}

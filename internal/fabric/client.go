@@ -27,7 +27,8 @@ type Stats struct {
 
 	Transients      uint64 // batches failed with ErrTransient
 	Timeouts        uint64 // batches whose completion was lost (ErrTimeout)
-	NodeDownRejects uint64 // batches rejected by a node-down window
+	NodeDownRejects uint64 // batches rejected by a node-down window or a killed node
+	HealthRejects   uint64 // batches rejected locally by an open/dead breaker (zero cost)
 	Delays          uint64 // latency spikes injected
 }
 
@@ -43,6 +44,7 @@ func (s Stats) Sub(t Stats) Stats {
 	s.Transients -= t.Transients
 	s.Timeouts -= t.Timeouts
 	s.NodeDownRejects -= t.NodeDownRejects
+	s.HealthRejects -= t.HealthRejects
 	s.Delays -= t.Delays
 	return s
 }
@@ -59,6 +61,7 @@ func (s Stats) Add(t Stats) Stats {
 	s.Transients += t.Transients
 	s.Timeouts += t.Timeouts
 	s.NodeDownRejects += t.NodeDownRejects
+	s.HealthRejects += t.HealthRejects
 	s.Delays += t.Delays
 	return s
 }
@@ -155,6 +158,7 @@ func (c *Client) Stats() Stats {
 	s.Transients = atomic.LoadUint64(&c.stats.Transients)
 	s.Timeouts = atomic.LoadUint64(&c.stats.Timeouts)
 	s.NodeDownRejects = atomic.LoadUint64(&c.stats.NodeDownRejects)
+	s.HealthRejects = atomic.LoadUint64(&c.stats.HealthRejects)
 	s.Delays = atomic.LoadUint64(&c.stats.Delays)
 	return s
 }
@@ -297,6 +301,39 @@ func (c *Client) runBatch(ops []Op) (int, error) {
 		}
 	}
 
+	// Permanent-kill and breaker checks come first: they are independent
+	// of the fault plan (KillNode works on a plan-free fabric) and, when
+	// gating is on, reject locally before any virtual time is spent.
+	h := c.f.health
+	for _, sh := range shares {
+		if c.f.NodeKilled(sh.node) {
+			if h.Gated() && h.State(sh.node) == HealthDead {
+				// Known dead: the CN-side breaker rejects before posting,
+				// costing nothing — the fail-fast path failover relies on.
+				atomic.AddUint64(&c.stats.HealthRejects, 1)
+				return 0, faultErr(ErrNodeKilled, "node %d (breaker dead)", sh.node)
+			}
+			// Discovery: contacting the dead node costs one round trip of
+			// waiting, then the shared breaker learns the death.
+			atomic.AddUint64(&c.stats.NodeDownRejects, 1)
+			if n, err := c.f.node(sh.node); err == nil {
+				n.nic.chargeFault()
+			}
+			c.clock += cfg.RTTPs
+			h.MarkDead(sh.node)
+			return 0, faultErr(ErrNodeKilled, "node %d", sh.node)
+		}
+		if h.Gated() {
+			if ok, dead := h.admit(sh.node); !ok {
+				atomic.AddUint64(&c.stats.HealthRejects, 1)
+				if dead {
+					return 0, faultErr(ErrNodeKilled, "node %d (breaker dead)", sh.node)
+				}
+				return 0, faultErr(ErrBreakerOpen, "node %d", sh.node)
+			}
+		}
+	}
+
 	// Fault decisions happen before any byte moves, in a fixed order, so
 	// the injected sequence is a pure function of (plan seed, client ID,
 	// batch sequence) and never of goroutine scheduling.
@@ -329,6 +366,7 @@ func (c *Client) runBatch(ops []Op) (int, error) {
 				}
 				// The rejected attempt still costs a round trip of waiting.
 				c.clock += cfg.RTTPs
+				h.ReportFailure(sh.node)
 				return 0, faultErr(ErrNodeDown, "node %d down [%dps,%dps)", sh.node, w.FromPs, w.ToPs)
 			}
 		}
@@ -343,6 +381,9 @@ func (c *Client) runBatch(ops []Op) (int, error) {
 		case uint32(rTo&0xffff) < plan.TimeoutPer64k:
 			atomic.AddUint64(&c.stats.Timeouts, 1)
 			extraPs = plan.timeoutPs()
+			for _, sh := range shares {
+				h.ReportFailure(sh.node)
+			}
 			faultRes = faultErr(ErrTimeout, "batch of %d verbs", len(ops))
 		case uint32(rD&0xffff) < plan.DelayPer64k:
 			atomic.AddUint64(&c.stats.Delays, 1)
@@ -384,6 +425,11 @@ func (c *Client) runBatch(ops []Op) (int, error) {
 	c.clock = completion + extraPs
 	atomic.AddUint64(&c.stats.RoundTrips, 1)
 	atomic.AddUint64(&c.stats.Verbs, uint64(execUpTo))
+	if faultRes == nil {
+		for _, sh := range shares {
+			h.ReportSuccess(sh.node)
+		}
+	}
 	return execUpTo, faultRes
 }
 

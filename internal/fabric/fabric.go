@@ -22,6 +22,7 @@ package fabric
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sphinx/internal/mem"
 )
@@ -187,6 +188,12 @@ type Fabric struct {
 	plan   *FaultPlan
 	nextID int
 
+	// health is the shared per-MN breaker table; always allocated, gating
+	// off by default. killed flags permanently lost nodes (KillNode) — the
+	// injected ground truth, distinct from the observed breaker state.
+	health *Health
+	killed [mem.MaxNodes]uint32
+
 	// Trace, if set before any client runs, is invoked after every verb
 	// executes (under no locks). Test-only: used to reconstruct event
 	// orders when debugging protocol races.
@@ -194,7 +201,25 @@ type Fabric struct {
 }
 
 // New creates a fabric with the given cost model.
-func New(cfg Config) *Fabric { return &Fabric{cfg: cfg} }
+func New(cfg Config) *Fabric { return &Fabric{cfg: cfg, health: NewHealth()} }
+
+// Health returns the fabric's shared per-MN health tracker.
+func (f *Fabric) Health() *Health { return f.health }
+
+// KillNode permanently kills a memory node: unlike a DownWindow, the node
+// never comes back. Every subsequent verb targeting it fails with
+// ErrNodeKilled; the node's data is treated as lost (reads against its
+// region are no longer served). The health tracker learns of the death on
+// first contact (one charged round trip), after which gated clients reject
+// locally at zero cost.
+func (f *Fabric) KillNode(id mem.NodeID) {
+	atomic.StoreUint32(&f.killed[id], 1)
+}
+
+// NodeKilled reports whether the node has been permanently killed.
+func (f *Fabric) NodeKilled(id mem.NodeID) bool {
+	return atomic.LoadUint32(&f.killed[id]) != 0
+}
 
 // Config returns the fabric's cost model.
 func (f *Fabric) Config() Config { return f.cfg }

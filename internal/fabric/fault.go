@@ -37,6 +37,20 @@ var (
 	ErrClientCrashed = errors.New("fabric: client crashed")
 )
 
+// ErrNodeKilled is returned for any verb targeting a permanently killed
+// memory node (Fabric.KillNode). It wraps ErrNodeDown so existing
+// retriable-error classification still matches, but replica-aware layers
+// match ErrNodeKilled specifically to fail over in one decision instead of
+// burning a retry budget on a node that will never come back.
+var ErrNodeKilled = fmt.Errorf("fabric: memory node killed (permanent): %w", ErrNodeDown)
+
+// ErrBreakerOpen is returned for a batch rejected locally because the
+// target node's health breaker is open (gating enabled, node suspected
+// down but not known dead). It wraps ErrNodeDown for retriable-error
+// classification; replica-aware layers match it to fail over immediately
+// instead of sleeping out a backoff schedule against a suspect node.
+var ErrBreakerOpen = fmt.Errorf("fabric: health breaker open: %w", ErrNodeDown)
+
 // DownWindow marks one memory node unreachable for a window of virtual
 // time. The window is judged against the observing client's clock, keeping
 // the decision deterministic per client.

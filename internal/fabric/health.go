@@ -1,0 +1,125 @@
+// Per-MN health tracking: a circuit breaker over each memory node, fed by
+// the node-down rejections and completion timeouts this fabric's clients
+// observe. With gating enabled, batches targeting a node whose breaker is
+// open are rejected locally — at zero virtual-time cost, the way a real CN
+// would consult a connection-state table before posting a WQE — so
+// replica-aware callers can fail over in one decision instead of
+// exhausting a backoff budget against a dead node.
+//
+// The tracker is shared by every client of a fabric (it models the CN-side
+// health service a production deployment would gossip), is safe for
+// concurrent use, and is purely observational until EnableGating(true):
+// feeding it costs a few atomics and never perturbs virtual clocks, so
+// fault-free workloads keep byte-identical timing.
+package fabric
+
+import (
+	"sync/atomic"
+
+	"sphinx/internal/mem"
+)
+
+// HealthState is one memory node's breaker state.
+type HealthState uint32
+
+// Breaker states.
+const (
+	// HealthClosed: the node is believed healthy; all traffic admitted.
+	HealthClosed HealthState = iota
+	// HealthOpen: recent failures tripped the breaker; traffic is rejected
+	// locally except for periodic half-open probes.
+	HealthOpen
+	// HealthDead: the node is known permanently lost (killed); all traffic
+	// is rejected, no probes.
+	HealthDead
+)
+
+// String names the state.
+func (s HealthState) String() string {
+	switch s {
+	case HealthClosed:
+		return "closed"
+	case HealthOpen:
+		return "open"
+	case HealthDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker tuning: failThreshold consecutive down/timeout observations open
+// a node's breaker; while open, every probeInterval-th admission attempt is
+// let through as a half-open probe (one success closes the breaker again).
+const (
+	failThreshold = 8
+	probeInterval = 8
+)
+
+// Health is the fabric-wide per-MN breaker table.
+type Health struct {
+	gated    uint32
+	state    [mem.MaxNodes]uint32
+	fails    [mem.MaxNodes]uint32
+	attempts [mem.MaxNodes]uint32
+}
+
+// NewHealth returns a tracker with every node closed and gating off.
+func NewHealth() *Health { return &Health{} }
+
+// EnableGating turns breaker enforcement on or off. Off (the default), the
+// tracker only records observations.
+func (h *Health) EnableGating(on bool) {
+	v := uint32(0)
+	if on {
+		v = 1
+	}
+	atomic.StoreUint32(&h.gated, v)
+}
+
+// Gated reports whether breaker enforcement is on.
+func (h *Health) Gated() bool { return atomic.LoadUint32(&h.gated) != 0 }
+
+// State returns the node's current breaker state.
+func (h *Health) State(node mem.NodeID) HealthState {
+	return HealthState(atomic.LoadUint32(&h.state[node]))
+}
+
+// Alive reports whether the node is not known permanently dead. Placement
+// decisions (replica selection, repair targets) filter on it.
+func (h *Health) Alive(node mem.NodeID) bool { return h.State(node) != HealthDead }
+
+// ReportFailure records one down/timeout observation against the node;
+// failThreshold consecutive observations open its breaker.
+func (h *Health) ReportFailure(node mem.NodeID) {
+	if atomic.AddUint32(&h.fails[node], 1) >= failThreshold {
+		atomic.CompareAndSwapUint32(&h.state[node], uint32(HealthClosed), uint32(HealthOpen))
+	}
+}
+
+// ReportSuccess records a clean batch against the node: the failure streak
+// resets and an open breaker closes. A dead node stays dead.
+func (h *Health) ReportSuccess(node mem.NodeID) {
+	atomic.StoreUint32(&h.fails[node], 0)
+	atomic.CompareAndSwapUint32(&h.state[node], uint32(HealthOpen), uint32(HealthClosed))
+}
+
+// MarkDead records the node as permanently lost. Terminal: no probe or
+// success resurrects it.
+func (h *Health) MarkDead(node mem.NodeID) {
+	atomic.StoreUint32(&h.state[node], uint32(HealthDead))
+}
+
+// admit decides whether a batch may target the node under gating.
+// Closed admits; dead rejects; open rejects except every probeInterval-th
+// attempt, which goes through as a half-open probe.
+func (h *Health) admit(node mem.NodeID) (ok, dead bool) {
+	switch h.State(node) {
+	case HealthClosed:
+		return true, false
+	case HealthDead:
+		return false, true
+	default:
+		return atomic.AddUint32(&h.attempts[node], 1)%probeInterval == 0, false
+	}
+}

@@ -1,0 +1,135 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"sphinx/internal/mem"
+)
+
+func TestKillNodePermanent(t *testing.T) {
+	f := New(InstantConfig())
+	n0 := f.AddNode(1 << 20)
+	c := f.NewClient()
+
+	addr := mem.NewAddr(n0, 64)
+	if err := c.WriteUint64(addr, 7); err != nil {
+		t.Fatalf("write before kill: %v", err)
+	}
+	f.KillNode(n0)
+	for i := 0; i < 5; i++ {
+		_, err := c.ReadUint64(addr)
+		if !errors.Is(err, ErrNodeKilled) {
+			t.Fatalf("read %d after kill: err = %v, want ErrNodeKilled", i, err)
+		}
+		if !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("ErrNodeKilled must wrap ErrNodeDown (got %v)", err)
+		}
+	}
+	if f.Health().State(n0) != HealthDead {
+		t.Errorf("health state after contact = %v, want dead", f.Health().State(n0))
+	}
+	if st := c.Stats(); st.NodeDownRejects == 0 {
+		t.Error("kill rejections not counted")
+	}
+}
+
+func TestKillNodeGatedRejectIsFree(t *testing.T) {
+	f := New(DefaultConfig())
+	n0 := f.AddNode(1 << 20)
+	f.Health().EnableGating(true)
+	c := f.NewClient()
+	addr := mem.NewAddr(n0, 64)
+
+	f.KillNode(n0)
+	// Discovery contact pays one RTT and marks the node dead.
+	if _, err := c.ReadUint64(addr); !errors.Is(err, ErrNodeKilled) {
+		t.Fatalf("discovery read: %v", err)
+	}
+	clock := c.Clock()
+	if clock == 0 {
+		t.Fatal("discovery contact should cost a round trip")
+	}
+	// Subsequent contacts are rejected by the breaker at zero cost.
+	for i := 0; i < 10; i++ {
+		if _, err := c.ReadUint64(addr); !errors.Is(err, ErrNodeKilled) {
+			t.Fatalf("gated read %d: %v", i, err)
+		}
+	}
+	if c.Clock() != clock {
+		t.Errorf("gated rejects advanced the clock by %dps", c.Clock()-clock)
+	}
+	if st := c.Stats(); st.HealthRejects != 10 {
+		t.Errorf("HealthRejects = %d, want 10", st.HealthRejects)
+	}
+}
+
+func TestBreakerOpensOnDownWindowAndProbesHalfOpen(t *testing.T) {
+	f := New(InstantConfig())
+	n0 := f.AddNode(1 << 20)
+	f.SetFaultPlan(&FaultPlan{Seed: 1, Down: []DownWindow{{Node: n0, FromPs: 0, ToPs: 1 << 60}}})
+	f.Health().EnableGating(true)
+	c := f.NewClient()
+	addr := mem.NewAddr(n0, 64)
+
+	// failThreshold down-window rejections open the breaker.
+	for i := 0; i < failThreshold; i++ {
+		if _, err := c.ReadUint64(addr); !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if got := f.Health().State(n0); got != HealthOpen {
+		t.Fatalf("state after %d failures = %v, want open", failThreshold, got)
+	}
+	// While open, most attempts are rejected locally; every probeInterval-th
+	// goes through as a probe (and keeps failing against the down window).
+	st0 := c.Stats()
+	for i := 0; i < 4*probeInterval; i++ {
+		if _, err := c.ReadUint64(addr); !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("open read %d: %v", i, err)
+		}
+	}
+	d := c.Stats().Sub(st0)
+	if d.HealthRejects == 0 || d.NodeDownRejects == 0 {
+		t.Fatalf("want both local rejects and probes, got health=%d down=%d",
+			d.HealthRejects, d.NodeDownRejects)
+	}
+	// End the outage: a successful probe closes the breaker.
+	f.SetFaultPlan(&FaultPlan{Seed: 1})
+	c2 := f.NewClient()
+	deadline := 4 * probeInterval
+	var recovered bool
+	for i := 0; i < deadline; i++ {
+		if _, err := c2.ReadUint64(addr); err == nil {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("no probe succeeded after the outage ended")
+	}
+	if got := f.Health().State(n0); got != HealthClosed {
+		t.Errorf("state after successful probe = %v, want closed", got)
+	}
+}
+
+func TestHealthObservationalWithoutGating(t *testing.T) {
+	f := New(InstantConfig())
+	n0 := f.AddNode(1 << 20)
+	f.SetFaultPlan(&FaultPlan{Seed: 1, Down: []DownWindow{{Node: n0, FromPs: 0, ToPs: 1 << 60}}})
+	c := f.NewClient()
+	addr := mem.NewAddr(n0, 64)
+	for i := 0; i < 4*failThreshold; i++ {
+		if _, err := c.ReadUint64(addr); !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	// The breaker opened — but with gating off, nothing was rejected
+	// locally: behaviour (and clocks) match the pre-health fabric exactly.
+	if got := f.Health().State(n0); got != HealthOpen {
+		t.Errorf("state = %v, want open (observational)", got)
+	}
+	if st := c.Stats(); st.HealthRejects != 0 {
+		t.Errorf("HealthRejects = %d with gating off", st.HealthRejects)
+	}
+}

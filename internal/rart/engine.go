@@ -53,6 +53,11 @@ type Config struct {
 	// policy used by the engine's retry loops. Zero fields select the
 	// fabric defaults, with MaxRetries as the budget.
 	Backoff fabric.BackoffPolicy
+	// Place, if set, overrides ring placement for new allocations
+	// (NodeHome/LeafHome). Replica-aware layers install it to steer
+	// allocations away from memory nodes known dead; nil keeps pure ring
+	// ownership.
+	Place func(key []byte) mem.NodeID
 }
 
 const (
@@ -187,10 +192,20 @@ func NewEngine(c *fabric.Client, alloc *mem.Allocator, ring *consistenthash.Ring
 
 // NodeHome returns the memory node that owns the inner node for a prefix
 // (consistent hashing, paper §III).
-func (e *Engine) NodeHome(prefix []byte) mem.NodeID { return e.Ring.OwnerKey(prefix) }
+func (e *Engine) NodeHome(prefix []byte) mem.NodeID {
+	if e.Cfg.Place != nil {
+		return e.Cfg.Place(prefix)
+	}
+	return e.Ring.OwnerKey(prefix)
+}
 
 // LeafHome returns the memory node that owns the leaf for a key.
-func (e *Engine) LeafHome(key []byte) mem.NodeID { return e.Ring.OwnerKey(key) }
+func (e *Engine) LeafHome(key []byte) mem.NodeID {
+	if e.Cfg.Place != nil {
+		return e.Cfg.Place(key)
+	}
+	return e.Ring.OwnerKey(key)
+}
 
 // nodeReadSize returns how many bytes to READ for a node of type t.
 func (e *Engine) nodeReadSize(t wire.NodeType) uint64 {

@@ -1,6 +1,7 @@
 package sphinx
 
 import (
+	"fmt"
 	"net/http"
 	"sync/atomic"
 
@@ -178,6 +179,43 @@ func (s *Session) Scan(lo, hi []byte, limit int) ([]KV, error) {
 		out[i] = KV{Key: kv.Key, Value: kv.Value}
 	}
 	return out, nil
+}
+
+// RepairReport summarizes one anti-entropy repair sweep; see
+// Session.RepairSweep.
+type RepairReport struct {
+	// Scanned counts anchor records visited across all live memory nodes.
+	Scanned uint64
+	// Deficits counts missing or stale replica slots the sweep found —
+	// the under-replicated gauge. 0 means the sweep proved the cluster
+	// fully replicated.
+	Deficits uint64
+	// Copied counts replicas the sweep re-published.
+	Copied uint64
+	// Remaining counts records the sweep could not repair this pass
+	// (transient races or unreachable sources); they are retried by the
+	// next sweep.
+	Remaining uint64
+}
+
+// RepairSweep runs one online anti-entropy pass over the replicated
+// entry store: it walks every live node's records and re-publishes any
+// replica a surviving node is missing (after a memory-node loss, the
+// dead node's replica responsibilities shift to its ring successors).
+// Sweeps are idempotent and run concurrently with serving sessions;
+// repeat until a sweep reports Deficits == 0. Requires SystemSphinx with
+// Config.Replication >= 2.
+func (s *Session) RepairSweep() (RepairReport, error) {
+	if s.sphinx == nil || s.cn.cluster.sphinxShared.FT == nil {
+		return RepairReport{}, fmt.Errorf("sphinx: repair sweep requires SystemSphinx with Replication >= 2")
+	}
+	rep, err := s.sphinx.RepairSweep()
+	return RepairReport{
+		Scanned:   rep.Scanned,
+		Deficits:  rep.Deficits,
+		Copied:    rep.Copied,
+		Remaining: rep.Remaining,
+	}, err
 }
 
 // Stats summarizes the session's network activity.
@@ -373,6 +411,22 @@ func (s *Session) Registry() *Registry {
 				"dir_entries":      float64(u.DirEntries),
 			}
 		})
+		if ft := s.cn.cluster.sphinxShared.FT; ft != nil {
+			r.AddGauges("ft", func() map[string]float64 {
+				cl := s.cn.cluster
+				h := cl.f.Health()
+				g := map[string]float64{
+					"under_replicated": float64(ft.UnderReplicated()),
+				}
+				sweeps, copied := ft.RepairTotals()
+				g["repair_sweeps"] = float64(sweeps)
+				g["repair_copied"] = float64(copied)
+				for _, n := range cl.ring.Nodes() {
+					g[fmt.Sprintf("node_health{node=%q}", fmt.Sprint(uint64(n)))] = float64(h.State(n))
+				}
+				return g
+			})
+		}
 		s.index.Register(r)
 	case s.smart != nil:
 		r.AddCounterStruct("smart", func() any { return s.smart.ClientStats() })

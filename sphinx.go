@@ -100,6 +100,13 @@ type Config struct {
 	Timing Timing
 	// Seed makes cache behaviour deterministic.
 	Seed int64
+	// Replication enables the memory-node fault-tolerance layer
+	// (SystemSphinx only): every published entry is written to this many
+	// distinct memory nodes, reads fail over to surviving replicas behind
+	// a per-node health breaker, and RepairSweep re-replicates after a
+	// loss. 0 (the default) disables the layer; values >= 2 enable it
+	// (1 is rounded up to 2 — a single replica cannot survive a loss).
+	Replication int
 }
 
 func (c Config) withDefaults() Config {
@@ -163,7 +170,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	var err error
 	switch cfg.System {
 	case SystemSphinx:
-		cl.sphinxShared, err = core.Bootstrap(f, ring, cfg.ExpectedKeys)
+		if cfg.Replication > 0 {
+			cl.sphinxShared, err = core.BootstrapReplicated(f, ring, cfg.ExpectedKeys, cfg.Replication)
+		} else {
+			cl.sphinxShared, err = core.Bootstrap(f, ring, cfg.ExpectedKeys)
+		}
 	case SystemSMART:
 		cl.smartShared, err = smart.Bootstrap(f, ring)
 	case SystemART:
@@ -179,6 +190,42 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 // System returns the cluster's index system.
 func (c *Cluster) System() System { return c.cfg.System }
+
+// KillMemoryNode permanently removes memory node i (0-based) from the
+// cluster: every verb addressed to it fails with a permanent-loss error
+// from now on, and the shared health breaker marks it dead on first
+// contact. With Replication >= 2 the cluster keeps serving from the
+// surviving replicas; without replication the node's data is simply gone.
+func (c *Cluster) KillMemoryNode(i int) error {
+	nodes := c.ring.Nodes()
+	if i < 0 || i >= len(nodes) {
+		return fmt.Errorf("sphinx: memory node %d out of range [0,%d)", i, len(nodes))
+	}
+	c.f.KillNode(nodes[i])
+	return nil
+}
+
+// NodeHealth reports the health breaker's view of memory node i:
+// "closed" (healthy), "open" (suspected down, probing), "dead"
+// (permanently lost).
+func (c *Cluster) NodeHealth(i int) (string, error) {
+	nodes := c.ring.Nodes()
+	if i < 0 || i >= len(nodes) {
+		return "", fmt.Errorf("sphinx: memory node %d out of range [0,%d)", i, len(nodes))
+	}
+	return c.f.Health().State(nodes[i]).String(), nil
+}
+
+// UnderReplicated reports the latest repair sweep's replica-deficit
+// gauge: how many replica slots the last RepairSweep found missing or
+// stale. 0 after a sweep means the cluster is fully replicated. Always 0
+// when the fault-tolerance layer is disabled.
+func (c *Cluster) UnderReplicated() uint64 {
+	if c.sphinxShared.FT == nil {
+		return 0
+	}
+	return c.sphinxShared.FT.UnderReplicated()
+}
 
 // MemoryUsage reports the MN-side memory footprint by object class.
 type MemoryUsage struct {
