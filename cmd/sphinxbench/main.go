@@ -43,8 +43,9 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve live observability HTTP on this address while experiments run (host:0 for an ephemeral port): /metrics, /snapshot, /traces, /debug/pprof")
 	serveLinger := flag.Duration("serve-linger", 0, "with -serve, keep serving this long after the experiments finish (lets scrapers read final totals)")
 	scaleWorkers := flag.String("scale-workers", "", "comma-separated worker counts for the scaling experiment (default 1,2,4,8,16)")
+	warm := flag.Bool("warm", false, "split every workload run into a warmup and a steady-state pass, reporting both (fastpath implies it)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|treedepth|valsweep|pipeline|failover|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|treedepth|valsweep|pipeline|fastpath|failover|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 		Theta:        *theta,
 		Depth:        *depth,
 		Metrics:      *metrics,
+		Warm:         *warm,
 	}
 	var live *bench.Live
 	if *serveAddr != "" {
@@ -145,6 +147,9 @@ func main() {
 			case "pipeline":
 				results, err = bench.PipelineSweep(cfg, nil, os.Stdout)
 				printDiags(results, *stats)
+			case "fastpath":
+				results, err = bench.Fastpath(cfg, os.Stdout)
+				printDiags(results, *stats)
 			case "failover":
 				var frep *bench.FailoverReport
 				frep, err = bench.Failover(cfg, os.Stdout)
@@ -195,6 +200,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "sphinxbench: %s %s depth=%d: round trips do not reconcile (op %d, stage %d, fabric %d)\n",
 					r.System, r.Workload, r.Depth,
 					r.Metrics.OpRTTotal, r.Metrics.StageRTTotal, r.Metrics.FabricRoundTrips)
+				bad++
+			}
+			if l := r.Metrics.LAC; l != nil && l.LACReconciled != nil && !*l.LACReconciled {
+				fmt.Fprintf(os.Stderr, "sphinxbench: %s %s depth=%d: speculative round trips do not reconcile (hits %d, refutes %d, aborts %d, fabric %d)\n",
+					r.System, r.Workload, r.Depth,
+					l.SpecHits, l.SpecRefutes, l.SpecAborts, r.Metrics.FabricRoundTrips)
 				bad++
 			}
 		}

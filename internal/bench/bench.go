@@ -41,6 +41,7 @@ const (
 	SphinxTinySFC    // capacity-starved filter cache (eviction pressure)
 	SphinxTinyRand   // starved filter with random eviction (vs second chance)
 	SphinxNoDirCache // hash-table directory caches disabled
+	SphinxNoLAC      // speculative leaf-address cache disabled (3-RT warm reads)
 )
 
 // String names the system as the paper's figures do.
@@ -64,6 +65,8 @@ func (s System) String() string {
 		return "Sphinx-tinyRnd"
 	case SphinxNoDirCache:
 		return "Sphinx-noDirC"
+	case SphinxNoLAC:
+		return "Sphinx-noLAC"
 	default:
 		return fmt.Sprintf("system(%d)", int(s))
 	}
@@ -102,6 +105,17 @@ type Config struct {
 	SphinxCache uint64
 	SmartCache  uint64
 	SmartCCache uint64
+
+	// LeafCacheBytes is the Sphinx-family per-CN budget for the speculative
+	// leaf-address cache (default 512 KiB — 64K packed 8-byte entries).
+	// SphinxNoLAC ignores it.
+	LeafCacheBytes uint64
+
+	// Warm splits each measurement into a warmup pass and a steady-state
+	// pass over the same workload: the experiment reports both phases
+	// (Result.Phase "warmup" / "steady") so CN-cache learning — filter and
+	// leaf-address cache alike — is visible instead of averaged away.
+	Warm bool
 
 	// SFCMode selects the Succinct Filter Cache's concurrency control for
 	// the Sphinx-family systems: the default lock-free filter, or the
@@ -186,6 +200,9 @@ func (c Config) withDefaults() Config {
 	if c.SmartCCache == 0 {
 		c.SmartCCache = u64Bytes * 4170 / 10000
 	}
+	if c.LeafCacheBytes == 0 {
+		c.LeafCacheBytes = 512 << 10
+	}
 	return c
 }
 
@@ -215,6 +232,7 @@ type Cluster struct {
 	smartShared  smart.Shared
 	artShared    artdm.Shared
 	filters      []*core.FilterCache // per CN
+	lacs         []*core.LeafCache   // per CN (nil for SphinxNoLAC)
 	caches       []*smart.NodeCache  // per CN
 
 	// runMetrics is the current measurement phase's metric set, created
@@ -233,6 +251,7 @@ type Cluster struct {
 	probesBase   obs.HistSnapshot
 	candBase     obs.HistSnapshot
 	filterBase   cuckoo.Stats
+	lacBase      core.LACStats
 	// tail samples slow-op timelines from sequential workers.
 	tail                     *obs.TailSampler
 	tailBaseOff, tailBaseCap uint64
@@ -280,7 +299,7 @@ func NewCluster(sys System, cfg Config) (*Cluster, error) {
 
 	var err error
 	switch sys {
-	case Sphinx, SphinxNoSFC, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoDirCache:
+	case Sphinx, SphinxNoSFC, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoDirCache, SphinxNoLAC:
 		if cfg.Replication > 0 {
 			cl.sphinxShared, err = core.BootstrapReplicated(f, ring, cfg.Keys, cfg.Replication)
 		} else {
@@ -298,6 +317,12 @@ func NewCluster(sys System, cfg Config) (*Cluster, error) {
 				policy = cuckoo.PolicyRandom
 			}
 			cl.filters[i] = core.NewFilterCacheBytesPolicyMode(budget, uint64(cfg.Seed)+uint64(i)|1, policy, cfg.SFCMode)
+		}
+		if sys != SphinxNoLAC {
+			cl.lacs = make([]*core.LeafCache, cfg.CNs)
+			for i := range cl.lacs {
+				cl.lacs[i] = core.NewLeafCacheBytes(cfg.LeafCacheBytes, uint64(cfg.Seed)+uint64(i))
+			}
 		}
 	case SMART, SMARTC:
 		cl.smartShared, err = smart.Bootstrap(f, ring)
@@ -397,7 +422,7 @@ func (s artIndex) engine() *rart.Engine { return s.c.Engine() }
 func (cl *Cluster) sphinxOptions(cn int) (core.Options, bool) {
 	var o core.Options
 	switch cl.Sys {
-	case Sphinx, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand:
+	case Sphinx, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoLAC:
 		o = core.Options{Filter: cl.filters[cn%len(cl.filters)]}
 	case SphinxNoSFC:
 		o = core.Options{DisableFilter: true}
@@ -408,6 +433,14 @@ func (cl *Cluster) sphinxOptions(cn int) (core.Options, bool) {
 		}
 	default:
 		return core.Options{}, false
+	}
+	// Every Sphinx-family variant shares its CN's leaf-address cache, so
+	// that (like the filter) warmth crosses worker and phase boundaries;
+	// SphinxNoLAC has none and runs with the fast path disabled.
+	if len(cl.lacs) > 0 {
+		o.LeafCache = cl.lacs[cn%len(cl.lacs)]
+	} else {
+		o.DisableLeafCache = true
 	}
 	// The nil guard matters: assigning a nil observer interface
 	// unconditionally would make the field non-nil and panic on first

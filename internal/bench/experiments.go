@@ -355,6 +355,102 @@ func PipelineSweep(base Config, depths []int, out io.Writer) ([]Result, error) {
 	return results, nil
 }
 
+// FastpathDepths is the issue-depth sweep the fastpath experiment adds
+// for the LAC-on system after the depth-1 ablation pair, showing how
+// speculative reads coalesce into shared pipeline flushes.
+var FastpathDepths = []int{4, 8}
+
+// Fastpath measures the speculative 1-RT warm-read path (DESIGN.md
+// §5.12): YCSB-C with the run split into a warmup pass (the leaf-address
+// cache learning addresses) and a steady-state pass (the converged fast
+// path), for Sphinx against the Sphinx-noLAC ablation. The acceptance
+// numbers are the steady-state depth-1 RT/op — well under 2.0 with the
+// LAC on, ≈3.0 without — and the lac_reconciled verdict: every
+// speculative round trip accounted as exactly one hit or refute, and the
+// four read stages summing to the fabric's own counter. Metrics are
+// forced on (the verdict needs them); the warm split is the experiment's
+// whole point, so Config.Warm is implied.
+func Fastpath(base Config, out io.Writer) ([]Result, error) {
+	cfg := base
+	cfg.Warm = true
+	cfg.Metrics = true
+	cfg.Depth = 1
+	d := cfg.withDefaults()
+	fmt.Fprintf(out, "# Fastpath — speculative warm reads: YCSB-C warmup/steady, LAC on vs off, dataset=%v keys=%d workers=%d\n",
+		d.Dataset, d.Keys, d.Workers)
+	fmt.Fprintln(out, ResultHeader())
+	var results []Result
+	steady := map[System]Result{}
+	for _, sys := range []System{Sphinx, SphinxNoLAC} {
+		cl, err := NewCluster(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cl.Load(0); err != nil {
+			return nil, fmt.Errorf("%v load: %w", sys, err)
+		}
+		warmup, st, err := cl.RunPhases(ycsb.WorkloadC, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%v fastpath: %w", sys, err)
+		}
+		for _, r := range []Result{warmup, st} {
+			r.Workload = "C/" + r.Phase
+			results = append(results, r)
+			fmt.Fprintln(out, r.Row())
+			if diag := fastpathDiag(r); diag != "" {
+				fmt.Fprintln(out, diag)
+			}
+		}
+		steady[sys] = st
+		if sys == Sphinx {
+			// Depth sweep on the now fully warm cache: speculative reads
+			// of concurrent ops share doorbell flushes, so RT/op falls
+			// below even the 1-RT sequential fast path.
+			for _, dep := range FastpathDepths {
+				cl.Cfg.Depth = dep
+				r, err := cl.Run(ycsb.WorkloadC, 0, 0)
+				if err != nil {
+					return nil, fmt.Errorf("%v fastpath depth=%d: %w", sys, dep, err)
+				}
+				r.Workload = fmt.Sprintf("C/d%d", dep)
+				r.Phase = "steady"
+				results = append(results, r)
+				fmt.Fprintln(out, r.Row())
+				if diag := fastpathDiag(r); diag != "" {
+					fmt.Fprintln(out, diag)
+				}
+			}
+			cl.Cfg.Depth = 1
+		}
+	}
+	on, off := steady[Sphinx], steady[SphinxNoLAC]
+	if off.ThroughputMops > 0 {
+		fmt.Fprintf(out, "    steady YCSB-C depth 1: LAC on %.2f RT/op vs off %.2f (%.2fx throughput, p50 %.2f vs %.2f us)\n",
+			on.RoundTripsPerOp, off.RoundTripsPerOp,
+			on.ThroughputMops/off.ThroughputMops, on.P50LatUs, off.P50LatUs)
+	}
+	return results, nil
+}
+
+// fastpathDiag renders one result's leaf-address-cache section, or ""
+// when absent (the noLAC ablation).
+func fastpathDiag(r Result) string {
+	if r.Metrics == nil || r.Metrics.LAC == nil {
+		return ""
+	}
+	l := r.Metrics.LAC
+	verdict := "n/a"
+	if l.LACReconciled != nil {
+		verdict = "FALSE"
+		if *l.LACReconciled {
+			verdict = "true"
+		}
+	}
+	return fmt.Sprintf("    [lac] hits %d  misses %d  refutes %d  aborts %d  hit-rate %.1f%%  occupancy %.1f%%  reconciled %s",
+		l.SpecHits, l.SpecMisses, l.SpecRefutes, l.SpecAborts,
+		100*l.HitRate, 100*l.Occupancy, verdict)
+}
+
 // WriteCSV renders results as CSV for external plotting.
 func WriteCSV(results []Result, out io.Writer) error {
 	if _, err := fmt.Fprintln(out, "system,workload,dataset,workers,ops,tput_mops,avg_us,p50_us,p99_us,rt_per_op,verbs_per_op,bytes_per_op,filter_hit_pct,fp_per_kop,restarts,transients,timeouts,node_down,lock_steals,leaf_breaks,delete_repairs"); err != nil {

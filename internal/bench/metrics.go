@@ -42,10 +42,12 @@ type MetricsBlock struct {
 	FabricRoundTrips uint64 `json:"fabric_round_trips"`
 	RTReconciled     bool   `json:"rt_reconciled"`
 
-	// SFC and INHT are the index-semantic efficacy sections, present for
-	// Sphinx-family results (SFC absent for the filter-less ablation).
+	// SFC, INHT and LAC are the index-semantic efficacy sections, present
+	// for Sphinx-family results (SFC absent for the filter-less ablation,
+	// LAC absent for the leaf-address-cache-less one).
 	SFC  *SFCBlock  `json:"sfc,omitempty"`
 	INHT *INHTBlock `json:"inht,omitempty"`
+	LAC  *LACBlock  `json:"lac,omitempty"`
 
 	// Tail sampling totals for this phase (Config.Tail or Config.Live).
 	TailOffered  uint64 `json:"tail_offered,omitempty"`
@@ -68,6 +70,7 @@ func (cl *Cluster) beginPhaseMetrics() {
 		cl.candBase = cl.index.INHTCandidates.Snapshot()
 	}
 	cl.filterBase = cl.filterStatsAgg()
+	cl.lacBase = cl.lacStatsAgg()
 	if cl.tail != nil {
 		cl.tailBaseOff, cl.tailBaseCap = cl.tail.Stats()
 	}

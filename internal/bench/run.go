@@ -25,6 +25,10 @@ type Result struct {
 	// Depth is the per-worker issue depth the run phase used (1 =
 	// sequential clients).
 	Depth int `json:"depth"`
+	// Phase labels the measurement pass when Config.Warm splits a run into
+	// a warmup pass and a steady-state pass over the same workload
+	// ("warmup" / "steady"); empty for single-pass runs.
+	Phase string `json:"phase,omitempty"`
 
 	Ops            uint64  `json:"ops"`
 	ElapsedPs      int64   `json:"elapsed_ps"`
@@ -293,6 +297,46 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 	cl.attachMetrics(&r)
 	cl.attachIndexBlocks(&r, coreAgg, hashAgg, isSphinx)
 	return r, nil
+}
+
+// RunPhases drives one workload twice, labelling the passes "warmup" and
+// "steady". Each Run gets fresh fabric clients (clock zero), but the
+// CN-level caches — succinct filter and leaf-address cache — keep what
+// they learned, so the pair exposes cache learning as a measurement
+// instead of averaging the cold ramp into the steady state: the warmup
+// pass pays the misses, the steady pass shows the converged RT/op. The
+// generator seeds repeat across passes, so under a skewed distribution
+// the steady pass is maximally warm for exactly the keys that matter.
+func (cl *Cluster) RunPhases(w ycsb.Workload, workers, opsPerWorker int) (warmup, steady Result, err error) {
+	warmup, err = cl.Run(w, workers, opsPerWorker)
+	if err != nil {
+		return warmup, steady, err
+	}
+	warmup.Phase = "warmup"
+	steady, err = cl.Run(w, workers, opsPerWorker)
+	if err != nil {
+		return warmup, steady, err
+	}
+	steady.Phase = "steady"
+	return warmup, steady, nil
+}
+
+// RunMaybePhased runs the workload honouring Config.Warm: split into
+// warmup+steady passes when set (two results), a single unlabelled pass
+// otherwise (one result).
+func (cl *Cluster) RunMaybePhased(w ycsb.Workload, workers, opsPerWorker int) ([]Result, error) {
+	if cl.Cfg.Warm {
+		warmup, steady, err := cl.RunPhases(w, workers, opsPerWorker)
+		if err != nil {
+			return nil, err
+		}
+		return []Result{warmup, steady}, nil
+	}
+	r, err := cl.Run(w, workers, opsPerWorker)
+	if err != nil {
+		return nil, err
+	}
+	return []Result{r}, nil
 }
 
 // attachWall fills the wall-clock throughput fields from a measured

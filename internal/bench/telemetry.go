@@ -96,6 +96,32 @@ func (lv *Live) Registry() *obs.Registry {
 		}
 		return g
 	})
+	r.AddCounterStruct("lac", func() any {
+		if cl := lv.cur.Load(); cl != nil {
+			return cl.lacStatsAgg()
+		}
+		return core.LACStats{}
+	})
+	r.AddGauges("lac", func() map[string]float64 {
+		cl := lv.cur.Load()
+		if cl == nil || len(cl.lacs) == 0 {
+			return nil
+		}
+		occupied, capacity, bytes := cl.lacOccupancy()
+		g := map[string]float64{
+			"occupied_slots": float64(occupied),
+			"capacity_slots": float64(capacity),
+			"size_bytes":     float64(bytes),
+		}
+		if capacity > 0 {
+			g["occupancy"] = float64(occupied) / float64(capacity)
+		}
+		st := cl.phaseDoneCore()
+		if probes := st.SpecHits + st.SpecMisses + st.SpecRefutes + st.SpecAborts; probes > 0 {
+			g["hit_rate"] = float64(st.SpecHits) / float64(probes)
+		}
+		return g
+	})
 	r.AddGauges("inht", func() map[string]float64 {
 		cl := lv.cur.Load()
 		if cl == nil {
@@ -170,6 +196,68 @@ type INHTBlock struct {
 	FPMismatches    uint64 `json:"fp_mismatches,omitempty"`
 	BucketOverflows uint64 `json:"bucket_overflows,omitempty"`
 	Splits          uint64 `json:"splits,omitempty"`
+}
+
+// LACBlock is the per-phase leaf-address-cache efficacy section of a
+// result's metrics: how warm-read speculation performed (one-RT hits vs
+// misses, refutes and aborts), the cache's maintenance churn, and (for
+// read-only sequential phases) whether the speculative round trips
+// reconcile exactly against the fabric's counters.
+type LACBlock struct {
+	// SpecHits..SpecAborts are this phase's speculative-read outcomes:
+	// hits served in one verified round trip, misses that went straight
+	// to the hash path, refutes that unlearned a stale entry and fell
+	// back, and aborts (unstable leaf image or transient fabric error)
+	// that fell back without unlearning.
+	SpecHits    uint64 `json:"spec_hits"`
+	SpecMisses  uint64 `json:"spec_misses"`
+	SpecRefutes uint64 `json:"spec_refutes,omitempty"`
+	SpecAborts  uint64 `json:"spec_aborts,omitempty"`
+	// HitRate is hits over all speculative decisions (hits + misses +
+	// refutes + aborts).
+	HitRate float64 `json:"hit_rate"`
+
+	// Learns/Unlearns/Evictions are this phase's share of cache
+	// maintenance across the CN leaf-address caches.
+	Learns    uint64 `json:"learns,omitempty"`
+	Unlearns  uint64 `json:"unlearns,omitempty"`
+	Evictions uint64 `json:"evictions,omitempty"`
+
+	Occupancy     float64 `json:"occupancy"`
+	OccupiedSlots uint64  `json:"occupied_slots"`
+	CapacitySlots uint64  `json:"capacity_slots"`
+	SizeBytes     uint64  `json:"size_bytes"`
+
+	// LACReconciled is set for read-only depth-1 phases: true iff the
+	// leaf-spec stage's round trips == speculative hits + refutes (every
+	// speculative read is exactly one RT, and a healthy read-only phase
+	// never aborts) AND hash + node + leaf + leaf-spec stage round trips
+	// == the fabric's own counter — i.e. every fallback re-descent is
+	// fully accounted and the fast path never double-pays. Absent when
+	// the phase wrote, restarted or ran pipelined.
+	LACReconciled *bool `json:"lac_reconciled,omitempty"`
+}
+
+// lacStatsAgg sums the CN leaf-address caches' maintenance counters
+// (empty for systems without one).
+func (cl *Cluster) lacStatsAgg() core.LACStats {
+	var agg core.LACStats
+	for _, lc := range cl.lacs {
+		agg = agg.Add(lc.Stats())
+	}
+	return agg
+}
+
+// lacOccupancy aggregates live entries, slot capacity and byte footprint
+// across the CN leaf-address caches.
+func (cl *Cluster) lacOccupancy() (occupied, capacity, bytes uint64) {
+	for _, lc := range cl.lacs {
+		o, c := lc.Occupancy()
+		occupied += o
+		capacity += c
+		bytes += lc.SizeBytes()
+	}
+	return occupied, capacity, bytes
 }
 
 // filterStatsAgg sums the CN filter caches' counters (empty for systems
@@ -290,6 +378,48 @@ func (cl *Cluster) attachIndexBlocks(r *Result, coreAgg core.Stats, hashAgg race
 	inht.Segments = u.Segments
 	inht.DirEntries = u.DirEntries
 	r.Metrics.INHT = inht
+
+	// Leaf-address-cache section (absent for the SphinxNoLAC ablation).
+	if len(cl.lacs) > 0 {
+		lacSt := cl.lacStatsAgg()
+		occupied, capacity, bytes := cl.lacOccupancy()
+		lac := &LACBlock{
+			SpecHits:      coreAgg.SpecHits,
+			SpecMisses:    coreAgg.SpecMisses,
+			SpecRefutes:   coreAgg.SpecRefutes,
+			SpecAborts:    coreAgg.SpecAborts,
+			Learns:        lacSt.Learns - cl.lacBase.Learns,
+			Unlearns:      lacSt.Unlearns - cl.lacBase.Unlearns,
+			Evictions:     lacSt.Evictions - cl.lacBase.Evictions,
+			OccupiedSlots: occupied,
+			CapacitySlots: capacity,
+			SizeBytes:     bytes,
+		}
+		if probes := coreAgg.SpecHits + coreAgg.SpecMisses + coreAgg.SpecRefutes + coreAgg.SpecAborts; probes > 0 {
+			lac.HitRate = float64(coreAgg.SpecHits) / float64(probes)
+		}
+		if capacity > 0 {
+			lac.Occupancy = float64(occupied) / float64(capacity)
+		}
+		// The speculative-RT reconciliation holds only for sequential
+		// read-only phases on a healthy index, like FPReconciled: every
+		// speculative read then costs exactly one leaf-spec round trip
+		// (hit or refute, never an abort), and the four read stages sum
+		// to the fabric's own counter.
+		if cl.runMetrics != nil && r.Depth == 1 &&
+			coreAgg.Inserts == 0 && coreAgg.Updates == 0 && coreAgg.Deletes == 0 &&
+			coreAgg.Scans == 0 && coreAgg.Restarts == 0 && coreAgg.StaleEntries == 0 {
+			specRT := cl.runMetrics.StageRT(fabric.StageLeafSpec).Sum
+			hashRT := cl.runMetrics.StageRT(fabric.StageHashRead).Sum
+			nodeRT := cl.runMetrics.StageRT(fabric.StageNodeRead).Sum
+			leafRT := cl.runMetrics.StageRT(fabric.StageLeafRead).Sum
+			ok := specRT == coreAgg.SpecHits+coreAgg.SpecRefutes &&
+				coreAgg.SpecAborts == 0 &&
+				hashRT+nodeRT+leafRT+specRT == r.Metrics.FabricRoundTrips
+			lac.LACReconciled = &ok
+		}
+		r.Metrics.LAC = lac
+	}
 
 	// The filter-less ablation allocates no filter traffic even though
 	// the CN filter caches exist; it gets no SFC section.

@@ -228,6 +228,16 @@ type Options struct {
 	// falls back to the parallel multi-prefix hash read (the Θ(L) mode of
 	// §III-B's analysis). Ablation lever.
 	DisableFilter bool
+	// LeafCache is the CN's shared speculative leaf-address cache. If nil
+	// (and not disabled), the client builds a private one sized by
+	// LeafCacheEntries (default 1<<16).
+	LeafCache *LeafCache
+	// LeafCacheEntries sizes the private leaf-address cache when LeafCache
+	// is nil.
+	LeafCacheEntries int
+	// DisableLeafCache turns the speculative 1-RT fast path off: every
+	// Search pays the full 3-RT hash path. Ablation lever.
+	DisableLeafCache bool
 	// DisableDirCache drops the client-side hash-table directory caches:
 	// every bucket resolution reads the meta word and directory entry
 	// remotely. Ablation lever for the §IV directory cache.
@@ -267,6 +277,10 @@ type Stats struct {
 	DegradedPuts    uint64 // writes/deletes served anchor-only (tree path dead)
 	PartialReplicas uint64 // acked writes that reached fewer than R replicas
 	AnchorConfirms  uint64 // degraded-mode absent answers verified via anchors
+	SpecHits        uint64 // searches served by one speculative leaf read
+	SpecMisses      uint64 // searches with no leaf-address-cache entry
+	SpecRefutes     uint64 // speculative reads refuted in-place (unlearned)
+	SpecAborts      uint64 // speculative reads abandoned on unstable leaf or fabric error
 }
 
 // Add returns s + t, field-wise; used to aggregate workers.
@@ -289,6 +303,10 @@ func (s Stats) Add(t Stats) Stats {
 	s.DegradedPuts += t.DegradedPuts
 	s.PartialReplicas += t.PartialReplicas
 	s.AnchorConfirms += t.AnchorConfirms
+	s.SpecHits += t.SpecHits
+	s.SpecMisses += t.SpecMisses
+	s.SpecRefutes += t.SpecRefutes
+	s.SpecAborts += t.SpecAborts
 	return s
 }
 
@@ -299,6 +317,7 @@ type Client struct {
 	eng    *rart.Engine
 	views  map[mem.NodeID]*racehash.View
 	filter *FilterCache
+	lac    *LeafCache
 	opts   Options
 	// stats fields are incremented atomically and loaded atomically by
 	// Stats(), so a live metrics scrape can snapshot a client while its
@@ -333,6 +352,7 @@ func NewClient(shared Shared, c *fabric.Client, opts Options) *Client {
 		eng:    rart.NewEngine(c, alloc, shared.Ring, opts.Engine),
 		views:  make(map[mem.NodeID]*racehash.View, len(shared.Tables)),
 		filter: opts.Filter,
+		lac:    opts.LeafCache,
 		opts:   opts,
 		index:  opts.Index,
 	}
@@ -355,6 +375,13 @@ func NewClient(shared Shared, c *fabric.Client, opts Options) *Client {
 			n = 1 << 16
 		}
 		cl.filter = NewFilterCache(n, opts.Seed|1)
+	}
+	if cl.lac == nil && !opts.DisableLeafCache {
+		n := opts.LeafCacheEntries
+		if n == 0 {
+			n = 1 << 16
+		}
+		cl.lac = NewLeafCache(n, opts.Seed)
 	}
 	if opts.Observer != nil {
 		c.SetObserver(opts.Observer)
@@ -393,6 +420,10 @@ func (c *Client) Stats() Stats {
 	s.DegradedPuts = atomic.LoadUint64(&c.stats.DegradedPuts)
 	s.PartialReplicas = atomic.LoadUint64(&c.stats.PartialReplicas)
 	s.AnchorConfirms = atomic.LoadUint64(&c.stats.AnchorConfirms)
+	s.SpecHits = atomic.LoadUint64(&c.stats.SpecHits)
+	s.SpecMisses = atomic.LoadUint64(&c.stats.SpecMisses)
+	s.SpecRefutes = atomic.LoadUint64(&c.stats.SpecRefutes)
+	s.SpecAborts = atomic.LoadUint64(&c.stats.SpecAborts)
 	return s
 }
 
@@ -409,6 +440,10 @@ func (c *Client) HashStats() racehash.Stats {
 // Filter returns the client's filter cache (nil when disabled).
 func (c *Client) Filter() *FilterCache { return c.filter }
 
+// LeafCache returns the client's speculative leaf-address cache (nil when
+// disabled).
+func (c *Client) LeafCache() *LeafCache { return c.lac }
+
 // CacheBytes reports the client's total CN-side cache consumption: the
 // succinct filter cache plus the hash-table directory caches (paper §IV:
 // "typically 2-5% of the succinct filter cache size").
@@ -416,6 +451,9 @@ func (c *Client) CacheBytes() uint64 {
 	var total uint64
 	if c.filter != nil {
 		total += c.filter.SizeBytes()
+	}
+	if c.lac != nil {
+		total += c.lac.SizeBytes()
 	}
 	for _, v := range c.views {
 		total += v.DirCacheBytes()

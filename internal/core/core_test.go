@@ -76,10 +76,11 @@ func TestInsertSearchBasic(t *testing.T) {
 
 func TestWarmSearchIsThreeRoundTrips(t *testing.T) {
 	// The paper's headline property (§III-B): with a warm filter cache
-	// and directory cache, a search costs three round trips — hash entry,
-	// inner node, leaf.
+	// and directory cache — but without the speculative leaf-address
+	// cache — a search costs three round trips: hash entry, inner node,
+	// leaf.
 	f, shared := newCluster(t, 3, fabric.DefaultConfig(), 1000)
-	c := newTestClient(f, shared, Options{})
+	c := newTestClient(f, shared, Options{DisableLeafCache: true})
 	// Build enough structure for a real inner node below the root.
 	for i := 0; i < 50; i++ {
 		k := []byte(fmt.Sprintf("user%04d", i))
@@ -100,6 +101,38 @@ func TestWarmSearchIsThreeRoundTrips(t *testing.T) {
 	d := c.Engine().C.Stats().Sub(before)
 	if d.RoundTrips != 3 {
 		t.Errorf("warm search took %d round trips, want 3 (hash entry, inner node, leaf)", d.RoundTrips)
+	}
+}
+
+func TestWarmSearchIsOneRoundTripWithLAC(t *testing.T) {
+	// The speculative fast path: with the leaf-address cache (the
+	// default), a warm search is ONE round trip — a verified read
+	// straight at the leaf the previous traversal found.
+	f, shared := newCluster(t, 3, fabric.DefaultConfig(), 1000)
+	c := newTestClient(f, shared, Options{})
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("user%04d", i))
+		if _, err := c.Insert(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := []byte("user0017")
+	if _, ok, err := c.Search(key); err != nil || !ok {
+		t.Fatalf("warming search failed: %v %v", ok, err)
+	}
+	before := c.Engine().C.Stats()
+	v, ok, err := c.Search(key)
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("warm search failed: %v %v", ok, err)
+	}
+	d := c.Engine().C.Stats().Sub(before)
+	if d.RoundTrips != 1 {
+		t.Errorf("warm speculative search took %d round trips, want 1 (verified leaf read)", d.RoundTrips)
+	}
+	st := c.Stats()
+	if st.SpecHits != 1 || st.SpecRefutes != 0 || st.SpecAborts != 0 {
+		t.Errorf("speculative counters = hits %d refutes %d aborts %d, want 1/0/0",
+			st.SpecHits, st.SpecRefutes, st.SpecAborts)
 	}
 }
 
@@ -132,7 +165,10 @@ func TestSearchIndependentOfKeyLength(t *testing.T) {
 
 func TestFilterDisabledParallelFallback(t *testing.T) {
 	f, shared := newCluster(t, 3, fabric.DefaultConfig(), 1000)
-	c := newTestClient(f, shared, Options{DisableFilter: true})
+	// The leaf-address cache is disabled so the warm search below actually
+	// exercises the parallel multi-prefix fallback instead of spec-hitting
+	// the leaf in one round trip.
+	c := newTestClient(f, shared, Options{DisableFilter: true, DisableLeafCache: true})
 	for i := 0; i < 60; i++ {
 		k := []byte(fmt.Sprintf("user%04d", i))
 		if _, err := c.Insert(k, []byte("v")); err != nil {

@@ -94,6 +94,15 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 		atomic.AddUint64(&c.stats.Failovers, 1)
 		return c.anchorGet(key)
 	}
+	// Speculative fast path: if the leaf-address cache has an opinion, one
+	// doorbell read against the cached address, verified in place. A refuted
+	// or aborted speculation falls through to the 3-RT hash path below with
+	// a FRESH backoff — the fallback is a routing decision, not contention,
+	// so it consumes no retry budget and injects no sleep (same contract as
+	// the ErrNeedParent re-route in put).
+	if val, served := c.specGet(key); served {
+		return val, true, nil
+	}
 	maxLen := len(key)
 	var last error
 	for bo := c.eng.Backoff(); ; {
@@ -118,6 +127,7 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 					}
 					return c.searchAbsent(key)
 				}
+				c.learn(key, leaf)
 				return leaf.Value, true, nil
 			}
 		}
@@ -143,6 +153,80 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 		if !bo.Wait() {
 			return nil, false, exhausted("search", key, last)
 		}
+	}
+}
+
+// specGet attempts the speculative 1-RT fast path (trust-but-verify, the
+// SFC's shape applied to the whole traversal): read the leaf at the cached
+// address in one round trip and verify the image in place — checksum (the
+// read decoded), status word (Idle), and the full key the leaf stores.
+// Only a positive, verified hit is served; a mismatched leaf proves
+// nothing about absence, so misses always take the authoritative path.
+//
+//   - Verified hit: value served, one round trip total.
+//   - Refuted (Invalid status, wrong key, or the address is on a lost
+//     node): the entry is unlearned and the caller falls back.
+//   - Aborted (torn or locked image, transient fabric error): nothing is
+//     provable either way; the entry survives — an in-flight writer's
+//     in-place update keeps the address valid.
+//
+// Never called in degraded mode: degraded writes land anchor-only, so a
+// cached tree address could serve a stale value with a clean checksum.
+// Search's degraded() check precedes this call.
+func (c *Client) specGet(key []byte) ([]byte, bool) {
+	if c.lac == nil {
+		return nil, false
+	}
+	addr, units, ok := c.lac.Lookup(key)
+	if !ok {
+		atomic.AddUint64(&c.stats.SpecMisses, 1)
+		return nil, false
+	}
+	leaf, err := c.eng.SpecReadLeaf(addr, units)
+	if err != nil {
+		if errors.Is(err, fabric.ErrNodeKilled) || errors.Is(err, fabric.ErrBreakerOpen) {
+			// The cached address points into permanently lost memory.
+			c.lac.Unlearn(key)
+			atomic.AddUint64(&c.stats.SpecRefutes, 1)
+			c.noteSpec(key, "lac refuted: node lost, unlearned")
+		} else {
+			atomic.AddUint64(&c.stats.SpecAborts, 1)
+			c.noteSpec(key, "lac aborted: fabric error, entry kept")
+		}
+		return nil, false
+	}
+	if leaf == nil {
+		// Torn or locked image: an in-flight single-WRITE updater. The
+		// address is still the key's leaf, so keep the entry.
+		atomic.AddUint64(&c.stats.SpecAborts, 1)
+		c.noteSpec(key, "lac aborted: leaf unstable, entry kept")
+		return nil, false
+	}
+	if leaf.Status != wire.StatusIdle || !bytes.Equal(leaf.Key, key) {
+		c.lac.Unlearn(key)
+		atomic.AddUint64(&c.stats.SpecRefutes, 1)
+		c.noteSpec(key, "lac refuted: verification failed, unlearned")
+		return nil, false
+	}
+	atomic.AddUint64(&c.stats.SpecHits, 1)
+	c.noteSpec(key, "lac hit: leaf verified in one round trip")
+	return leaf.Value, true
+}
+
+// learn records a verified (key → leaf) binding in the leaf-address cache
+// after a successful authoritative traversal.
+func (c *Client) learn(key []byte, leaf *rart.Leaf) {
+	if c.lac == nil || leaf.Units == 0 {
+		return
+	}
+	c.lac.Learn(key, leaf.Addr, leaf.Units)
+}
+
+// noteSpec annotates a speculative fast-path decision on the armed trace
+// recorder; the fmt.Sprintf only runs while tracing.
+func (c *Client) noteSpec(key []byte, msg string) {
+	if c.rec != nil {
+		c.rec.Note(fabric.StageLeafSpec, c.eng.C.Clock(), msg)
 	}
 }
 

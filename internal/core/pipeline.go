@@ -65,8 +65,11 @@ type Pipeline struct {
 
 // NewPipeline mounts a pipelined executor flushing on the given main
 // client. All network accounting lands on that client. When opts carries
-// no shared FilterCache, one is created here and shared across lanes —
-// per-lane private filters would be cold and scheduling-dependent.
+// no shared FilterCache (or leaf-address cache), one is created here and
+// shared across lanes — per-lane private caches would be cold and
+// scheduling-dependent. Sharing the LAC also means a speculative read on
+// one lane coalesces into the same doorbell flush as the other lanes'
+// batches, so the 1-RT fast path stacks with depth>1 pipelining.
 func NewPipeline(shared Shared, main *fabric.Client, opts Options) *Pipeline {
 	if opts.Filter == nil && !opts.DisableFilter {
 		n := opts.FilterEntries
@@ -74,6 +77,13 @@ func NewPipeline(shared Shared, main *fabric.Client, opts Options) *Pipeline {
 			n = 1 << 16
 		}
 		opts.Filter = NewFilterCache(n, opts.Seed|1)
+	}
+	if opts.LeafCache == nil && !opts.DisableLeafCache {
+		n := opts.LeafCacheEntries
+		if n == 0 {
+			n = 1 << 16
+		}
+		opts.LeafCache = NewLeafCache(n, opts.Seed)
 	}
 	return &Pipeline{shared: shared, opts: opts, pipe: fabric.NewPipe(main)}
 }

@@ -115,14 +115,17 @@ func TestPipelineMixedOps(t *testing.T) {
 // TestPipelineCoalescesWarmGets is the core round-trip accounting proof:
 // N warm-filter Gets pipelined at depth d must spend strictly fewer
 // doorbell round trips than N sequential Gets (which pay 3 RTs each),
-// because same-stage verbs of concurrent ops share flushes.
+// because same-stage verbs of concurrent ops share flushes. The
+// leaf-address cache is disabled on both sides so the 3-RT hash path is
+// actually what's being coalesced; TestPipelineCoalescesSpecGets covers
+// the 1-RT speculative path.
 func TestPipelineCoalescesWarmGets(t *testing.T) {
 	f, shared := newCluster(t, 3, fabric.DefaultConfig(), 2000)
 	filter := NewFilterCache(1<<16, 9)
 	keys := loadKeys(t, f, shared, filter, 512)
 
 	// Sequential reference: warm client, count RTs for N gets.
-	seq := newTestClient(f, shared, Options{Filter: filter})
+	seq := newTestClient(f, shared, Options{Filter: filter, DisableLeafCache: true})
 	warm := func(get func(k []byte)) {
 		for _, k := range keys {
 			get(k)
@@ -144,7 +147,7 @@ func TestPipelineCoalescesWarmGets(t *testing.T) {
 
 	// Pipelined: same warm state, same N gets, depth 8.
 	main := f.NewClient()
-	pl := NewPipeline(shared, main, Options{Filter: filter})
+	pl := NewPipeline(shared, main, Options{Filter: filter, DisableLeafCache: true})
 	warmOps := make([]*PipeOp, len(keys))
 	for i, k := range keys {
 		warmOps[i] = &PipeOp{Kind: PipeGet, Key: k}
@@ -176,6 +179,46 @@ func TestPipelineCoalescesWarmGets(t *testing.T) {
 	}
 	if merged, verbs := pl.Pipe().Coalesced(); merged == 0 || verbs == 0 {
 		t.Error("no flush carried verbs from multiple concurrent ops")
+	}
+}
+
+// TestPipelineCoalescesSpecGets: the speculative 1-RT fast path stacks
+// with pipelining — warm Gets spec-hit the shared leaf-address cache, and
+// depth-d lanes coalesce their speculative leaf reads into shared
+// flushes, so N warm Gets cost roughly N/d round trips.
+func TestPipelineCoalescesSpecGets(t *testing.T) {
+	f, shared := newCluster(t, 3, fabric.DefaultConfig(), 2000)
+	filter := NewFilterCache(1<<16, 9)
+	keys := loadKeys(t, f, shared, filter, 512)
+
+	main := f.NewClient()
+	pl := NewPipeline(shared, main, Options{Filter: filter})
+	warmOps := make([]*PipeOp, len(keys))
+	for i, k := range keys {
+		warmOps[i] = &PipeOp{Kind: PipeGet, Key: k}
+	}
+	pl.Run(warmOps, 8) // lanes learn leaf addresses into the shared LAC
+	const n = 256
+	pbefore := main.Stats()
+	ops := make([]*PipeOp, n)
+	for i := range ops {
+		ops[i] = &PipeOp{Kind: PipeGet, Key: keys[i]}
+	}
+	pl.Run(ops, 8)
+	for i, op := range ops {
+		if op.Err != nil || !op.Found {
+			t.Fatalf("pipelined spec get %d: found=%v err=%v", i, op.Found, op.Err)
+		}
+	}
+	pipeRTs := main.Stats().Sub(pbefore).RoundTrips
+	st := pl.Stats()
+	if st.SpecHits < n*9/10 {
+		t.Errorf("only %d/%d warm pipelined gets spec-hit", st.SpecHits, n)
+	}
+	// 256 one-RT ops at depth 8 should flush well under once per op;
+	// allow generous slack for stragglers and refuted collisions.
+	if pipeRTs > n {
+		t.Errorf("pipelined spec gets = %d RTs for %d ops; speculative reads did not coalesce", pipeRTs, n)
 	}
 }
 

@@ -26,9 +26,10 @@ const (
 	StagePublish                  // post-commit publication (grow/split swings, repairs)
 	StageUnlock                   // bare lock release
 	StageScan                     // scan descent traffic
+	StageLeafSpec                 // speculative 1-RT leaf read off the CN-side leaf-address cache
 
 	// NumStages sizes per-stage arrays.
-	NumStages = int(StageScan) + 1
+	NumStages = int(StageLeafSpec) + 1
 )
 
 // String names the stage as metrics and traces report it.
@@ -62,6 +63,8 @@ func (s Stage) String() string {
 		return "unlock"
 	case StageScan:
 		return "scan"
+	case StageLeafSpec:
+		return "leaf-spec"
 	default:
 		return "stage?"
 	}

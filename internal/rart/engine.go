@@ -151,6 +151,11 @@ type EngineStats struct {
 	// PublishRetries is the number of faulted steps re-driven while
 	// publishing a node type switch (grow) to completion.
 	PublishRetries uint64
+	// LeafRetireRepairs is the number of old leaves retired on the error
+	// path of an out-of-place update after the commit batch faulted with
+	// the slot swing already live (the leaf-address cache must never find
+	// such a leaf Idle).
+	LeafRetireRepairs uint64
 }
 
 // Add returns s + t, field-wise; used to aggregate workers.
@@ -159,6 +164,7 @@ func (s EngineStats) Add(t EngineStats) EngineStats {
 	s.LeafLockBreaks += t.LeafLockBreaks
 	s.DeleteRepairs += t.DeleteRepairs
 	s.PublishRetries += t.PublishRetries
+	s.LeafRetireRepairs += t.LeafRetireRepairs
 	return s
 }
 
@@ -171,6 +177,7 @@ func (e *Engine) Stats() EngineStats {
 		LeafLockBreaks: atomic.LoadUint64(&e.stats.LeafLockBreaks),
 		DeleteRepairs:  atomic.LoadUint64(&e.stats.DeleteRepairs),
 		PublishRetries: atomic.LoadUint64(&e.stats.PublishRetries),
+		LeafRetireRepairs: atomic.LoadUint64(&e.stats.LeafRetireRepairs),
 	}
 }
 
@@ -358,6 +365,63 @@ func (e *Engine) ReadLeaf(addr mem.Addr) (*Leaf, error) {
 		e.ReleaseBuf(buf)
 		return l, nil
 	}
+}
+
+// SpecReadLeaf is the speculative fast-path leaf read: exactly ONE READ of
+// units*64 bytes at addr — an address supplied by a CN-side cache, not by
+// a traversal — with no retry loop and no backoff. The caller owns
+// verification; this primitive only reports what one round trip saw:
+//
+//   - a decoded image (including Status Invalid): (leaf, nil) — the caller
+//     checks status and key;
+//   - a torn or locked image: (nil, nil) — an in-flight writer, nothing to
+//     conclude, fall back without unlearning;
+//   - a fabric error: (nil, err) — the caller maps failoverable errors to
+//     unlearns.
+//
+// Batches are stage-annotated StageLeafSpec so the speculative round trips
+// reconcile separately from the 3-RT hash path (the lac_reconciled
+// verdict).
+func (e *Engine) SpecReadLeaf(addr mem.Addr, units uint8) (*Leaf, error) {
+	defer e.C.SetStage(e.C.SetStage(fabric.StageLeafSpec))
+	want := e.clampRead(addr, uint64(units)*wire.LeafUnit)
+	if want < wire.LeafHeaderSize {
+		return nil, nil
+	}
+	buf := e.grabBuf(want)
+	if err := e.C.Read(addr, buf); err != nil {
+		e.ReleaseBuf(buf)
+		return nil, err
+	}
+	hdr := wire.DecodeLeafHeader(leUint64(buf))
+	if hdr.Status == wire.StatusInvalid {
+		e.ReleaseBuf(buf)
+		return &Leaf{Addr: addr, Status: wire.StatusInvalid, Units: hdr.Units}, nil
+	}
+	if need := uint64(hdr.Units) * wire.LeafUnit; need > uint64(len(buf)) {
+		// The leaf at this address grew past the cached size (the address
+		// was reused or the hint is stale): nothing provable in one round
+		// trip.
+		e.ReleaseBuf(buf)
+		return nil, nil
+	}
+	key, val, st, ok := wire.DecodeLeaf(buf)
+	if !ok || st == wire.StatusLocked {
+		e.ReleaseBuf(buf)
+		return nil, nil
+	}
+	kv := make([]byte, len(key)+len(val))
+	copy(kv, key)
+	copy(kv[len(key):], val)
+	l := &Leaf{
+		Addr:   addr,
+		Status: st,
+		Units:  hdr.Units,
+		Key:    kv[:len(key):len(key)],
+		Value:  kv[len(key):],
+	}
+	e.ReleaseBuf(buf)
+	return l, nil
 }
 
 // WriteLeaf allocates and writes a fresh leaf for (key, value) on the

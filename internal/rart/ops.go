@@ -621,10 +621,39 @@ func (e *Engine) updateLeaf(n *Node, leaf *Leaf, key, value []byte, eol bool) er
 		newSlot.KeyByte = ps.KeyByte
 		slotAddr[0] = fabric.Op{Kind: fabric.Write, Addr: locked.SlotAddr(idx), Data: leBytes(newSlot.Encode())}
 	}
-	if err := e.C.Batch([]fabric.Op{slotAddr[0], e.UnlockOp(locked)}); err != nil {
+	// Commit batch: swing the slot, retire the old leaf, release the lock —
+	// all in one doorbell. Retiring in the SAME batch (not a follow-up round
+	// trip) matters for the CN-side leaf-address cache: a timed-out batch
+	// executes fully, so a fault here can no longer leave the old leaf
+	// checksum-valid and Idle at an address other compute nodes still have
+	// cached — an orphan a speculative read would wrongly trust.
+	oldHdr := wire.LeafHeader{
+		Status: wire.StatusInvalid,
+		Units:  leaf.Units,
+		KeyLen: uint16(len(leaf.Key)),
+		ValLen: uint32(len(leaf.Value)),
+	}
+	err = e.C.Batch([]fabric.Op{
+		slotAddr[0],
+		{Kind: fabric.Write, Addr: leaf.Addr, Data: leBytes(oldHdr.Encode())},
+		e.UnlockOp(locked),
+	})
+	if err != nil {
+		// A transient fault truncates the batch at a random verb, so the
+		// swing may have landed without the retirement. Probe the slot: if
+		// it no longer names the old leaf, the swing (or a competing
+		// writer's) is live and retiring the old leaf is required — and
+		// idempotent if someone else already did.
+		if word, rerr := e.C.ReadUint64(slotAddr[0].Addr); rerr == nil {
+			if s := wire.DecodeSlot(word); !s.Present || !s.Leaf || s.Addr != leaf.Addr {
+				if ierr := e.invalidateLeaf(leaf); ierr == nil {
+					atomic.AddUint64(&e.stats.LeafRetireRepairs, 1)
+				}
+			}
+		}
 		return err
 	}
-	return e.invalidateLeaf(leaf)
+	return nil
 }
 
 // updateLeafInPlace is the checksum-based single-WRITE update (§III-C):

@@ -152,7 +152,9 @@ func (s *Session) corePipeline() *core.Pipeline {
 		return pl
 	}
 	pl := core.NewPipeline(s.cn.cluster.sphinxShared, s.fc, core.Options{
-		Filter: s.cn.filter,
+		Filter:           s.cn.filter,
+		LeafCache:        s.cn.lac,
+		DisableLeafCache: s.cn.cluster.cfg.DisableLeafCache,
 		// Lanes report their stage-attributed share of each flush into
 		// the session metrics; the flush itself accounts on s.fc, whose
 		// observer is already the same metrics set. Lanes share the

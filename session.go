@@ -73,7 +73,12 @@ func (cn *ComputeNode) NewSession() *Session {
 	fc.SetObserver(obs.Tee{A: s.metrics, B: s.tailRec})
 	switch c.cfg.System {
 	case SystemSphinx:
-		s.sphinx = core.NewClient(c.sphinxShared, fc, core.Options{Filter: cn.filter, Index: s.index})
+		s.sphinx = core.NewClient(c.sphinxShared, fc, core.Options{
+			Filter:           cn.filter,
+			LeafCache:        cn.lac,
+			DisableLeafCache: c.cfg.DisableLeafCache,
+			Index:            s.index,
+		})
 		s.sphinx.SetRecorder(s.tailRec)
 	case SystemSMART:
 		s.smart = smart.NewClient(c.smartShared, fc, smart.Options{Cache: cn.cache})
@@ -263,6 +268,19 @@ type SphinxCounters struct {
 	// Restarts counts coherence-protocol retries (invalidated nodes or
 	// leaves observed mid-change).
 	Restarts uint64
+	// SpecHits counts Gets served by the speculative 1-RT fast path: one
+	// leaf read at the cached address, verified in place.
+	SpecHits uint64
+	// SpecMisses counts Gets with no leaf-address-cache entry (cold keys,
+	// or the cache disabled).
+	SpecMisses uint64
+	// SpecRefutes counts speculative reads the leaf image refuted; the
+	// entry is unlearned and the Get falls back to the 3-RT hash path
+	// without consuming retry budget.
+	SpecRefutes uint64
+	// SpecAborts counts speculative reads abandoned without a verdict (a
+	// torn or locked leaf, or a transient fabric error); the entry is kept.
+	SpecAborts uint64
 }
 
 // SphinxStats returns Sphinx-specific counters; ok is false for other
@@ -281,15 +299,18 @@ func (s *Session) SphinxStats() (SphinxCounters, bool) {
 		FilterHits: st.FilterHits, FilterFallbacks: st.FilterFallbacks,
 		RootStarts: st.RootStarts, FalsePositives: st.FalsePositives,
 		CollisionRetries: st.CollisionRetry, Restarts: st.Restarts,
+		SpecHits: st.SpecHits, SpecMisses: st.SpecMisses,
+		SpecRefutes: st.SpecRefutes, SpecAborts: st.SpecAborts,
 	}, true
 }
 
 // Trace runs op with a per-operation trace recorder armed and returns
 // the recorded round-trip timeline alongside op's error. The recorder
 // tees into the session's regular metrics observer, so tracing never
-// perturbs accounting. Intended for one index operation per call (the
-// warm-path Get of §III-B traces as exactly three round trips:
-// hash-read, node-read, leaf-read).
+// perturbs accounting. Intended for one index operation per call: a cold
+// Get traces as the three round trips of §III-B (hash-read, node-read,
+// leaf-read); a warm Get served by the speculative leaf-address cache
+// traces as ONE round trip (leaf-spec).
 func (s *Session) Trace(name string, op func() error) (*Trace, error) {
 	rec := obs.NewRecorder()
 	rec.Begin(name, s.fc.Clock())
@@ -393,6 +414,25 @@ func (s *Session) Registry() *Registry {
 				}
 				if claims := st.FilterHits + st.FalsePositives; claims > 0 {
 					g["fp_per_claim"] = float64(st.FalsePositives) / float64(claims)
+				}
+				return g
+			})
+		}
+		if lac := s.sphinx.LeafCache(); lac != nil {
+			r.AddCounterStruct("lac", func() any { return lac.Stats() })
+			r.AddGauges("lac", func() map[string]float64 {
+				occupied, capacity := lac.Occupancy()
+				g := map[string]float64{
+					"occupied_slots": float64(occupied),
+					"capacity_slots": float64(capacity),
+					"size_bytes":     float64(lac.SizeBytes()),
+				}
+				st := s.sphinx.Stats()
+				if pl := s.pl.Load(); pl != nil {
+					st = st.Add(pl.Stats())
+				}
+				if attempts := st.SpecHits + st.SpecMisses + st.SpecRefutes + st.SpecAborts; attempts > 0 {
+					g["hit_rate"] = float64(st.SpecHits) / float64(attempts)
 				}
 				return g
 			})

@@ -96,6 +96,14 @@ type Config struct {
 	// CacheBytes is the per-compute-node cache budget: the succinct
 	// filter cache for Sphinx, the node cache for SMART (default 16 MiB).
 	CacheBytes uint64
+	// LeafCacheBytes is the per-compute-node budget for the speculative
+	// leaf-address cache (SystemSphinx only): the CN-side map that lets a
+	// warm Get read its leaf in ONE round trip and verify in place
+	// (default 512 KiB — 64K entries of 8 bytes).
+	LeafCacheBytes uint64
+	// DisableLeafCache turns the speculative 1-RT fast path off: every
+	// warm Get pays the full 3-RT hash path. Ablation lever.
+	DisableLeafCache bool
 	// Timing selects the network cost model.
 	Timing Timing
 	// Seed makes cache behaviour deterministic.
@@ -121,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 16 << 20
+	}
+	if c.LeafCacheBytes == 0 {
+		c.LeafCacheBytes = 512 << 10
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -261,6 +272,7 @@ type ComputeNode struct {
 	cluster *Cluster
 	id      int
 	filter  *core.FilterCache
+	lac     *core.LeafCache
 	cache   *smart.NodeCache
 }
 
@@ -271,17 +283,25 @@ func (c *Cluster) NewComputeNode() *ComputeNode {
 	switch c.cfg.System {
 	case SystemSphinx:
 		cn.filter = core.NewFilterCacheBytes(c.cfg.CacheBytes, uint64(c.cfg.Seed+int64(cn.id))|1)
+		if !c.cfg.DisableLeafCache {
+			cn.lac = core.NewLeafCacheBytes(c.cfg.LeafCacheBytes, uint64(c.cfg.Seed+int64(cn.id)))
+		}
 	case SystemSMART:
 		cn.cache = smart.NewNodeCache(c.cfg.CacheBytes)
 	}
 	return cn
 }
 
-// CacheBytes reports the CN cache's current memory footprint.
+// CacheBytes reports the CN cache's current memory footprint: for Sphinx
+// the succinct filter cache plus the speculative leaf-address cache.
 func (cn *ComputeNode) CacheBytes() uint64 {
 	switch {
 	case cn.filter != nil:
-		return cn.filter.SizeBytes()
+		total := cn.filter.SizeBytes()
+		if cn.lac != nil {
+			total += cn.lac.SizeBytes()
+		}
+		return total
 	case cn.cache != nil:
 		return cn.cache.Stats().UsedBytes
 	default:

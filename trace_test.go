@@ -7,11 +7,11 @@ import (
 	"sphinx/internal/fabric"
 )
 
-// TestTraceWarmGet pins the paper's headline claim in trace form: a warm
-// Get on a filter-cache hit costs exactly three round trips — hash-read,
-// node-read, leaf-read — independent of tree depth, and the session's
-// histogram totals reconcile with the fabric's own counters.
-func TestTraceWarmGet(t *testing.T) {
+// TestTraceColdGet pins the paper's §III-B claim in trace form: a Get the
+// leaf-address cache has no opinion on costs exactly three round trips —
+// hash-read, node-read, leaf-read — independent of tree depth, and the
+// session's histogram totals reconcile with the fabric's own counters.
+func TestTraceColdGet(t *testing.T) {
 	cluster, err := NewCluster(Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -19,21 +19,23 @@ func TestTraceWarmGet(t *testing.T) {
 	s := cluster.NewComputeNode().NewSession()
 
 	// Two keys diverging at depth 3 force an inner node at "LYR", so the
-	// warm path has a real hash-table target below the root.
+	// hash path has a real hash-table target below the root.
 	if err := s.Put([]byte("LYRICS"), []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Put([]byte("LYRBIC"), []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	// Warm the filter cache: the first Get may route through a fallback.
+	// Warm the filter cache on the sibling key: the "LYR" prefix becomes
+	// known CN-side, but the leaf-address cache learns nothing about
+	// LYRBIC — so the traced Get below is the pure 3-RT hash path.
 	if _, ok, err := s.Get([]byte("LYRICS")); err != nil || !ok {
 		t.Fatalf("warm-up Get = ok %v, err %v", ok, err)
 	}
 
-	tr, err := s.Trace("get LYRICS", func() error {
-		v, ok, err := s.Get([]byte("LYRICS"))
-		if err == nil && (!ok || string(v) != "v1") {
+	tr, err := s.Trace("get LYRBIC", func() error {
+		v, ok, err := s.Get([]byte("LYRBIC"))
+		if err == nil && (!ok || string(v) != "v2") {
 			t.Errorf("traced Get = %q, ok %v", v, ok)
 		}
 		return err
@@ -43,7 +45,7 @@ func TestTraceWarmGet(t *testing.T) {
 	}
 
 	if got := tr.RoundTrips(); got != 3 {
-		t.Fatalf("warm Get took %d round trips, want 3:\n%s", got, tr.Format())
+		t.Fatalf("cold Get took %d round trips, want 3:\n%s", got, tr.Format())
 	}
 	var stages []string
 	for _, e := range tr.Events {
@@ -93,5 +95,87 @@ func TestTraceWarmGet(t *testing.T) {
 	}
 	if !strings.Contains(prom.String(), `sphinx_session_stage_round_trips_count{stage="hash-read"}`) {
 		t.Errorf("prometheus export missing hash-read stage histogram:\n%s", prom.String())
+	}
+}
+
+// TestTraceWarmGet pins the speculative fast path in trace form: a Get
+// whose key the leaf-address cache knows costs exactly ONE round trip —
+// a leaf-spec read verified in place — and the trace carries the hit
+// annotation. Accounting still reconciles with the fabric's counters.
+func TestTraceWarmGet(t *testing.T) {
+	cluster, err := NewCluster(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cluster.NewComputeNode().NewSession()
+
+	if err := s.Put([]byte("LYRICS"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("LYRBIC"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// The warm-up Get traverses the tree and learns LYRICS's leaf address.
+	if _, ok, err := s.Get([]byte("LYRICS")); err != nil || !ok {
+		t.Fatalf("warm-up Get = ok %v, err %v", ok, err)
+	}
+
+	tr, err := s.Trace("get LYRICS", func() error {
+		v, ok, err := s.Get([]byte("LYRICS"))
+		if err == nil && (!ok || string(v) != "v1") {
+			t.Errorf("traced Get = %q, ok %v", v, ok)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tr.RoundTrips(); got != 1 {
+		t.Fatalf("warm Get took %d round trips, want 1:\n%s", got, tr.Format())
+	}
+	var stages []string
+	for _, e := range tr.Events {
+		if e.Batch {
+			stages = append(stages, e.Stage.String())
+		}
+	}
+	if len(stages) != 1 || stages[0] != fabric.StageLeafSpec.String() {
+		t.Fatalf("batch stages = %v, want [leaf-spec]:\n%s", stages, tr.Format())
+	}
+	out := tr.Format()
+	for _, needle := range []string{"1 round trips", "leaf-spec", "lac hit"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("trace output missing %q:\n%s", needle, out)
+		}
+	}
+
+	// Speculative counters surfaced at the session level.
+	sc, ok := s.SphinxStats()
+	if !ok || sc.SpecHits != 1 {
+		t.Errorf("SphinxStats SpecHits = %d (ok %v), want 1", sc.SpecHits, ok)
+	}
+
+	// Accounting reconciles: the speculative round trip is attributed to
+	// the leaf-spec stage and counted exactly once.
+	st := s.Stats()
+	if got := s.Metrics().StageRTTotal(); got != st.RoundTrips {
+		t.Errorf("stage RT total %d != fabric round trips %d", got, st.RoundTrips)
+	}
+	if got := s.Metrics().OpRTTotal(); got != st.RoundTrips {
+		t.Errorf("op RT total %d != fabric round trips %d", got, st.RoundTrips)
+	}
+	var prom strings.Builder
+	if err := s.Registry().Snapshot().WritePrometheus(&prom, "sphinx"); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{
+		`sphinx_session_stage_round_trips_count{stage="leaf-spec"}`,
+		"sphinx_core_spec_hits 1",
+		"sphinx_lac_learns",
+	} {
+		if !strings.Contains(prom.String(), needle) {
+			t.Errorf("prometheus export missing %q", needle)
+		}
 	}
 }
