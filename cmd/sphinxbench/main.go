@@ -45,7 +45,7 @@ func main() {
 	scaleWorkers := flag.String("scale-workers", "", "comma-separated worker counts for the scaling experiment (default 1,2,4,8,16)")
 	warm := flag.Bool("warm", false, "split every workload run into a warmup and a steady-state pass, reporting both (fastpath implies it)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|treedepth|valsweep|pipeline|fastpath|failover|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|treedepth|valsweep|pipeline|fastpath|failover|elastic|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -53,6 +53,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// -theta 0 means uniform when the user says so explicitly; the config
+	// zero value means "default skew", so it must be mapped to the sentinel
+	// here, where explicitly-set flags are distinguishable.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "theta" && *theta == 0 {
+			*theta = bench.ThetaUniform
+		}
+	})
 
 	base := bench.Config{
 		Keys:         *keys,
@@ -155,6 +163,12 @@ func main() {
 				frep, err = bench.Failover(cfg, os.Stdout)
 				if err == nil {
 					report(name).Failover = frep
+				}
+			case "elastic":
+				var erep *bench.ElasticReport
+				results, erep, err = bench.Elastic(cfg, os.Stdout)
+				if err == nil {
+					report(name).Elastic = erep
 				}
 			default:
 				return fmt.Errorf("unknown experiment %q", name)

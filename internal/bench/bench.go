@@ -75,6 +75,12 @@ func (s System) String() string {
 // PaperSystems lists the four systems of Fig. 4 and Fig. 5.
 var PaperSystems = []System{Sphinx, SMART, SMARTC, ART}
 
+// ThetaUniform is the Config.Theta sentinel selecting a truly uniform
+// request distribution (zipfian theta 0). Config.Theta == 0 means
+// "unset, use the paper's default 0.99", so uniform must be asked for
+// explicitly.
+const ThetaUniform = -1.0
+
 // Config describes one cluster/experiment setup. Zero values select the
 // defaults matching the paper's testbed shape at reduced scale.
 type Config struct {
@@ -87,7 +93,10 @@ type Config struct {
 	Net          fabric.Config
 	Seed         int64
 	// Theta is the zipfian skew of the request distribution (default the
-	// paper's 0.99; lower it toward 0 for near-uniform requests).
+	// paper's 0.99; lower it toward 0 for near-uniform requests). The
+	// zero value means "default skew" — a truly uniform run must be
+	// requested with the explicit ThetaUniform sentinel (or any negative
+	// value), because 0 is indistinguishable from unset.
 	Theta float64
 
 	// Depth is the per-worker issue depth: how many operations each
@@ -187,6 +196,12 @@ func (c Config) withDefaults() Config {
 	if c.Theta == 0 {
 		c.Theta = ycsb.DefaultTheta
 	}
+	if c.Theta < 0 {
+		// ThetaUniform (or any negative sentinel): a genuinely uniform
+		// request distribution. Previously `-theta 0` silently became the
+		// default 0.99 skew through the zero-value branch above.
+		c.Theta = 0
+	}
 	if c.Depth == 0 {
 		c.Depth = 1
 	}
@@ -276,7 +291,10 @@ func NewCluster(sys System, cfg Config) (*Cluster, error) {
 	for i := range nodes {
 		nodes[i] = f.AddNode(perMN)
 	}
-	ring := consistenthash.New(nodes, 0)
+	ring, err := consistenthash.NewChecked(nodes, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bench: building placement ring: %w", err)
+	}
 
 	cl := &Cluster{Sys: sys, Cfg: cfg, F: f, Ring: ring, live: cfg.Live}
 	switch {
@@ -297,7 +315,6 @@ func NewCluster(sys System, cfg Config) (*Cluster, error) {
 	cl.value = make([]byte, cfg.ValueSize)
 	rand.New(rand.NewSource(cfg.Seed)).Read(cl.value)
 
-	var err error
 	switch sys {
 	case Sphinx, SphinxNoSFC, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoDirCache, SphinxNoLAC:
 		if cfg.Replication > 0 {

@@ -1,0 +1,535 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"sphinx/internal/core"
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/ycsb"
+)
+
+// MNLoad is one memory node's share of a measurement window's NIC
+// traffic. Verbs is the windowed verb count (the per-MN round-trip
+// proxy: every posted work request lands on exactly one MN NIC), WaitPs
+// the windowed queueing delay — the saturation signal rebalancing is
+// supposed to relieve.
+type MNLoad struct {
+	Node   int     `json:"node"`
+	Member bool    `json:"member"` // on the serving ring during this window
+	Verbs  uint64  `json:"verbs"`
+	Bytes  uint64  `json:"bytes"`
+	BusyPs int64   `json:"busy_ps"`
+	WaitPs int64   `json:"wait_ps"`
+	Share  float64 `json:"verb_share"` // of the window's total verbs
+}
+
+// MNWindow is the per-MN load breakdown of one steady-state measurement
+// window (no migration traffic: windows run only between transitions).
+// MaxMinRatio is max/min verb share over the ring members of the window;
+// 0 means some member served nothing, i.e. the worst possible imbalance
+// — before rebalancing, a freshly added member's share is exactly that.
+type MNWindow struct {
+	Window      string   `json:"window"`
+	Members     []int    `json:"members"`
+	Loads       []MNLoad `json:"loads"`
+	MaxShare    float64  `json:"max_share"`
+	MinShare    float64  `json:"min_share"`
+	MaxMinRatio float64  `json:"max_min_ratio"`
+}
+
+// ElasticChaos is one membership transition's accounting: the workload
+// phase it ran under, the migration work, and the CN-side counters that
+// show stale state being refuted rather than trusted.
+type ElasticChaos struct {
+	Phase          string `json:"phase"` // "add" | "drain"
+	Node           int    `json:"node"`  // the added / drained MN
+	Sweeps         int    `json:"sweeps"`
+	MovedNodes     uint64 `json:"moved_nodes"`
+	MovedLeaves    uint64 `json:"moved_leaves"`
+	AnchorsCopied  uint64 `json:"anchors_copied"`
+	AnchorsRemoved uint64 `json:"anchors_removed"`
+	EpochAfter     uint64 `json:"epoch_after"`
+
+	// Worker-side counters of the phase: reads served from the previous
+	// epoch mid-transition, and the trust-but-verify unlearns that refute
+	// CN state pointing at migrated leaves (LAC refutes, SFC false
+	// positives).
+	EpochFallbacks uint64 `json:"epoch_fallbacks"`
+	SpecRefutes    uint64 `json:"spec_refutes"`
+	FalsePositives uint64 `json:"false_positives"`
+	Restarts       uint64 `json:"restarts"`
+}
+
+// ElasticReport is the elastic-membership chaos experiment's result: did
+// a mid-run scale-out and scale-in lose any acknowledged write, did
+// migration converge and cut over, and did per-MN load actually
+// rebalance. The CI elastic-smoke gate reads LostAckedWrites,
+// LostAfterDecommission, FinalEpoch/Converged and the window shares.
+type ElasticReport struct {
+	System      string `json:"system"`
+	MNsStart    int    `json:"mns_start"`
+	Replication int    `json:"replication"`
+	Workers     int    `json:"workers"`
+
+	AddedNode   int `json:"added_node"`
+	DrainedNode int `json:"drained_node"`
+
+	// Durability: every acknowledged write across every phase is re-read
+	// twice — once after the final window, and again after the drained
+	// node is killed outright (drain must leave nothing behind worth
+	// keeping alive). All four loss counters must be zero.
+	AckedWrites            uint64 `json:"acked_writes"`
+	VerifiedReads          uint64 `json:"verified_reads"`
+	LostAckedWrites        uint64 `json:"lost_acked_writes"`
+	WrongValueReads        uint64 `json:"wrong_value_reads"`
+	LostAfterDecommission  uint64 `json:"lost_after_decommission"`
+	WrongAfterDecommission uint64 `json:"wrong_after_decommission"`
+
+	// Membership transitions, in order.
+	Add   ElasticChaos `json:"add"`
+	Drain ElasticChaos `json:"drain"`
+
+	// Convergence: the placement epoch after both cutovers (2), with no
+	// transition left open and the final sweep reporting nothing to move.
+	FinalEpoch uint64 `json:"final_epoch"`
+	Converged  bool   `json:"converged"`
+	Cutovers   uint64 `json:"cutovers"`
+
+	// Steady-state per-MN load windows: before the add (the new node is
+	// attached but serves nothing), after the add cut over (it must carry
+	// a fair share), and after the drain cut over (the drained node must
+	// be idle).
+	Windows []MNWindow `json:"windows"`
+	// AddedShareBefore/After and DrainedShareAfter are the headline
+	// rebalancing numbers, duplicated out of Windows for easy gating.
+	AddedShareBefore  float64 `json:"added_share_before"`
+	AddedShareAfter   float64 `json:"added_share_after"`
+	DrainedShareAfter float64 `json:"drained_share_after"`
+}
+
+// ElasticMNSweep is the default MN-count sweep of the elastic experiment.
+var ElasticMNSweep = []int{2, 3, 5}
+
+// Elastic is the elastic-membership experiment. It has two parts:
+//
+// First, an MN-count sweep: independent static clusters at growing MN
+// counts run YCSB-A, showing what a bigger pool buys before elasticity
+// enters the picture (one MN's NIC is the throughput ceiling the ROADMAP
+// names).
+//
+// Second, the add-then-drain chaos run on one replicated cluster:
+// workers drive a ledgered 50/50 read/update workload (unique value per
+// write) without pause while a new MN joins mid-phase — epoch bumped,
+// migration sweeps relocating every leaf, tree node and anchor the new
+// member now owns, cutover retiring the old placement — and then an
+// original MN drains out the same way. Steady-state windows before and
+// between the transitions measure each MN's NIC verb share: the added
+// node must go from serving nothing to a fair share (max/min member
+// ratio improving from 0, i.e. ∞-imbalance, toward 1) and the drained
+// node back to nothing. Every acknowledged write must remain readable,
+// even after the drained node is killed outright.
+func Elastic(cfg Config, out io.Writer) ([]Result, *ElasticReport, error) {
+	if cfg.Replication < 2 {
+		cfg.Replication = core.DefaultReplication
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MNs < 3 {
+		return nil, nil, fmt.Errorf("elastic: need >= 3 memory nodes, have %d", cfg.MNs)
+	}
+
+	// Part 1 — MN-count sweep on static clusters.
+	fmt.Fprintf(out, "# Elastic — MN-count sweep (YCSB-A), then mid-run add+drain chaos, R=%d, dataset=%v keys=%d workers=%d\n",
+		cfg.Replication, cfg.Dataset, cfg.Keys, cfg.Workers)
+	fmt.Fprintln(out, ResultHeader())
+	var results []Result
+	for _, mn := range ElasticMNSweep {
+		c := cfg
+		c.MNs = mn
+		cl, err := NewCluster(Sphinx, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := cl.Load(0); err != nil {
+			return nil, nil, fmt.Errorf("elastic sweep mns=%d load: %w", mn, err)
+		}
+		r, err := cl.Run(ycsb.WorkloadA, 0, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("elastic sweep mns=%d: %w", mn, err)
+		}
+		r.Workload = fmt.Sprintf("A/mn=%d", mn)
+		results = append(results, r)
+		fmt.Fprintln(out, r.Row())
+	}
+
+	// Part 2 — the chaos run.
+	cl, err := NewCluster(Sphinx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := cl.Load(0); err != nil {
+		return nil, nil, fmt.Errorf("elastic load: %w", err)
+	}
+	rep := &ElasticReport{
+		System:      Sphinx.String(),
+		MNsStart:    cfg.MNs,
+		Replication: cfg.Replication,
+		Workers:     cfg.Workers,
+	}
+
+	// Attach the future member now (idle: nothing routes to a node that
+	// is not on the ring), so the pre-add window can show its zero share.
+	perMN := uint64(64<<20) + uint64(cfg.Keys)*6*1024/uint64(cfg.MNs)
+	added := cl.F.AddNode(perMN)
+	rep.AddedNode = int(added)
+
+	// The drain victim is any original member not hosting the pinned root.
+	root := cl.sphinxShared.Root.Node()
+	victim := root
+	for _, n := range cl.memberNodes() {
+		if n != root {
+			victim = n
+			break
+		}
+	}
+	rep.DrainedNode = int(victim)
+
+	led := newLedger(cl, cfg)
+
+	// Window 1: steady state before the add.
+	w1, err := led.window("pre-add")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Chaos phase 1: scale-out mid-run.
+	addChaos, err := led.chaos("add", func() (*core.Placement, error) {
+		return core.BeginAddNode(cl.F, cl.sphinxShared, added, cfg.Keys)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	addChaos.Node = int(added)
+	rep.Add = *addChaos
+
+	// Window 2: steady state with the new member serving.
+	w2, err := led.window("post-add")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Chaos phase 2: scale-in mid-run.
+	drainChaos, err := led.chaos("drain", func() (*core.Placement, error) {
+		return core.BeginDrainNode(cl.sphinxShared, victim)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	drainChaos.Node = int(victim)
+	rep.Drain = *drainChaos
+
+	// Window 3: steady state with the drained node out of the ring.
+	w3, err := led.window("post-drain")
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Windows = []MNWindow{w1, w2, w3}
+	rep.AddedShareBefore = shareOf(w1, int(added))
+	rep.AddedShareAfter = shareOf(w2, int(added))
+	rep.DrainedShareAfter = shareOf(w3, int(victim))
+
+	p := cl.sphinxShared.Members.Current()
+	rep.FinalEpoch = p.Epoch
+	rep.Converged = p.Prev == nil
+	rep.Cutovers = addChaos.Cutovers() + drainChaos.Cutovers()
+
+	// Verification pass 1: a fresh client re-reads every acknowledged
+	// write from every phase.
+	rep.AckedWrites = uint64(led.size())
+	vidx, _ := cl.NewIndex(0)
+	led.verify(vidx, &rep.VerifiedReads, &rep.LostAckedWrites, &rep.WrongValueReads)
+
+	// Verification pass 2: kill the drained node outright. Drain is only
+	// graceful decommissioning if nothing still depends on the node — a
+	// fresh client (cold caches, current placement only) must still see
+	// every acknowledged write.
+	cl.F.KillNode(victim)
+	kidx, _ := cl.NewIndex(1 % cfg.CNs)
+	var verifiedAfterKill uint64
+	led.verify(kidx, &verifiedAfterKill, &rep.LostAfterDecommission, &rep.WrongAfterDecommission)
+
+	fmt.Fprintf(out, "\nadded MN %d mid-run: %d sweeps moved %d leaves, %d nodes, %d anchors (epoch %d)\n",
+		rep.AddedNode, rep.Add.Sweeps, rep.Add.MovedLeaves, rep.Add.MovedNodes, rep.Add.AnchorsCopied, rep.Add.EpochAfter)
+	fmt.Fprintf(out, "drained MN %d mid-run: %d sweeps moved %d leaves, %d nodes, %d anchors (epoch %d)\n",
+		rep.DrainedNode, rep.Drain.Sweeps, rep.Drain.MovedLeaves, rep.Drain.MovedNodes, rep.Drain.AnchorsCopied, rep.Drain.EpochAfter)
+	fmt.Fprintf(out, "stale-state refutation: epoch fallbacks %d/%d, LAC refutes %d/%d, SFC false positives %d/%d (add/drain)\n",
+		rep.Add.EpochFallbacks, rep.Drain.EpochFallbacks,
+		rep.Add.SpecRefutes, rep.Drain.SpecRefutes,
+		rep.Add.FalsePositives, rep.Drain.FalsePositives)
+	for _, w := range rep.Windows {
+		fmt.Fprintf(out, "window %-10s members %v  max/min share %.3f/%.3f  ratio %.2f\n",
+			w.Window, w.Members, w.MaxShare, w.MinShare, w.MaxMinRatio)
+	}
+	fmt.Fprintf(out, "added-node share %.3f -> %.3f, drained-node share -> %.3f\n",
+		rep.AddedShareBefore, rep.AddedShareAfter, rep.DrainedShareAfter)
+	fmt.Fprintf(out, "acked writes %d, verified %d: lost %d, wrong %d; after decommission kill: lost %d, wrong %d\n",
+		rep.AckedWrites, rep.VerifiedReads, rep.LostAckedWrites, rep.WrongValueReads,
+		rep.LostAfterDecommission, rep.WrongAfterDecommission)
+	fmt.Fprintf(out, "final epoch %d converged %v cutovers %d\n", rep.FinalEpoch, rep.Converged, rep.Cutovers)
+	return results, rep, nil
+}
+
+// Cutovers extracts the transition's cutover count (1 per retired epoch).
+func (c *ElasticChaos) Cutovers() uint64 {
+	if c.EpochAfter > 0 {
+		return 1
+	}
+	return 0
+}
+
+// shareOf returns a node's verb share in a window.
+func shareOf(w MNWindow, node int) float64 {
+	for _, l := range w.Loads {
+		if l.Node == node {
+			return l.Share
+		}
+	}
+	return 0
+}
+
+// ledger runs the chaos experiment's ledgered worker phases: every write
+// acknowledged to a worker is recorded (single writer per key, so the
+// last acknowledged value is the exact expected value), and verify
+// re-reads the union of all phases.
+type ledger struct {
+	cl     *Cluster
+	cfg    Config
+	shards [][][]byte       // per-worker key partition
+	acked  []map[int][]byte // per-worker shard index -> last acked value
+	phase  int
+}
+
+func newLedger(cl *Cluster, cfg Config) *ledger {
+	l := &ledger{cl: cl, cfg: cfg}
+	l.shards = make([][][]byte, cfg.Workers)
+	l.acked = make([]map[int][]byte, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		for i := w; i < len(cl.keys); i += cfg.Workers {
+			l.shards[w] = append(l.shards[w], cl.keys[i])
+		}
+		l.acked[w] = make(map[int][]byte)
+	}
+	return l
+}
+
+func (l *ledger) size() int {
+	n := 0
+	for _, m := range l.acked {
+		n += len(m)
+	}
+	return n
+}
+
+// window runs one ledgered 50/50 read/update pass over a quiescent
+// placement and returns the per-MN NIC load it induced.
+func (l *ledger) window(name string) (MNWindow, error) {
+	cl := l.cl
+	cl.F.ResetTimelines()
+	before := cl.F.NICStats()
+	if _, err := l.run(nil); err != nil {
+		return MNWindow{}, fmt.Errorf("%s: %w", name, err)
+	}
+	after := cl.F.NICStats()
+	return nicWindow(name, before, after, cl.memberNodes()), nil
+}
+
+// chaos runs one ledgered pass during which worker 0 opens the given
+// membership transition a quarter of the way in; a background migrator
+// sweeps to convergence and cutover while the workers keep serving. The
+// phase's worker counters (epoch fallbacks, unlearns) land in the
+// returned ElasticChaos.
+func (l *ledger) chaos(name string, begin func() (*core.Placement, error)) (*ElasticChaos, error) {
+	cl := l.cl
+	ch := &ElasticChaos{Phase: name}
+	migDone := make(chan error, 1)
+	trigger := func() {
+		go func() {
+			p, err := begin()
+			if err != nil {
+				migDone <- fmt.Errorf("begin %s: %w", name, err)
+				return
+			}
+			ch.EpochAfter = p.Epoch
+			midx, _ := cl.NewIndex(0)
+			mig := midx.(sphinxIndex).c
+			for sweep := 0; ; sweep++ {
+				if sweep >= 100 {
+					migDone <- fmt.Errorf("%s: migration did not converge in %d sweeps", name, sweep)
+					return
+				}
+				srep, err := mig.MigrateSweep()
+				if err != nil {
+					migDone <- fmt.Errorf("%s sweep %d: %w", name, sweep, err)
+					return
+				}
+				ch.Sweeps++
+				ch.MovedNodes += srep.MovedNodes
+				ch.MovedLeaves += srep.MovedLeaves
+				ch.AnchorsCopied += srep.AnchorsCopied
+				ch.AnchorsRemoved += srep.AnchorsRemoved
+				if srep.CutOver {
+					migDone <- nil
+					return
+				}
+			}
+		}()
+	}
+	stats, err := l.run(trigger)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if err := <-migDone; err != nil {
+		return nil, err
+	}
+	ch.EpochFallbacks = stats.EpochFallbacks
+	ch.SpecRefutes = stats.SpecRefutes
+	ch.FalsePositives = stats.FalsePositives
+	ch.Restarts = stats.Restarts
+	return ch, nil
+}
+
+// run drives one ledgered 50/50 read/update pass: cfg.Workers workers,
+// cfg.OpsPerWorker ops each over their fixed key shard, read-your-write
+// checked against the ledger on every read. Returns the phase's
+// aggregated core counters.
+func (l *ledger) run(trigger func()) (core.Stats, error) {
+	cl, cfg := l.cl, l.cfg
+	workers := cfg.Workers
+	ops := cfg.OpsPerWorker
+	triggerAt := ops / 4
+	var triggerOnce sync.Once
+
+	stats := make([]core.Stats, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			idx, _ := cl.NewIndex(w % cfg.CNs)
+			si := idx.(sphinxIndex)
+			shard := l.shards[w]
+			lastAcked := l.acked[w]
+			rng := uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(l.phase*workers+w+1)
+			for i := 0; i < ops; i++ {
+				if w == 0 && trigger != nil && i == triggerAt {
+					triggerOnce.Do(trigger)
+				}
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				ki := int(rng>>33) % len(shard)
+				key := shard[ki]
+				if rng&1 == 0 {
+					v, ok, err := idx.Search(key)
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d read op %d: %w", w, i, err)
+						return
+					}
+					if want, wrote := lastAcked[ki]; wrote && (!ok || !bytes.Equal(v, want)) {
+						errCh <- fmt.Errorf("worker %d op %d: read-your-write violated for %q", w, i, key)
+						return
+					}
+				} else {
+					val := []byte(fmt.Sprintf("p%d-w%d-op%d", l.phase, w, i))
+					if _, err := idx.Update(key, val); err != nil {
+						errCh <- fmt.Errorf("worker %d update op %d: %w", w, i, err)
+						return
+					}
+					lastAcked[ki] = val
+				}
+			}
+			stats[w] = si.c.Stats()
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return core.Stats{}, err
+	}
+	l.phase++
+	var agg core.Stats
+	for _, s := range stats {
+		agg = agg.Add(s)
+	}
+	return agg, nil
+}
+
+// verify re-reads every acknowledged write through idx, counting into
+// the three result slots.
+func (l *ledger) verify(idx Index, verified, lost, wrong *uint64) {
+	for w := range l.acked {
+		for ki, want := range l.acked[w] {
+			v, ok, err := idx.Search(l.shards[w][ki])
+			*verified++
+			switch {
+			case err != nil || !ok:
+				*lost++
+			case !bytes.Equal(v, want):
+				*wrong++
+			}
+		}
+	}
+}
+
+// nicWindow diffs two NIC snapshots into a per-MN load window.
+func nicWindow(name string, before, after []fabric.NICStats, members []mem.NodeID) MNWindow {
+	member := make(map[int]bool, len(members))
+	w := MNWindow{Window: name}
+	for _, n := range members {
+		member[int(n)] = true
+		w.Members = append(w.Members, int(n))
+	}
+	prev := make(map[mem.NodeID]fabric.NICStats, len(before))
+	for _, s := range before {
+		prev[s.Node] = s
+	}
+	var total uint64
+	for _, s := range after {
+		p := prev[s.Node]
+		l := MNLoad{
+			Node:   int(s.Node),
+			Member: member[int(s.Node)],
+			Verbs:  s.Verbs - p.Verbs,
+			Bytes:  s.Bytes - p.Bytes,
+			BusyPs: s.BusyPs - p.BusyPs,
+			WaitPs: s.WaitPs - p.WaitPs,
+		}
+		total += l.Verbs
+		w.Loads = append(w.Loads, l)
+	}
+	first := true
+	for i := range w.Loads {
+		if total > 0 {
+			w.Loads[i].Share = float64(w.Loads[i].Verbs) / float64(total)
+		}
+		if !w.Loads[i].Member {
+			continue
+		}
+		s := w.Loads[i].Share
+		if first || s > w.MaxShare {
+			w.MaxShare = s
+		}
+		if first || s < w.MinShare {
+			w.MinShare = s
+		}
+		first = false
+	}
+	if w.MinShare > 0 {
+		w.MaxMinRatio = w.MaxShare / w.MinShare
+	}
+	return w
+}

@@ -24,6 +24,10 @@ type JSONReport struct {
 	// Failover carries the MN-loss chaos experiment's durability and
 	// repair verdict (its run produces no Result rows).
 	Failover *FailoverReport `json:"failover,omitempty"`
+	// Elastic carries the membership chaos experiment's durability,
+	// convergence and per-MN rebalancing verdict (its Result rows are the
+	// MN-count sweep).
+	Elastic *ElasticReport `json:"elastic,omitempty"`
 }
 
 // NewJSONReport captures the experiment's sweep-invariant settings.

@@ -530,7 +530,7 @@ func (m MemUsage) HashBytes() uint64 { return m.ByClass[mem.ClassHash] }
 func (cl *Cluster) MemoryUsage() (MemUsage, error) {
 	mu := MemUsage{System: cl.Sys.String(), Dataset: cl.Cfg.Dataset.String()}
 	ops := cl.F.Regions()
-	for _, node := range cl.Ring.Nodes() {
+	for _, node := range cl.memberNodes() {
 		u, err := mem.ReadUsage(ops, node)
 		if err != nil {
 			return mu, err

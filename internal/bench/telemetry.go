@@ -6,6 +6,7 @@ import (
 	"sphinx/internal/core"
 	"sphinx/internal/cuckoo"
 	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
 	"sphinx/internal/obs"
 	"sphinx/internal/racehash"
 )
@@ -298,11 +299,28 @@ func (cl *Cluster) filterOccupancy() (occupied, capacity uint64, load, bound flo
 	return occupied, capacity, load, bound
 }
 
+// memberNodes returns the memory nodes of the current placement — the
+// epoch-versioned ring when the system publishes one (elastic membership
+// may have added or drained nodes since bootstrap), the static bootstrap
+// ring otherwise.
+func (cl *Cluster) memberNodes() []mem.NodeID {
+	if m := cl.sphinxShared.Members; m != nil {
+		return m.Current().Ring.Nodes()
+	}
+	return cl.Ring.Nodes()
+}
+
 // inhtUsage scans every memory node's hash-table structure MN-side (no
-// virtual-clock cost; race-clean through the region locks).
+// virtual-clock cost; race-clean through the region locks). The table set
+// comes from the current placement, so tables bootstrapped by an elastic
+// add are counted and drained ones are not.
 func (cl *Cluster) inhtUsage() racehash.Usage {
 	var u racehash.Usage
-	for node, t := range cl.sphinxShared.Tables {
+	tables := cl.sphinxShared.Tables
+	if m := cl.sphinxShared.Members; m != nil {
+		tables = m.Current().Tables
+	}
+	for node, t := range tables {
 		u = u.Add(racehash.ReadUsage(cl.F.Region(node), t))
 	}
 	return u

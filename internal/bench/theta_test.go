@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+
+	"sphinx/internal/fabric"
+	"sphinx/internal/ycsb"
+)
+
+// TestThetaUniformReachesZipfian is the regression test for the uniform-
+// distribution bug: Config normalizes Theta == 0 to the default 0.99
+// (zero value means unset), which used to make a uniform run impossible —
+// an explicit theta 0 was silently re-skewed. The ThetaUniform sentinel
+// must reach ycsb.NewZipfian as a true theta of 0.
+func TestThetaUniformReachesZipfian(t *testing.T) {
+	cl, err := NewCluster(Sphinx, Config{
+		Keys: 100, Workers: 1, OpsPerWorker: 1,
+		Net:   fabric.InstantConfig(),
+		Theta: ThetaUniform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.zipf.Theta(); got != 0 {
+		t.Fatalf("ThetaUniform built a zipfian with theta %v, want 0", got)
+	}
+	if got := cl.Cfg.Theta; got != 0 {
+		t.Fatalf("ThetaUniform normalized to %v, want 0", got)
+	}
+}
+
+func TestThetaDefaults(t *testing.T) {
+	if got := (Config{}).withDefaults().Theta; got != ycsb.DefaultTheta {
+		t.Fatalf("unset Theta = %v, want default %v", got, ycsb.DefaultTheta)
+	}
+	if got := (Config{Theta: 0.5}).withDefaults().Theta; got != 0.5 {
+		t.Fatalf("explicit Theta 0.5 = %v", got)
+	}
+	if got := (Config{Theta: -2}).withDefaults().Theta; got != 0 {
+		t.Fatalf("negative Theta = %v, want uniform 0", got)
+	}
+}

@@ -1,11 +1,137 @@
 package consistenthash
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"testing"
 
 	"sphinx/internal/mem"
 )
+
+func sampleKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, uint64(i)*0x9e3779b97f4a7c15)
+		keys[i] = k
+	}
+	return keys
+}
+
+// Regression: virtual-point encoding must use the full 64-bit node ID.
+// The original encoding kept only byte(n), so nodes 256 apart hashed to
+// identical ring points and the tie-break (lower node wins) starved the
+// higher ID of all load. Pre-fix, node 257 owns zero keys here.
+func TestRingWideNodeIDs(t *testing.T) {
+	r := New([]mem.NodeID{1, 257}, 0)
+	keys := sampleKeys(2000)
+	owned := map[mem.NodeID]int{}
+	for _, k := range keys {
+		owned[r.OwnerKey(k)]++
+	}
+	for _, n := range []mem.NodeID{1, 257} {
+		if owned[n] == 0 {
+			t.Fatalf("node %d owns zero of %d sampled keys: %v", n, len(keys), owned)
+		}
+		// With 128 virtual points per node the split should be in the
+		// ballpark of 50/50; 20% is a generous floor that still catches
+		// the collapsed-encoding failure (0%).
+		if owned[n] < len(keys)/5 {
+			t.Errorf("node %d owns only %d/%d keys — virtual points likely colliding", n, owned[n], len(keys))
+		}
+	}
+}
+
+func TestNewCheckedRejectsEmpty(t *testing.T) {
+	if _, err := NewChecked(nil, 0); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("NewChecked(nil) = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestNewCheckedRejectsDuplicates(t *testing.T) {
+	if _, err := NewChecked([]mem.NodeID{1, 2, 1}, 0); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("NewChecked with duplicate = %v, want ErrDuplicateNode", err)
+	}
+}
+
+// Property: adding one node to an N-node ring moves at most roughly
+// 1/(N+1) of the key population, and every moved key moves TO the new
+// node — no key changes owner between surviving nodes.
+func TestWithNodeRemappingBound(t *testing.T) {
+	keys := sampleKeys(10000)
+	for _, n := range []int{2, 4, 8} {
+		nodes := make([]mem.NodeID, n)
+		for i := range nodes {
+			nodes[i] = mem.NodeID(i + 1)
+		}
+		base := New(nodes, 0)
+		added := mem.NodeID(n + 1)
+		grown, err := base.WithNode(added)
+		if err != nil {
+			t.Fatalf("WithNode(%d): %v", added, err)
+		}
+		if grown.VirtualNodes() != base.VirtualNodes() {
+			t.Fatalf("derived ring changed geometry: %d vs %d points per node",
+				grown.VirtualNodes(), base.VirtualNodes())
+		}
+		moved := 0
+		for _, k := range keys {
+			before, after := base.OwnerKey(k), grown.OwnerKey(k)
+			if before == after {
+				continue
+			}
+			if after != added {
+				t.Fatalf("n=%d: key moved %d→%d, not to the added node %d", n, before, after, added)
+			}
+			moved++
+		}
+		// Expected share is 1/(n+1); allow 2x slack for virtual-point
+		// placement variance at 128 points per node.
+		limit := 2 * len(keys) / (n + 1)
+		if moved > limit {
+			t.Errorf("n=%d: adding one node moved %d/%d keys (> limit %d)", n, moved, len(keys), limit)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: added node claimed zero keys", n)
+		}
+		if _, err := grown.WithNode(added); !errors.Is(err, ErrDuplicateNode) {
+			t.Errorf("WithNode of a present node = %v, want ErrDuplicateNode", err)
+		}
+	}
+}
+
+// Property: removing a node hands exactly its ranges to survivors — the
+// drained node owns nothing afterwards and no key moves between two
+// surviving nodes.
+func TestWithoutNodeDrainsCompletely(t *testing.T) {
+	keys := sampleKeys(10000)
+	base := New([]mem.NodeID{1, 2, 3, 4}, 0)
+	drained := mem.NodeID(3)
+	shrunk, err := base.WithoutNode(drained)
+	if err != nil {
+		t.Fatalf("WithoutNode(%d): %v", drained, err)
+	}
+	if shrunk.Contains(drained) {
+		t.Fatalf("drained node %d still on the ring", drained)
+	}
+	for _, k := range keys {
+		before, after := base.OwnerKey(k), shrunk.OwnerKey(k)
+		if after == drained {
+			t.Fatalf("drained node %d still owns a key", drained)
+		}
+		if before != drained && before != after {
+			t.Fatalf("untouched key moved %d→%d during drain of %d", before, after, drained)
+		}
+	}
+	if _, err := base.WithoutNode(99); err == nil {
+		t.Error("WithoutNode of an absent node did not error")
+	}
+	single := New([]mem.NodeID{7}, 0)
+	if _, err := single.WithoutNode(7); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("draining the last node = %v, want ErrNoNodes", err)
+	}
+}
 
 func TestOwnerDeterministic(t *testing.T) {
 	r1 := New([]mem.NodeID{0, 1, 2}, 64)

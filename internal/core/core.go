@@ -36,7 +36,9 @@ const sfcSeed = 8
 // PrefixFilterHash returns the succinct-filter-cache hash of a prefix.
 func PrefixFilterHash(prefix []byte) uint64 { return wire.Hash64Seed(prefix, sfcSeed) }
 
-// Shared is the cluster-wide immutable descriptor of one Sphinx index.
+// Shared is the cluster-wide descriptor of one Sphinx index. Everything
+// in it is immutable except Members, which republishes the placement
+// (ring + tables) when memory nodes are added or drained.
 type Shared struct {
 	Root   mem.Addr
 	Ring   *consistenthash.Ring
@@ -46,6 +48,11 @@ type Shared struct {
 	// Built by BootstrapReplicated; nil keeps the original single-copy
 	// behaviour byte-for-byte.
 	FT *FaultTolerance
+	// Members publishes epoch-versioned placement snapshots (see
+	// membership.go); elastic scale-out/in swaps them atomically. When
+	// nil (hand-built Shared values), clients fall back to the static
+	// Ring/Tables fields above — epoch 0 forever.
+	Members *Membership
 }
 
 // Bootstrap creates an empty Sphinx index: the root node plus one inner
@@ -71,7 +78,9 @@ func Bootstrap(f *fabric.Fabric, ring *consistenthash.Ring, expectedKeys int) (S
 		}
 		tables[node] = t
 	}
-	return Shared{Root: root, Ring: ring, Tables: tables}, nil
+	sh := Shared{Root: root, Ring: ring, Tables: tables}
+	sh.Members = NewMembership(&Placement{Ring: ring, Tables: tables})
+	return sh, nil
 }
 
 // FilterCacheMode selects the concurrency control of a FilterCache.
@@ -281,6 +290,8 @@ type Stats struct {
 	SpecMisses      uint64 // searches with no leaf-address-cache entry
 	SpecRefutes     uint64 // speculative reads refuted in-place (unlearned)
 	SpecAborts      uint64 // speculative reads abandoned on unstable leaf or fabric error
+	EpochFallbacks  uint64 // reads served from the previous epoch mid-transition
+	Cutovers        uint64 // membership transitions this client retired after convergence
 }
 
 // Add returns s + t, field-wise; used to aggregate workers.
@@ -307,18 +318,29 @@ func (s Stats) Add(t Stats) Stats {
 	s.SpecMisses += t.SpecMisses
 	s.SpecRefutes += t.SpecRefutes
 	s.SpecAborts += t.SpecAborts
+	s.EpochFallbacks += t.EpochFallbacks
+	s.Cutovers += t.Cutovers
 	return s
+}
+
+// viewSet is a copy-on-write map of per-node hash-table views. The owning
+// worker goroutine alone replaces it (growing it lazily when an elastic
+// membership change introduces a node); metrics scrapes on other
+// goroutines only Load and iterate a snapshot.
+type viewSet struct {
+	m map[mem.NodeID]*racehash.View
 }
 
 // Client is one worker's handle on a Sphinx index. Not safe for concurrent
 // use; workers of one CN share only the FilterCache.
 type Client struct {
-	shared Shared
-	eng    *rart.Engine
-	views  map[mem.NodeID]*racehash.View
-	filter *FilterCache
-	lac    *LeafCache
-	opts   Options
+	shared  Shared
+	members *Membership
+	eng     *rart.Engine
+	views   atomic.Pointer[viewSet]
+	filter  *FilterCache
+	lac     *LeafCache
+	opts    Options
 	// stats fields are incremented atomically and loaded atomically by
 	// Stats(), so a live metrics scrape can snapshot a client while its
 	// worker goroutine runs operations.
@@ -326,9 +348,9 @@ type Client struct {
 	index *obs.IndexMetrics // nil when index distributions are off
 	rec   *obs.Recorder     // armed per-op by Session.Trace; nil when idle
 
-	// Fault-tolerance state (nil without Shared.FT): per-node views on
-	// the anchor tables.
-	anchorViews map[mem.NodeID]*racehash.View
+	// Fault-tolerance state (empty without Shared.FT): per-node views on
+	// the anchor tables, copy-on-write like views.
+	anchorViews atomic.Pointer[viewSet]
 
 	// Warm-path scratch, reused across operations (clients are
 	// single-goroutine). Valid only within one locate step.
@@ -340,35 +362,49 @@ type Client struct {
 
 // NewClient mounts a Sphinx index over one fabric client.
 func NewClient(shared Shared, c *fabric.Client, opts Options) *Client {
+	members := shared.Members
+	if members == nil {
+		// Hand-built Shared (tests, static deployments): synthesize the
+		// epoch-0 placement from the legacy fields.
+		p := &Placement{Ring: shared.Ring, Tables: shared.Tables}
+		if shared.FT != nil {
+			p.Anchors = shared.FT.Anchors
+		}
+		members = NewMembership(p)
+	}
 	if ft := shared.FT; ft != nil {
 		// Steer new tree allocations (inner nodes, leaves) to the first
-		// healthy successor, so post-loss growth avoids dead nodes.
-		ring := shared.Ring
-		opts.Engine.Place = func(key []byte) mem.NodeID { return ft.place(ring, key) }
+		// healthy successor on the CURRENT ring, so post-loss growth avoids
+		// dead nodes and post-rebalance growth lands on the new placement.
+		opts.Engine.Place = func(key []byte) mem.NodeID {
+			return ft.place(members.Current().Ring, key)
+		}
+	} else {
+		opts.Engine.Place = func(key []byte) mem.NodeID {
+			return members.Current().Ring.OwnerKey(key)
+		}
 	}
 	alloc := mem.NewAllocator(c, 0)
 	cl := &Client{
-		shared: shared,
-		eng:    rart.NewEngine(c, alloc, shared.Ring, opts.Engine),
-		views:  make(map[mem.NodeID]*racehash.View, len(shared.Tables)),
-		filter: opts.Filter,
-		lac:    opts.LeafCache,
-		opts:   opts,
-		index:  opts.Index,
+		shared:  shared,
+		members: members,
+		eng:     rart.NewEngine(c, alloc, shared.Ring, opts.Engine),
+		filter:  opts.Filter,
+		lac:     opts.LeafCache,
+		opts:    opts,
+		index:   opts.Index,
 	}
-	for node, t := range shared.Tables {
-		if opts.DisableDirCache {
-			cl.views[node] = racehash.NewViewNoCache(t, c)
-		} else {
-			cl.views[node] = racehash.NewView(t, c)
-		}
+	cur := members.Current()
+	views := &viewSet{m: make(map[mem.NodeID]*racehash.View, len(cur.Tables))}
+	for node, t := range cur.Tables {
+		views.m[node] = cl.newDirView(t, c)
 	}
-	if shared.FT != nil {
-		cl.anchorViews = make(map[mem.NodeID]*racehash.View, len(shared.FT.Anchors))
-		for node, t := range shared.FT.Anchors {
-			cl.anchorViews[node] = racehash.NewView(t, c)
-		}
+	cl.views.Store(views)
+	anchors := &viewSet{m: make(map[mem.NodeID]*racehash.View, len(cur.Anchors))}
+	for node, t := range cur.Anchors {
+		anchors.m[node] = racehash.NewView(t, c)
 	}
+	cl.anchorViews.Store(anchors)
 	if cl.filter == nil && !opts.DisableFilter {
 		n := opts.FilterEntries
 		if n == 0 {
@@ -424,14 +460,17 @@ func (c *Client) Stats() Stats {
 	s.SpecMisses = atomic.LoadUint64(&c.stats.SpecMisses)
 	s.SpecRefutes = atomic.LoadUint64(&c.stats.SpecRefutes)
 	s.SpecAborts = atomic.LoadUint64(&c.stats.SpecAborts)
+	s.EpochFallbacks = atomic.LoadUint64(&c.stats.EpochFallbacks)
+	s.Cutovers = atomic.LoadUint64(&c.stats.Cutovers)
 	return s
 }
 
 // HashStats aggregates the inner-node-hash-table view counters across all
-// memory nodes this client talks to.
+// memory nodes this client talks to. Safe to call from scrape goroutines:
+// the view set is copy-on-write.
 func (c *Client) HashStats() racehash.Stats {
 	var total racehash.Stats
-	for _, v := range c.views {
+	for _, v := range c.views.Load().m {
 		total = total.Add(v.Stats())
 	}
 	return total
@@ -455,19 +494,102 @@ func (c *Client) CacheBytes() uint64 {
 	if c.lac != nil {
 		total += c.lac.SizeBytes()
 	}
-	for _, v := range c.views {
+	for _, v := range c.views.Load().m {
 		total += v.DirCacheBytes()
 	}
 	return total
 }
 
-// viewFor returns the hash-table view of the memory node owning a prefix.
-// With fault tolerance active, ownership skips dead nodes: new entries and
-// lookups for prefixes whose ring owner died consistently use the first
-// healthy successor's table.
-func (c *Client) viewFor(prefix []byte) *racehash.View {
-	if ft := c.shared.FT; ft != nil {
-		return c.views[ft.place(c.shared.Ring, prefix)]
+// newDirView builds an INHT view honoring the directory-cache ablation.
+func (c *Client) newDirView(t racehash.Table, fc *fabric.Client) *racehash.View {
+	if c.opts.DisableDirCache {
+		return racehash.NewViewNoCache(t, fc)
 	}
-	return c.views[c.shared.Ring.OwnerKey(prefix)]
+	return racehash.NewView(t, fc)
+}
+
+// ring returns the current epoch's consistent-hash ring.
+func (c *Client) ring() *consistenthash.Ring { return c.members.Current().Ring }
+
+// placeIn resolves the memory node owning key under placement p: the ring
+// owner, or (with fault tolerance) the first healthy successor.
+func (c *Client) placeIn(p *Placement, key []byte) mem.NodeID {
+	if ft := c.shared.FT; ft != nil {
+		return ft.place(p.Ring, key)
+	}
+	return p.Ring.OwnerKey(key)
+}
+
+// viewOf returns the client's view on node's inner-node hash table,
+// creating it lazily for nodes that joined after the client did. The
+// table is resolved from the current placement, falling back to the
+// in-transition previous epoch. Returns nil for an unknown node.
+func (c *Client) viewOf(node mem.NodeID) *racehash.View {
+	if v, ok := c.views.Load().m[node]; ok {
+		return v
+	}
+	p := c.members.Current()
+	t, ok := p.Tables[node]
+	if !ok && p.Prev != nil {
+		t, ok = p.Prev.Tables[node]
+	}
+	if !ok {
+		return nil
+	}
+	v := c.newDirView(t, c.eng.C)
+	c.storeView(&c.views, node, v)
+	return v
+}
+
+// anchorViewOf is viewOf for the anchor-replica tables.
+func (c *Client) anchorViewOf(node mem.NodeID) *racehash.View {
+	if v, ok := c.anchorViews.Load().m[node]; ok {
+		return v
+	}
+	p := c.members.Current()
+	t, ok := p.Anchors[node]
+	if !ok && p.Prev != nil {
+		t, ok = p.Prev.Anchors[node]
+	}
+	if !ok {
+		return nil
+	}
+	v := racehash.NewView(t, c.eng.C)
+	c.storeView(&c.anchorViews, node, v)
+	return v
+}
+
+// storeView publishes a grown copy of a view set. Only the owning worker
+// goroutine mutates view sets, so a plain load-copy-store suffices; the
+// atomic pointer is for concurrent metrics scrapes.
+func (c *Client) storeView(set *atomic.Pointer[viewSet], node mem.NodeID, v *racehash.View) {
+	old := set.Load()
+	next := &viewSet{m: make(map[mem.NodeID]*racehash.View, len(old.m)+1)}
+	for n, ov := range old.m {
+		next.m[n] = ov
+	}
+	next.m[node] = v
+	set.Store(next)
+}
+
+// viewFor returns the hash-table view of the memory node owning a prefix
+// under the current placement. With fault tolerance active, ownership
+// skips dead nodes: new entries and lookups for prefixes whose ring owner
+// died consistently use the first healthy successor's table.
+func (c *Client) viewFor(prefix []byte) *racehash.View {
+	return c.viewOf(c.placeIn(c.members.Current(), prefix))
+}
+
+// prevViewFor returns the previous epoch's view for a prefix during a
+// membership transition, or nil when there is no transition or the owner
+// did not change — reads then need no second probe.
+func (c *Client) prevViewFor(p *Placement, prefix []byte) *racehash.View {
+	if p.Prev == nil {
+		return nil
+	}
+	prevOwner := c.placeIn(p.Prev, prefix)
+	if prevOwner == c.placeIn(p, prefix) {
+		return nil
+	}
+	return c.viewOf(prevOwner)
 }

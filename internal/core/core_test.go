@@ -581,7 +581,7 @@ func TestCacheBytesReported(t *testing.T) {
 	// The directory caches must be small relative to the filter (paper
 	// §IV: "typically 2-5% of the succinct filter cache size").
 	var dirBytes uint64
-	for _, v := range c.views {
+	for _, v := range c.views.Load().m {
 		dirBytes += v.DirCacheBytes()
 	}
 	if dirBytes*2 > c.filter.SizeBytes() {

@@ -269,3 +269,67 @@ func TestConcurrentKillRepairServe(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAnchorConcurrentSameKeyUpdates is the regression test for the
+// anchor last-writer-wins race: concurrent updates to the same key race
+// on the anchor-table entry CAS, and before the SwapIfPresent fix the
+// losing writer called View.Replace with its stale expectation — a wait
+// loop meant for lock-holding callers — and died with "replace target
+// never appeared". Competing writers must all succeed, and the surviving
+// value must be one of the acknowledged ones on every replica.
+func TestAnchorConcurrentSameKeyUpdates(t *testing.T) {
+	f, shared := newReplicatedCluster(t, 3, fabric.InstantConfig(), 1000)
+	loader := newTestClient(f, shared, Options{})
+	key := []byte("anchor-race-key")
+	if _, err := loader.Insert(key, []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, updates = 6, 40
+	written := make(map[string]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newTestClient(f, shared, Options{})
+			for i := 0; i < updates; i++ {
+				val := []byte(fmt.Sprintf("w%d-i%d", w, i))
+				if _, err := c.Update(key, val); err != nil {
+					errCh <- fmt.Errorf("writer %d update %d: %w", w, i, err)
+					return
+				}
+				mu.Lock()
+				written[string(val)] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// The tree's value and every anchor replica must hold an acknowledged
+	// value (LWW: the winner is the highest version, which is one of them).
+	r := newTestClient(f, shared, Options{})
+	v, ok, err := r.Search(key)
+	if err != nil || !ok {
+		t.Fatalf("read after race: ok=%v err=%v", ok, err)
+	}
+	if !written[string(v)] {
+		t.Fatalf("surviving value %q was never acknowledged", v)
+	}
+	for _, node := range shared.FT.targets(shared.Ring, key) {
+		_, av, _, found, err := r.findAnchor(node, key)
+		if err != nil || !found {
+			t.Fatalf("anchor on node %d: found=%v err=%v", node, found, err)
+		}
+		if !written[string(av)] {
+			t.Fatalf("anchor on node %d holds unacknowledged value %q", node, av)
+		}
+	}
+}

@@ -75,9 +75,30 @@ func (c *Client) locate(key []byte, maxLen int) (*rart.Node, int, error) {
 // returns the first that passes the metadata checks of Fig. 3: live
 // status, matching depth and matching 42-bit full-prefix hash. Stale
 // entries pointing at retired nodes are removed opportunistically.
+//
+// During a membership transition, a miss on the current epoch's table
+// falls back to the previous owner's table: an entry the migrator has
+// not moved yet is still authoritative there.
 func (c *Client) fetchValidated(prefix []byte) (*rart.Node, error) {
+	p := c.members.Current()
+	n, err := c.fetchValidatedIn(c.viewOf(c.placeIn(p, prefix)), prefix)
+	if n != nil || err != nil {
+		return n, err
+	}
+	if prev := c.prevViewFor(p, prefix); prev != nil {
+		n, err = c.fetchValidatedIn(prev, prefix)
+		if n != nil && err == nil {
+			atomic.AddUint64(&c.stats.EpochFallbacks, 1)
+		}
+	}
+	return n, err
+}
+
+func (c *Client) fetchValidatedIn(view *racehash.View, prefix []byte) (*rart.Node, error) {
+	if view == nil {
+		return nil, nil
+	}
 	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHashRead))
-	view := c.viewFor(prefix)
 	h42 := racehash.PlacementHash(prefix)
 	fp := wire.FP12(prefix)
 	cands, err := view.LookupAppend(c.candScratch[:0], h42, fp)

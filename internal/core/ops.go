@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"sphinx/internal/fabric"
+	"sphinx/internal/racehash"
 	"sphinx/internal/rart"
 	"sphinx/internal/wire"
 )
@@ -45,11 +46,58 @@ func (h hooks) NewInner(prefix []byte, n *rart.Node) error {
 // (§IV Insert: "This update can be performed atomically using an RDMA CAS,
 // as the client modifies only one 8-byte hash entry"). The full prefix —
 // the entry's key — is unchanged, so no other state moves.
+//
+// During a membership transition the old entry may still live in the
+// PREVIOUS epoch's table (the migrator has not moved this prefix yet), so
+// the hook locates the holding table first: held by the current table →
+// plain Replace; held by the previous one → Insert into the current table,
+// then retire the old entry (in that order, so a concurrent locate always
+// finds at least one of the two). The caller holds the node's lease, which
+// serializes all entry movement for this prefix. The migrator's node-copy
+// publication reuses this hook verbatim.
 func (h hooks) TypeSwitched(prefix []byte, old, grown *rart.Node) error {
+	c := h.c
 	fp := wire.FP12(prefix)
 	oldE := wire.HashEntry{Valid: true, FP: fp, Type: old.Hdr.Type, Addr: old.Addr}
 	newE := wire.HashEntry{Valid: true, FP: fp, Type: grown.Hdr.Type, Addr: grown.Addr}
-	return h.c.viewFor(prefix).Replace(old.Hdr.PrefixHash, oldE, newE)
+	h42 := old.Hdr.PrefixHash
+	p := c.members.Current()
+	cur := c.viewOf(c.placeIn(p, prefix))
+	prev := c.prevViewFor(p, prefix)
+	if prev == nil {
+		return cur.Replace(h42, oldE, newE)
+	}
+	if held, err := viewHolds(cur, h42, fp, oldE); err != nil {
+		return err
+	} else if held {
+		return cur.Replace(h42, oldE, newE)
+	}
+	if held, err := viewHolds(prev, h42, fp, oldE); err != nil {
+		return err
+	} else if held {
+		if err := cur.Insert(h42, newE, c.eng.Alloc); err != nil {
+			return err
+		}
+		return prev.Remove(h42, oldE)
+	}
+	// Neither table holds the entry yet: an in-flight publication into the
+	// current table (Insert CAS between our lookups). Replace spin-waits
+	// for it to land.
+	return cur.Replace(h42, oldE, newE)
+}
+
+// viewHolds reports whether a table currently holds exactly this entry.
+func viewHolds(v *racehash.View, h42 uint64, fp uint16, e wire.HashEntry) (bool, error) {
+	cands, err := v.Lookup(h42, fp)
+	if err != nil {
+		return false, err
+	}
+	for _, cand := range cands {
+		if cand.Entry == e {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // noteRestart annotates an operation-level restart on the armed trace

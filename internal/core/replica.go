@@ -149,6 +149,9 @@ func BootstrapReplicated(f *fabric.Fabric, ring *consistenthash.Ring, expectedKe
 		anchors[node] = t
 	}
 	sh.FT = &FaultTolerance{R: r, Health: f.Health(), Anchors: anchors}
+	// Republish the epoch-0 placement with the anchor tables included, so
+	// elastic membership changes can carry them forward.
+	sh.Members = NewMembership(&Placement{Ring: ring, Tables: sh.Tables, Anchors: anchors})
 	f.Health().EnableGating(true)
 	return sh, nil
 }
@@ -226,7 +229,10 @@ func (c *Client) readAnchor(addr mem.Addr) (key, value []byte, version uint64, e
 // findAnchor locates the exact key's live entry in one node's anchor
 // table, returning the entry, its record's value and version.
 func (c *Client) findAnchor(node mem.NodeID, key []byte) (entry wire.HashEntry, value []byte, version uint64, found bool, err error) {
-	view := c.anchorViews[node]
+	view := c.anchorViewOf(node)
+	if view == nil {
+		return wire.HashEntry{}, nil, 0, false, fmt.Errorf("core: no anchor table known for node %d", node)
+	}
 	cands, err := view.Lookup(racehash.PlacementHash(key), wire.FP12(key))
 	if err != nil {
 		return wire.HashEntry{}, nil, 0, false, err
@@ -243,38 +249,64 @@ func (c *Client) findAnchor(node mem.NodeID, key []byte) (entry wire.HashEntry, 
 	return wire.HashEntry{}, nil, 0, false, nil
 }
 
+// anchorPutMaxRaces bounds how many lost same-key swap races one anchor
+// publish will absorb before giving up (each loss means another writer
+// landed a version in the meantime, so starvation needs a pathological
+// single-key write storm).
+const anchorPutMaxRaces = 16
+
 // anchorPutOne publishes (key, value, version) to one node's anchor table:
 // allocate an immutable record, write it, then CAS the table entry in
-// (Insert for a new key, Replace for an update). Last-writer-wins: a
-// replica already holding version ≥ ours is left untouched.
+// (Insert for a new key, SwapIfPresent for an update). Last-writer-wins
+// without any serializing lock: competing writers to the same key race
+// on the entry CAS, and the loser re-reads the winner's version and
+// re-decides — never waits for its own stale expectation to reappear
+// (View.Replace's wait loop assumes a lock-holding caller and would spin
+// to exhaustion here). A replica already holding version ≥ ours is left
+// untouched.
 func (c *Client) anchorPutOne(node mem.NodeID, key, value []byte, version uint64) (existed, wrote bool, err error) {
-	oldEntry, _, oldVer, found, err := c.findAnchor(node, key)
-	if err != nil {
-		return false, false, err
-	}
-	if found && oldVer >= version {
-		return true, false, nil
-	}
-	img := encodeAnchor(key, value, version)
-	addr, err := c.eng.Alloc.Alloc(node, mem.ClassLeaf, uint64(len(img)))
-	if err != nil {
-		return found, false, err
-	}
-	if err := c.eng.C.Write(addr, img); err != nil {
-		return found, false, err
-	}
 	h42 := racehash.PlacementHash(key)
-	newEntry := wire.HashEntry{Valid: true, FP: wire.FP12(key), Type: wire.Node4, Addr: addr}
-	view := c.anchorViews[node]
-	if found {
-		err = view.Replace(h42, oldEntry, newEntry)
-	} else {
-		err = view.Insert(h42, newEntry, c.eng.Alloc)
+	var img []byte
+	var addr mem.Addr
+	for attempt := 0; attempt < anchorPutMaxRaces; attempt++ {
+		oldEntry, _, oldVer, found, err := c.findAnchor(node, key)
+		if err != nil {
+			return false, false, err
+		}
+		if found && oldVer >= version {
+			// A newer write already won; last-writer-wins keeps it.
+			return true, false, nil
+		}
+		if img == nil {
+			// The record is immutable; one allocation serves every retry.
+			img = encodeAnchor(key, value, version)
+			addr, err = c.eng.Alloc.Alloc(node, mem.ClassLeaf, uint64(len(img)))
+			if err != nil {
+				return found, false, err
+			}
+			if err := c.eng.C.Write(addr, img); err != nil {
+				return found, false, err
+			}
+		}
+		newEntry := wire.HashEntry{Valid: true, FP: wire.FP12(key), Type: wire.Node4, Addr: addr}
+		view := c.anchorViewOf(node)
+		if !found {
+			if err := view.Insert(h42, newEntry, c.eng.Alloc); err != nil {
+				return false, false, err
+			}
+			return false, true, nil
+		}
+		won, err := view.SwapIfPresent(h42, oldEntry, newEntry)
+		if err != nil {
+			return true, false, err
+		}
+		if won {
+			return true, true, nil
+		}
+		// Lost the swap race: a concurrent writer replaced the entry
+		// between our read and our CAS. Re-read and re-decide by version.
 	}
-	if err != nil {
-		return found, false, err
-	}
-	return found, true, nil
+	return true, false, fmt.Errorf("core: anchor put for %q lost %d consecutive swap races", key, anchorPutMaxRaces)
 }
 
 // nextVersion returns a fresh LWW version from the cluster-wide counter,
@@ -292,7 +324,7 @@ func (c *Client) nextVersion() uint64 {
 func (c *Client) anchorUpsert(key, value []byte) (existed bool, err error) {
 	ft := c.shared.FT
 	version := c.nextVersion()
-	targets := ft.targets(c.shared.Ring, key)
+	targets := ft.targets(c.ring(), key)
 	written := 0
 	for _, t := range targets {
 		ex, _, err := c.anchorPutOne(t, key, value, version)
@@ -321,22 +353,46 @@ func (c *Client) anchorUpsert(key, value []byte) (existed bool, err error) {
 // suffices. If no replica is reachable, ErrReplicaSetUnavailable.
 func (c *Client) anchorGet(key []byte) (value []byte, ok bool, err error) {
 	ft := c.shared.FT
-	targets := ft.targets(c.shared.Ring, key)
+	p := c.members.Current()
+	targets := ft.targets(p.Ring, key)
 	reached := 0
 	var best []byte
 	var bestVer uint64
 	var found bool
-	for _, t := range targets {
-		_, v, ver, f, err := c.findAnchor(t, key)
-		if err != nil {
-			if errors.Is(err, fabric.ErrNodeDown) {
+	probe := func(nodes []mem.NodeID, seen map[mem.NodeID]bool) error {
+		for _, t := range nodes {
+			if seen != nil && seen[t] {
 				continue
 			}
+			_, v, ver, f, err := c.findAnchor(t, key)
+			if err != nil {
+				if errors.Is(err, fabric.ErrNodeDown) {
+					continue
+				}
+				return err
+			}
+			reached++
+			if f && (!found || ver > bestVer) {
+				found, best, bestVer = true, v, ver
+			}
+		}
+		return nil
+	}
+	if err := probe(targets, nil); err != nil {
+		return nil, false, err
+	}
+	if !found && p.Prev != nil {
+		// Mid-transition the migrator may not have copied this key's
+		// anchors to the new epoch's replica set yet; consult the old one.
+		seen := make(map[mem.NodeID]bool, len(targets))
+		for _, t := range targets {
+			seen[t] = true
+		}
+		if err := probe(ft.targets(p.Prev.Ring, key), seen); err != nil {
 			return nil, false, err
 		}
-		reached++
-		if f && (!found || ver > bestVer) {
-			found, best, bestVer = true, v, ver
+		if found {
+			atomic.AddUint64(&c.stats.EpochFallbacks, 1)
 		}
 	}
 	if reached == 0 {
@@ -351,7 +407,23 @@ func (c *Client) anchorGet(key []byte) (value []byte, ok bool, err error) {
 // docs/failure-model.md).
 func (c *Client) anchorRemove(key []byte) (present bool, err error) {
 	ft := c.shared.FT
-	targets := ft.targets(c.shared.Ring, key)
+	p := c.members.Current()
+	targets := ft.targets(p.Ring, key)
+	if p.Prev != nil {
+		// Mid-transition, delete from the UNION of the new and old replica
+		// sets: a replica left behind on the previous epoch's targets would
+		// otherwise resurrect the key when the migration sweep LWW-copies it
+		// forward.
+		seen := make(map[mem.NodeID]bool, len(targets))
+		for _, t := range targets {
+			seen[t] = true
+		}
+		for _, t := range ft.targets(p.Prev.Ring, key) {
+			if !seen[t] {
+				targets = append(targets, t)
+			}
+		}
+	}
 	reached := 0
 	for _, t := range targets {
 		entry, _, _, f, err := c.findAnchor(t, key)
@@ -362,7 +434,7 @@ func (c *Client) anchorRemove(key []byte) (present bool, err error) {
 			return false, err
 		}
 		if f {
-			if err := c.anchorViews[t].Remove(racehash.PlacementHash(key), entry); err != nil {
+			if err := c.anchorViewOf(t).Remove(racehash.PlacementHash(key), entry); err != nil {
 				if errors.Is(err, fabric.ErrNodeDown) {
 					continue
 				}
@@ -412,11 +484,12 @@ func (c *Client) RepairSweep() (RepairReport, error) {
 		return RepairReport{}, errors.New("core: repair sweep on a cluster without fault tolerance")
 	}
 	var rep RepairReport
-	for _, src := range c.shared.Ring.Nodes() {
+	ring := c.ring()
+	for _, src := range ring.Nodes() {
 		if !ft.Health.Alive(src) {
 			continue
 		}
-		err := c.anchorViews[src].Walk(func(e wire.HashEntry) error {
+		err := c.anchorViewOf(src).Walk(func(e wire.HashEntry) error {
 			key, value, ver, err := c.readAnchor(e.Addr)
 			if err != nil {
 				// Concurrently replaced record or transient fault: the
@@ -425,7 +498,7 @@ func (c *Client) RepairSweep() (RepairReport, error) {
 				return nil
 			}
 			rep.Scanned++
-			for _, t := range ft.targets(c.shared.Ring, key) {
+			for _, t := range ft.targets(ring, key) {
 				if t == src {
 					continue // this record is node src's replica
 				}
@@ -474,5 +547,5 @@ func (c *Client) failoverable(err error) bool {
 // that mode tree-"absent" answers are double-checked against the anchors,
 // because degraded writes land only there.
 func (c *Client) degraded() bool {
-	return c.shared.FT != nil && c.shared.FT.anyDead(c.shared.Ring)
+	return c.shared.FT != nil && c.shared.FT.anyDead(c.ring())
 }

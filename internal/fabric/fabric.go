@@ -123,6 +123,7 @@ type nic struct {
 	slots map[int64]int64 // slot index → capacity already consumed (ps)
 	// cumulative demand counters, for utilization reports
 	busyPs int64
+	waitPs int64 // queueing delay: reservations pushed past their ready time
 	verbs  uint64
 	bytes  uint64
 	faults uint64 // injected faults charged to batches targeting this NIC
@@ -165,6 +166,11 @@ func (n *nic) reserve(notBefore, cost int64, verbs int, bytes uint64) int64 {
 	}
 	if start < 0 {
 		start = notBefore
+	}
+	if start > notBefore {
+		// The NIC was saturated when this batch arrived: the gap is pure
+		// queueing delay, the per-MN hotspot signal load balancing watches.
+		n.waitPs += start - notBefore
 	}
 	n.busyPs += cost
 	n.verbs += uint64(verbs)
@@ -322,6 +328,11 @@ func (f *Fabric) ResetTimelines() {
 type NICStats struct {
 	Node   mem.NodeID
 	BusyPs int64
+	// WaitPs is cumulative queueing delay: how long arriving batches had
+	// to wait for a saturated NIC. A node whose WaitPs grows much faster
+	// than its peers' is a placement hotspot — the signal the elastic
+	// rebalancing experiment tracks before and after a membership change.
+	WaitPs int64
 	Verbs  uint64
 	Bytes  uint64
 	Faults uint64 // injected faults on batches targeting this NIC
@@ -334,7 +345,7 @@ func (f *Fabric) NICStats() []NICStats {
 	out := make([]NICStats, len(f.nodes))
 	for i, n := range f.nodes {
 		n.nic.mu.Lock()
-		out[i] = NICStats{Node: mem.NodeID(i), BusyPs: n.nic.busyPs, Verbs: n.nic.verbs, Bytes: n.nic.bytes, Faults: n.nic.faults}
+		out[i] = NICStats{Node: mem.NodeID(i), BusyPs: n.nic.busyPs, WaitPs: n.nic.waitPs, Verbs: n.nic.verbs, Bytes: n.nic.bytes, Faults: n.nic.faults}
 		n.nic.mu.Unlock()
 	}
 	return out

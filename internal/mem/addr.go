@@ -36,15 +36,22 @@ const (
 	MaxNodes = 1 << NodeBits
 )
 
-// NodeID identifies one memory node in the cluster.
-type NodeID uint8
+// NodeID identifies one memory node in the cluster. The type is wider
+// than the 8 node bits an Addr can pack so that placement layers (the
+// consistent-hash ring) handle large IDs without truncation; NewAddr
+// rejects IDs outside the addressable range.
+type NodeID uint16
 
 // NewAddr packs a node ID and offset into a global address.
-// It panics if offset exceeds MaxOffset; regions that large cannot be
+// It panics if offset exceeds MaxOffset or node exceeds the 8 packed
+// node bits; regions that large (or clusters that wide) cannot be
 // allocated in this simulation, so an overflow is always a program bug.
 func NewAddr(node NodeID, offset uint64) Addr {
 	if offset > MaxOffset {
 		panic(fmt.Sprintf("mem: offset %#x exceeds %d-bit address space", offset, OffsetBits))
+	}
+	if uint64(node) >= MaxNodes {
+		panic(fmt.Sprintf("mem: node %d exceeds %d-bit node space", node, NodeBits))
 	}
 	return Addr(uint64(node)<<OffsetBits | offset)
 }

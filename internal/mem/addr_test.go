@@ -30,6 +30,7 @@ func TestAddrPackUnpack(t *testing.T) {
 
 func TestAddrPackUnpackProperty(t *testing.T) {
 	f := func(node NodeID, offset uint64) bool {
+		node %= MaxNodes
 		offset &= MaxOffset
 		a := NewAddr(node, offset)
 		return a.Node() == node && a.Offset() == offset
@@ -76,4 +77,13 @@ func TestAddrOverflowPanics(t *testing.T) {
 		}
 	}()
 	NewAddr(0, MaxOffset+1)
+}
+
+func TestAddrNodeOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on node overflow")
+		}
+	}()
+	NewAddr(MaxNodes, 0)
 }

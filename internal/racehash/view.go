@@ -510,6 +510,60 @@ func (v *View) Replace(h uint64, old, new wire.HashEntry) error {
 	return fmt.Errorf("%w: replace h=%#x", ErrRetryExhausted, h)
 }
 
+// SwapIfPresent atomically swaps old for new like Replace, but returns
+// won=false instead of waiting when old is not (or no longer) in the
+// table. Replace's wait-for-publication semantics assume the caller
+// holds a lock serializing competing replaces; last-writer-wins callers
+// (the anchor tables) hold no such lock, so for them "the expected entry
+// vanished" means a concurrent writer won the race — an outcome to
+// re-read and re-decide on, not a publication still in flight.
+func (v *View) SwapIfPresent(h uint64, old, new wire.HashEntry) (bool, error) {
+	atomic.AddUint64(&v.stats.Replaces, 1)
+	oldWord, newWord := old.Encode(), new.Encode()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		p, err := v.read(h)
+		if err != nil {
+			return false, err
+		}
+		if p.locked() {
+			if _, err := v.waitSplit(h); err != nil {
+				return false, err
+			}
+			continue
+		}
+		if _, _, ok := p.find(newWord); ok {
+			return true, nil
+		}
+		slot, hdr, ok := p.find(oldWord)
+		if !ok {
+			return false, nil
+		}
+		won, ambiguous, err := v.casChecked(slot, oldWord, newWord, hdr)
+		if err != nil {
+			return false, err
+		}
+		if won && !ambiguous {
+			return true, nil
+		}
+		if won && ambiguous {
+			atomic.AddUint64(&v.stats.StaleChecks, 1)
+			q, err := v.waitSplit(h)
+			if err != nil {
+				return false, err
+			}
+			if _, _, ok := q.find(newWord); ok {
+				return true, nil
+			}
+			// The split captured the pre-CAS image: clean our orphan and
+			// redo from the re-read.
+			if _, err := v.c.CompareSwap(slot, newWord, 0); err != nil {
+				return false, err
+			}
+		}
+	}
+	return false, fmt.Errorf("%w: swap h=%#x", ErrRetryExhausted, h)
+}
+
 // Remove deletes an existing entry (key delete path). Idempotent: removing
 // an absent entry succeeds.
 func (v *View) Remove(h uint64, old wire.HashEntry) error {

@@ -173,10 +173,10 @@ func (s EngineStats) Add(t EngineStats) EngineStats {
 // worker driving the engine.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		LockSteals:     atomic.LoadUint64(&e.stats.LockSteals),
-		LeafLockBreaks: atomic.LoadUint64(&e.stats.LeafLockBreaks),
-		DeleteRepairs:  atomic.LoadUint64(&e.stats.DeleteRepairs),
-		PublishRetries: atomic.LoadUint64(&e.stats.PublishRetries),
+		LockSteals:        atomic.LoadUint64(&e.stats.LockSteals),
+		LeafLockBreaks:    atomic.LoadUint64(&e.stats.LeafLockBreaks),
+		DeleteRepairs:     atomic.LoadUint64(&e.stats.DeleteRepairs),
+		PublishRetries:    atomic.LoadUint64(&e.stats.PublishRetries),
 		LeafRetireRepairs: atomic.LoadUint64(&e.stats.LeafRetireRepairs),
 	}
 }

@@ -57,6 +57,10 @@ func zetaSum(n uint64, theta float64) float64 {
 // N returns the population size.
 func (z *Zipfian) N() uint64 { return z.n }
 
+// Theta returns the skew constant the distribution was built with
+// (0 means uniform).
+func (z *Zipfian) Theta() float64 { return z.theta }
+
 // Draw returns a rank in [0, n), rank 0 being the most popular.
 func (z *Zipfian) Draw(rng *rand.Rand) uint64 {
 	u := rng.Float64()

@@ -223,6 +223,63 @@ func (s *Session) RepairSweep() (RepairReport, error) {
 	}, err
 }
 
+// MigrateReport summarizes one elastic-membership migration sweep; see
+// Session.MigrateSweep.
+type MigrateReport struct {
+	// Epoch is the placement epoch the sweep ran against.
+	Epoch uint64
+	// ScannedNodes / ScannedLeaves count tree objects the sweep visited.
+	ScannedNodes  uint64
+	ScannedLeaves uint64
+	// MovedNodes / MovedLeaves count tree objects relocated onto their new
+	// owners this pass.
+	MovedNodes  uint64
+	MovedLeaves uint64
+	// AnchorsScanned / AnchorsCopied / AnchorsRemoved count replicated
+	// anchor records visited, re-replicated and retired (Replication >= 2
+	// clusters only).
+	AnchorsScanned uint64
+	AnchorsCopied  uint64
+	AnchorsRemoved uint64
+	// Remaining counts objects the sweep could not settle (lost races,
+	// unreachable nodes); the next sweep retries them.
+	Remaining uint64
+	// Converged reports the sweep found nothing left to move.
+	Converged bool
+	// CutOver reports this sweep retired the old epoch: the membership
+	// change is complete.
+	CutOver bool
+}
+
+// MigrateSweep runs one online rebalancing pass of an in-flight
+// membership change (Cluster.AddMemoryNode / DrainMemoryNode): it walks
+// the tree and the anchor tables and relocates everything whose placement
+// changed, using the same one-sided protocols as foreground operations —
+// other sessions keep serving throughout. Sweeps are idempotent; repeat
+// until one reports CutOver (a sweep that moved anything cannot cut over,
+// because it may have raced a concurrent writer — only a provably clean
+// pass closes the transition). With no change in flight it reports
+// immediate convergence. Requires SystemSphinx.
+func (s *Session) MigrateSweep() (MigrateReport, error) {
+	if s.sphinx == nil {
+		return MigrateReport{}, fmt.Errorf("sphinx: migration sweep requires SystemSphinx")
+	}
+	rep, err := s.sphinx.MigrateSweep()
+	return MigrateReport{
+		Epoch:          rep.Epoch,
+		ScannedNodes:   rep.ScannedNodes,
+		ScannedLeaves:  rep.ScannedLeaves,
+		MovedNodes:     rep.MovedNodes,
+		MovedLeaves:    rep.MovedLeaves,
+		AnchorsScanned: rep.AnchorsScanned,
+		AnchorsCopied:  rep.AnchorsCopied,
+		AnchorsRemoved: rep.AnchorsRemoved,
+		Remaining:      rep.Remaining,
+		Converged:      rep.Converged,
+		CutOver:        rep.CutOver,
+	}, err
+}
+
 // Stats summarizes the session's network activity.
 type Stats struct {
 	RoundTrips   uint64
@@ -281,6 +338,9 @@ type SphinxCounters struct {
 	// SpecAborts counts speculative reads abandoned without a verdict (a
 	// torn or locked leaf, or a transient fabric error); the entry is kept.
 	SpecAborts uint64
+	// EpochFallbacks counts reads served from the previous placement epoch
+	// while a membership change was mid-migration.
+	EpochFallbacks uint64
 }
 
 // SphinxStats returns Sphinx-specific counters; ok is false for other
@@ -301,6 +361,7 @@ func (s *Session) SphinxStats() (SphinxCounters, bool) {
 		CollisionRetries: st.CollisionRetry, Restarts: st.Restarts,
 		SpecHits: st.SpecHits, SpecMisses: st.SpecMisses,
 		SpecRefutes: st.SpecRefutes, SpecAborts: st.SpecAborts,
+		EpochFallbacks: st.EpochFallbacks,
 	}, true
 }
 
@@ -439,11 +500,20 @@ func (s *Session) Registry() *Registry {
 		}
 		r.AddGauges("inht", func() map[string]float64 {
 			c := s.cn.cluster
+			// Scrape the CURRENT placement epoch's tables: elastic
+			// membership changes add and retire tables at runtime.
+			tables := c.sphinxShared.Tables
+			epoch := uint64(0)
+			if c.sphinxShared.Members != nil {
+				p := c.sphinxShared.Members.Current()
+				tables, epoch = p.Tables, p.Epoch
+			}
 			var u racehash.Usage
-			for node, t := range c.sphinxShared.Tables {
+			for node, t := range tables {
 				u = u.Add(racehash.ReadUsage(c.f.Region(node), t))
 			}
 			return map[string]float64{
+				"epoch":            float64(epoch),
 				"load_factor":      u.LoadFactor(),
 				"entries":          float64(u.Entries),
 				"capacity_entries": float64(u.Capacity),
@@ -461,7 +531,7 @@ func (s *Session) Registry() *Registry {
 				sweeps, copied := ft.RepairTotals()
 				g["repair_sweeps"] = float64(sweeps)
 				g["repair_copied"] = float64(copied)
-				for _, n := range cl.ring.Nodes() {
+				for _, n := range cl.memNodes() {
 					g[fmt.Sprintf("node_health{node=%q}", fmt.Sprint(uint64(n)))] = float64(h.State(n))
 				}
 				return g

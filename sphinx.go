@@ -175,10 +175,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	for i := range nodes {
 		nodes[i] = f.AddNode(cfg.MemoryPerNode)
 	}
-	ring := consistenthash.New(nodes, 0)
+	ring, err := consistenthash.NewChecked(nodes, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sphinx: building placement ring: %w", err)
+	}
 	cl := &Cluster{cfg: cfg, f: f, ring: ring}
 
-	var err error
 	switch cfg.System {
 	case SystemSphinx:
 		if cfg.Replication > 0 {
@@ -202,13 +204,89 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // System returns the cluster's index system.
 func (c *Cluster) System() System { return c.cfg.System }
 
+// memNodes lists the cluster's member memory nodes under the CURRENT
+// placement epoch — elastic membership changes grow and shrink this list,
+// so node indices passed to KillMemoryNode etc. are interpreted against
+// it. Non-Sphinx systems keep the static bootstrap ring.
+func (c *Cluster) memNodes() []mem.NodeID {
+	if c.sphinxShared.Members != nil {
+		return c.sphinxShared.Members.Current().Ring.Nodes()
+	}
+	return c.ring.Nodes()
+}
+
+// AddMemoryNode grows the cluster online (SystemSphinx only): a fresh
+// memory node joins the fabric, its hash tables are bootstrapped, and a
+// new placement epoch including it is published. The call returns
+// immediately with the node's index (usable with NodeHealth and
+// KillMemoryNode); actual rebalancing happens while CNs keep serving, by
+// driving Session.MigrateSweep until it reports cutover. At most one
+// membership change may be in flight at a time.
+func (c *Cluster) AddMemoryNode() (int, error) {
+	if c.cfg.System != SystemSphinx {
+		return 0, fmt.Errorf("sphinx: elastic membership requires SystemSphinx, not %v", c.cfg.System)
+	}
+	if c.sphinxShared.Members.Transitioning() {
+		return 0, core.ErrTransitionActive
+	}
+	id := c.f.AddNode(c.cfg.MemoryPerNode)
+	p, err := core.BeginAddNode(c.f, c.sphinxShared, id, c.cfg.ExpectedKeys)
+	if err != nil {
+		return 0, err
+	}
+	nodes := p.Ring.Nodes()
+	for i, n := range nodes {
+		if n == id {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sphinx: added node %d missing from new ring", id)
+}
+
+// DrainMemoryNode shrinks the cluster online (SystemSphinx only): node i
+// leaves the placement gracefully. The node stays alive and readable
+// while migration sweeps relocate everything it owns to the surviving
+// members; after the cutover nothing references it. This is the planned
+// counterpart of KillMemoryNode's crash failure — see
+// docs/failure-model.md. The node hosting the pinned tree root cannot be
+// drained, and the last remaining node cannot be removed.
+func (c *Cluster) DrainMemoryNode(i int) error {
+	if c.cfg.System != SystemSphinx {
+		return fmt.Errorf("sphinx: elastic membership requires SystemSphinx, not %v", c.cfg.System)
+	}
+	nodes := c.memNodes()
+	if i < 0 || i >= len(nodes) {
+		return fmt.Errorf("sphinx: memory node %d out of range [0,%d)", i, len(nodes))
+	}
+	_, err := core.BeginDrainNode(c.sphinxShared, nodes[i])
+	return err
+}
+
+// Epoch reports the current placement epoch: 0 at bootstrap, +1 per
+// membership change. Always 0 for non-Sphinx systems.
+func (c *Cluster) Epoch() uint64 {
+	if c.sphinxShared.Members == nil {
+		return 0
+	}
+	return c.sphinxShared.Members.Current().Epoch
+}
+
+// MigrationPending reports whether a membership change is still
+// mid-migration (drive Session.MigrateSweep to finish it).
+func (c *Cluster) MigrationPending() bool {
+	return c.sphinxShared.Members != nil && c.sphinxShared.Members.Transitioning()
+}
+
+// MemoryNodes reports the current member count.
+func (c *Cluster) MemoryNodes() int { return len(c.memNodes()) }
+
 // KillMemoryNode permanently removes memory node i (0-based) from the
 // cluster: every verb addressed to it fails with a permanent-loss error
 // from now on, and the shared health breaker marks it dead on first
 // contact. With Replication >= 2 the cluster keeps serving from the
 // surviving replicas; without replication the node's data is simply gone.
 func (c *Cluster) KillMemoryNode(i int) error {
-	nodes := c.ring.Nodes()
+	nodes := c.memNodes()
 	if i < 0 || i >= len(nodes) {
 		return fmt.Errorf("sphinx: memory node %d out of range [0,%d)", i, len(nodes))
 	}
@@ -220,7 +298,7 @@ func (c *Cluster) KillMemoryNode(i int) error {
 // "closed" (healthy), "open" (suspected down, probing), "dead"
 // (permanently lost).
 func (c *Cluster) NodeHealth(i int) (string, error) {
-	nodes := c.ring.Nodes()
+	nodes := c.memNodes()
 	if i < 0 || i >= len(nodes) {
 		return "", fmt.Errorf("sphinx: memory node %d out of range [0,%d)", i, len(nodes))
 	}
@@ -251,7 +329,7 @@ type MemoryUsage struct {
 func (c *Cluster) MemoryUsage() (MemoryUsage, error) {
 	var u MemoryUsage
 	ops := c.f.Regions()
-	for _, node := range c.ring.Nodes() {
+	for _, node := range c.memNodes() {
 		nu, err := mem.ReadUsage(ops, node)
 		if err != nil {
 			return u, err
