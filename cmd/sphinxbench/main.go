@@ -104,12 +104,16 @@ func main() {
 	if live != nil {
 		// The registry is assembled here, before any experiment goroutine
 		// exists; scrapes then race only against atomic counter sources.
-		h := obs.NewHandler(obs.ServeOptions{Registry: live.Registry(), Tail: live.Tail})
+		h := obs.NewHandler(obs.ServeOptions{Registry: live.Registry(), Tail: live.Tail, Plane: live.Plane})
 		_, bound, err := obs.Serve(*serveAddr, h)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sphinxbench:", err)
 			os.Exit(1)
 		}
+		// Sample the plane on the wall clock for as long as we serve —
+		// /mn, /slo and /alerts then move while experiments run and keep
+		// settling through -serve-linger after the load stops.
+		live.Plane.EnsureWallTicker(250 * time.Millisecond)
 		fmt.Fprintf(os.Stderr, "serving observability on http://%s/\n", bound)
 	}
 

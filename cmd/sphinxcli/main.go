@@ -13,11 +13,15 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sphinx"
 )
@@ -25,7 +29,17 @@ import (
 func main() {
 	sysName := flag.String("system", "sphinx", "index system: sphinx, smart or art")
 	serveAddr := flag.String("serve", "", "serve live observability HTTP on this address (host:0 for an ephemeral port): /metrics, /snapshot, /traces, /debug/pprof")
+	topAddr := flag.String("top", "", "one-shot: fetch /mn from a live observability endpoint (URL or host:port), render the per-MN table, and exit")
+	watch := flag.Duration("watch", 0, "with -top, redraw the table at this interval until interrupted")
 	flag.Parse()
+
+	if *topAddr != "" {
+		if err := topRemote(*topAddr, *watch); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sys sphinx.System
 	switch strings.ToLower(*sysName) {
@@ -57,7 +71,7 @@ func main() {
 		serving = true
 		fmt.Printf("observability: http://%s/ (metrics, snapshot, traces, pprof)\n", bound)
 	}
-	fmt.Println("commands: get K | put K V | update K V | del K | scan LO HI [N] | trace OP ... | stats | metrics | serve [ADDR] | mem | help | quit")
+	fmt.Println("commands: get K | put K V | update K V | del K | scan LO HI [N] | trace OP ... | stats | metrics | top | serve [ADDR] | mem | help | quit")
 
 	in := bufio.NewScanner(os.Stdin)
 	for {
@@ -77,7 +91,14 @@ func main() {
 		case cmd == "help":
 			fmt.Println("get K | put K V | update K V | del K | scan LO HI [N] | stats | metrics | mem | quit")
 			fmt.Println("trace get K | trace put K V | trace update K V | trace del K  — one op's round-trip timeline")
+			fmt.Println("top  — per-MN load table (busy ratio, verb share, occupancy, health) plus SLOs and alerts")
 			fmt.Println("serve [ADDR]  — start the live observability HTTP endpoint (default 127.0.0.1:0)")
+			continue
+		case cmd == "top":
+			// Advance the plane to the session's virtual now so the table
+			// reflects everything this shell has done, then render it.
+			cluster.SampleObservability(session.Stats().ClockPs)
+			renderTop(os.Stdout, cluster.Observability())
 			continue
 		case cmd == "trace" && len(fields) >= 3:
 			tr, err := traceOp(session, fields[1:])
@@ -193,6 +214,87 @@ func traceOp(s *sphinx.Session, args []string) (*sphinx.Trace, error) {
 		})
 	default:
 		return nil, fmt.Errorf("trace: usage: trace get K | trace put K V | trace update K V | trace del K")
+	}
+}
+
+// topRemote fetches /mn from a live observability endpoint and renders
+// the per-MN table; with a watch interval it clears and redraws until
+// interrupted, giving a top(1)-style live view of a running cluster.
+func topRemote(addr string, watch time.Duration) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/mn"
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		snap, err := fetchPlane(client, url)
+		if err != nil {
+			return err
+		}
+		if watch > 0 {
+			fmt.Print("\x1b[H\x1b[2J") // cursor home + clear screen
+		}
+		renderTop(os.Stdout, snap)
+		if watch <= 0 {
+			return nil
+		}
+		time.Sleep(watch)
+	}
+}
+
+func fetchPlane(client *http.Client, url string) (sphinx.PlaneSnapshot, error) {
+	var snap sphinx.PlaneSnapshot
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return snap, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("%s: decoding /mn: %w", url, err)
+	}
+	return snap, nil
+}
+
+// renderTop prints the human view of the observability plane: one row
+// per memory node with its latest-tick load, then SLO burn rates and
+// any alerts that are not inactive.
+func renderTop(w io.Writer, snap sphinx.PlaneSnapshot) {
+	fmt.Fprintf(w, "plane: %d ticks, window %.0f µs, virtual now %.1f ms\n",
+		snap.Ticks, float64(snap.WindowPs)/1e6, float64(snap.TickPs)/1e9)
+	fmt.Fprintf(w, "%-4s %-7s %-8s %8s %8s %7s %9s %8s %9s %7s %7s\n",
+		"MN", "MEMBER", "HEALTH", "BUSY", "WAIT", "VERB%", "VERBS/W", "RT/W", "HASHLOAD", "OCCUP", "FAULTS")
+	for _, n := range snap.Nodes {
+		member := "yes"
+		if !n.Member {
+			member = "no"
+		}
+		fmt.Fprintf(w, "%-4d %-7s %-8s %7.1f%% %7.1f%% %6.1f%% %9d %8d %8.1f%% %6.1f%% %7d\n",
+			n.Node, member, n.Health,
+			100*n.BusyRatio, 100*n.WaitRatio, 100*n.VerbShare,
+			n.WindowVerbs, n.WindowRTs,
+			100*n.HashLoad, 100*n.ArenaOccupancy, n.Faults)
+	}
+	for _, s := range snap.SLOs {
+		fmt.Fprintf(w, "slo %s (%s p%g < %.2f µs): fast burn %.2f, slow burn %.2f, attainment %.4f\n",
+			s.SLO.Name, s.OpName, 100*s.SLO.Quantile, float64(s.SLO.LatencyPs)/1e6,
+			s.FastBurn, s.SlowBurn, s.Attainment)
+	}
+	active := 0
+	for _, a := range snap.Alerts {
+		if a.State.String() == "inactive" {
+			continue
+		}
+		active++
+		fmt.Fprintf(w, "alert %s{%s=%s}: %s (value %.3f, fired %d, resolved %d)\n",
+			a.Rule, a.Signal, a.Label, a.State, a.Value, a.Fired, a.Resolved)
+	}
+	if active == 0 {
+		fmt.Fprintf(w, "alerts: none active (%d rules evaluated)\n", len(snap.Alerts))
 	}
 }
 

@@ -494,6 +494,32 @@ func (cl *Cluster) NewIndex(cn int) (Index, *fabric.Client) {
 	}
 }
 
+// NewIndexNoSpec mounts a Sphinx-family worker like NewIndex but with
+// the speculative leaf-address cache disabled. The elastic chaos run's
+// measured workers use this: the LAC's 1-RT hits mask most of a
+// migration's epoch-fallback cost, and its shared-slot collision
+// refutes cost the same 4 round trips as a fallback — latency-
+// indistinguishable from chaos. With it off the warm read path is
+// deterministic, so the run's latency SLO cleanly separates steady
+// windows from transitions. Baselines (no speculation) fall through to
+// NewIndex.
+func (cl *Cluster) NewIndexNoSpec(cn int) (Index, *fabric.Client) {
+	opts, ok := cl.sphinxOptions(cn)
+	if !ok {
+		return cl.NewIndex(cn)
+	}
+	opts.LeafCache = nil
+	opts.DisableLeafCache = true
+	fc := cl.F.NewClient()
+	if cl.Sys == SphinxNoBatch {
+		fc.SetNoBatch(true)
+	}
+	if observer := cl.phaseObs(); observer != nil {
+		fc.SetObserver(observer)
+	}
+	return sphinxIndex{core.NewClient(cl.sphinxShared, fc, opts)}, fc
+}
+
 // NewPipeline mounts a pipelined Sphinx executor for one worker, or
 // ok=false for the baseline systems, which keep sequential clients. The
 // returned fabric client is the executor's main client: all round trips

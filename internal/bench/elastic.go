@@ -6,9 +6,12 @@ import (
 	"io"
 	"sync"
 
+	"sort"
+
 	"sphinx/internal/core"
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
+	"sphinx/internal/obs"
 	"sphinx/internal/ycsb"
 )
 
@@ -25,6 +28,10 @@ type MNLoad struct {
 	BusyPs int64   `json:"busy_ps"`
 	WaitPs int64   `json:"wait_ps"`
 	Share  float64 `json:"verb_share"` // of the window's total verbs
+	// RoundTrips is the window's completed doorbell batches charged to
+	// this NIC (gating-node attribution); across a steady window they sum
+	// to exactly the worker clients' own round-trip counters.
+	RoundTrips uint64 `json:"round_trips"`
 }
 
 // MNWindow is the per-MN load breakdown of one steady-state measurement
@@ -39,6 +46,27 @@ type MNWindow struct {
 	MaxShare    float64  `json:"max_share"`
 	MinShare    float64  `json:"min_share"`
 	MaxMinRatio float64  `json:"max_min_ratio"`
+	// ClientRTs is the sum of the window's worker-client round-trip
+	// counters; RTsReconciled is the per-MN attribution check — the
+	// windowed per-NIC RoundTrips must sum to exactly ClientRTs (steady
+	// windows have no other traffic source).
+	ClientRTs     uint64 `json:"client_rts,omitempty"`
+	RTsReconciled *bool  `json:"rts_reconciled,omitempty"`
+}
+
+// ElasticSLOPhase is one ledgered phase's verdict against the chaos
+// run's calibrated read-latency SLO: exact per-phase op/violation counts
+// and the phase burn rate (1 spends the error budget exactly as fast as
+// allowed; steady windows should burn ~0, transitions may spike).
+type ElasticSLOPhase struct {
+	Phase string  `json:"phase"`
+	Ops   uint64  `json:"ops"`
+	Bad   uint64  `json:"bad"`
+	Burn  float64 `json:"burn"`
+	// P99Ps/MaxPs are the phase's exact read-latency tail, for
+	// eyeballing how far the phase sat from the threshold.
+	P99Ps uint64 `json:"p99_ps"`
+	MaxPs uint64 `json:"max_ps"`
 }
 
 // ElasticChaos is one membership transition's accounting: the workload
@@ -62,6 +90,8 @@ type ElasticChaos struct {
 	SpecRefutes    uint64 `json:"spec_refutes"`
 	FalsePositives uint64 `json:"false_positives"`
 	Restarts       uint64 `json:"restarts"`
+
+	mig *core.Client // migration driver for the inline sweep pacing
 }
 
 // ElasticReport is the elastic-membership chaos experiment's result: did
@@ -109,6 +139,19 @@ type ElasticReport struct {
 	AddedShareBefore  float64 `json:"added_share_before"`
 	AddedShareAfter   float64 `json:"added_share_after"`
 	DrainedShareAfter float64 `json:"drained_share_after"`
+
+	// SLO is the read-latency objective of the chaos run, calibrated
+	// from a full-contention warm pass before the first window
+	// (threshold = exact read p99 + 1/8 headroom); SLOPhases is its
+	// per-phase verdict, evaluated on exact read latencies.
+	SLO       *obs.SLO          `json:"slo,omitempty"`
+	SLOPhases []ElasticSLOPhase `json:"slo_phases,omitempty"`
+	// Plane is the observability plane's final snapshot over the chaos
+	// run: per-MN windowed nic_busy_ratio / verb-share / round-trip
+	// series (the added node's share series converging to fair share is
+	// the rebalancing story in time-series form), SLO statuses and alert
+	// states.
+	Plane *obs.PlaneSnapshot `json:"plane,omitempty"`
 }
 
 // ElasticMNSweep is the default MN-count sweep of the elastic experiment.
@@ -198,6 +241,11 @@ func Elastic(cfg Config, out io.Writer) ([]Result, *ElasticReport, error) {
 	rep.DrainedNode = int(victim)
 
 	led := newLedger(cl, cfg)
+	// Calibrate the read-latency SLO and bring up the observability
+	// plane before the first measured phase.
+	if err := led.calibrate(); err != nil {
+		return nil, nil, fmt.Errorf("elastic calibrate: %w", err)
+	}
 
 	// Window 1: steady state before the add.
 	w1, err := led.window("pre-add")
@@ -246,6 +294,11 @@ func Elastic(cfg Config, out io.Writer) ([]Result, *ElasticReport, error) {
 	rep.Converged = p.Prev == nil
 	rep.Cutovers = addChaos.Cutovers() + drainChaos.Cutovers()
 
+	rep.SLO = &led.slo
+	rep.SLOPhases = led.sloPhases
+	planeSnap := led.plane.Snapshot()
+	rep.Plane = &planeSnap
+
 	// Verification pass 1: a fresh client re-reads every acknowledged
 	// write from every phase.
 	rep.AckedWrites = uint64(led.size())
@@ -270,8 +323,18 @@ func Elastic(cfg Config, out io.Writer) ([]Result, *ElasticReport, error) {
 		rep.Add.SpecRefutes, rep.Drain.SpecRefutes,
 		rep.Add.FalsePositives, rep.Drain.FalsePositives)
 	for _, w := range rep.Windows {
-		fmt.Fprintf(out, "window %-10s members %v  max/min share %.3f/%.3f  ratio %.2f\n",
-			w.Window, w.Members, w.MaxShare, w.MinShare, w.MaxMinRatio)
+		recon := "-"
+		if w.RTsReconciled != nil {
+			recon = fmt.Sprintf("%v", *w.RTsReconciled)
+		}
+		fmt.Fprintf(out, "window %-10s members %v  max/min share %.3f/%.3f  ratio %.2f  rts reconciled %s\n",
+			w.Window, w.Members, w.MaxShare, w.MinShare, w.MaxMinRatio, recon)
+	}
+	fmt.Fprintf(out, "SLO %s: %.0f%% of reads under %.2f µs (calibrated)\n",
+		rep.SLO.Name, rep.SLO.Quantile*100, float64(rep.SLO.LatencyPs)/1e6)
+	for _, sp := range rep.SLOPhases {
+		fmt.Fprintf(out, "  phase %-10s ops %6d bad %4d burn %.2f  p99 %.2f µs max %.2f µs\n",
+			sp.Phase, sp.Ops, sp.Bad, sp.Burn, float64(sp.P99Ps)/1e6, float64(sp.MaxPs)/1e6)
 	}
 	fmt.Fprintf(out, "added-node share %.3f -> %.3f, drained-node share -> %.3f\n",
 		rep.AddedShareBefore, rep.AddedShareAfter, rep.DrainedShareAfter)
@@ -310,10 +373,26 @@ type ledger struct {
 	shards [][][]byte       // per-worker key partition
 	acked  []map[int][]byte // per-worker shard index -> last acked value
 	phase  int
+
+	// Observability of the chaos run: every worker op's virtual latency
+	// and round trips land in metrics; worker 0 ticks the plane on its
+	// virtual clock offset by basePs (the accumulated end time of the
+	// finished phases — per-phase clients restart their clocks at zero).
+	metrics   *obs.Metrics
+	plane     *obs.Plane
+	slo       obs.SLO
+	basePs    int64
+	tickEvery int
+	sloPhases []ElasticSLOPhase
+	// lastLats is the previous pass's exact sorted read latencies. The
+	// per-phase SLO verdicts are computed from these rather than from
+	// the power-of-two histograms: the one-round-trip cost of an epoch
+	// fallback shifts a read by ~25%, which bucket edges cannot resolve.
+	lastLats []int64
 }
 
 func newLedger(cl *Cluster, cfg Config) *ledger {
-	l := &ledger{cl: cl, cfg: cfg}
+	l := &ledger{cl: cl, cfg: cfg, metrics: obs.NewMetrics()}
 	l.shards = make([][][]byte, cfg.Workers)
 	l.acked = make([]map[int][]byte, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -325,6 +404,51 @@ func newLedger(cl *Cluster, cfg Config) *ledger {
 	return l
 }
 
+// calibrate runs one full ledgered pass under the same contention as
+// the measured phases and derives the chaos run's read-latency SLO
+// from its exact read latencies: threshold = median * 3/2.
+//
+// The median is the right anchor because warm-path read latency is
+// quantized by round-trip count: the warm locate-descend read costs 3
+// RTs (the median, >85% of reads), the slowest steady shapes (a filter
+// false positive or a deep structural jump) cost 4 RTs ~ 1.35x the
+// median, and a mid-transition epoch fallback stacked on one of those
+// costs >=5 RTs ~ 1.65x. A threshold at 1.5x the median therefore
+// sits above every steady-state shape and below the chaos tail by
+// construction. Tail percentiles (p99/max) are NOT usable here: they
+// land inside the 4-RT band or on a rare steady 5-RT coincidence (FP +
+// fingerprint collision in one read) and either verdict flips with one
+// sample, while the median is immune to both tails.
+//
+// The observability plane's windows are sized from the pass's measured
+// duration so each later phase spans several windows. The pass's
+// writes are ledgered like any other phase's, so they are covered by
+// the final verification.
+func (l *ledger) calibrate() error {
+	if _, err := l.run("calibrate", nil); err != nil {
+		return err
+	}
+	lats := l.lastLats
+	if len(lats) == 0 {
+		return fmt.Errorf("calibrate: no reads observed")
+	}
+	median := uint64(lats[len(lats)/2])
+	l.slo = obs.SLO{Name: "read-p99", Op: obs.OpGet, Quantile: 0.99,
+		LatencyPs: median * 3 / 2}
+
+	windowPs := max(l.basePs/8, 1)
+	l.tickEvery = max(l.cfg.OpsPerWorker/32, 1)
+	plane, err := obs.NewPlane(obs.PlaneOptions{
+		WindowPs: windowPs,
+		Windows:  512,
+		Collect:  l.cl.collectMNs,
+		Latency:  l.metrics.OpLatency,
+		SLOs:     []obs.SLO{l.slo},
+	})
+	l.plane = plane
+	return err
+}
+
 func (l *ledger) size() int {
 	n := 0
 	for _, m := range l.acked {
@@ -334,106 +458,181 @@ func (l *ledger) size() int {
 }
 
 // window runs one ledgered 50/50 read/update pass over a quiescent
-// placement and returns the per-MN NIC load it induced.
+// placement and returns the per-MN NIC load it induced. The only
+// traffic sources of a steady window are the phase's own worker
+// clients, so the per-MN attributed round trips must reconcile exactly
+// against the clients' counters.
 func (l *ledger) window(name string) (MNWindow, error) {
 	cl := l.cl
 	cl.F.ResetTimelines()
 	before := cl.F.NICStats()
-	if _, err := l.run(nil); err != nil {
+	stats, err := l.run(name, nil)
+	if err != nil {
 		return MNWindow{}, fmt.Errorf("%s: %w", name, err)
 	}
 	after := cl.F.NICStats()
-	return nicWindow(name, before, after, cl.memberNodes()), nil
+	w := nicWindow(name, before, after, cl.memberNodes())
+	w.ClientRTs = stats.clientRTs
+	var mnRTs uint64
+	for _, ld := range w.Loads {
+		mnRTs += ld.RoundTrips
+	}
+	ok := mnRTs == stats.clientRTs
+	w.RTsReconciled = &ok
+	return w, nil
 }
 
-// chaos runs one ledgered pass during which worker 0 opens the given
-// membership transition a quarter of the way in; a background migrator
-// sweeps to convergence and cutover while the workers keep serving. The
-// phase's worker counters (epoch fallbacks, unlearns) land in the
-// returned ElasticChaos.
+// chaos runs one ledgered pass during which the given membership
+// transition opens a quarter of the way in and worker 0 paces the
+// migration sweeps through the rest of its own op loop. Every worker
+// barriers on the transition opening (sync.Once blocks late arrivals
+// until the first call returns), so all post-trigger reads run against
+// an open transition — the epoch-fallback window deterministically
+// overlaps the measured load instead of racing a background migrator
+// that may finish before any read observes it. The phase's worker
+// counters (epoch fallbacks, unlearns) land in the returned
+// ElasticChaos.
 func (l *ledger) chaos(name string, begin func() (*core.Placement, error)) (*ElasticChaos, error) {
 	cl := l.cl
 	ch := &ElasticChaos{Phase: name}
-	migDone := make(chan error, 1)
-	trigger := func() {
-		go func() {
+	tr := &chaosTrigger{
+		open: func() error {
 			p, err := begin()
 			if err != nil {
-				migDone <- fmt.Errorf("begin %s: %w", name, err)
-				return
+				return fmt.Errorf("begin %s: %w", name, err)
 			}
 			ch.EpochAfter = p.Epoch
 			midx, _ := cl.NewIndex(0)
-			mig := midx.(sphinxIndex).c
-			for sweep := 0; ; sweep++ {
-				if sweep >= 100 {
-					migDone <- fmt.Errorf("%s: migration did not converge in %d sweeps", name, sweep)
-					return
-				}
-				srep, err := mig.MigrateSweep()
-				if err != nil {
-					migDone <- fmt.Errorf("%s sweep %d: %w", name, sweep, err)
-					return
-				}
-				ch.Sweeps++
-				ch.MovedNodes += srep.MovedNodes
-				ch.MovedLeaves += srep.MovedLeaves
-				ch.AnchorsCopied += srep.AnchorsCopied
-				ch.AnchorsRemoved += srep.AnchorsRemoved
-				if srep.CutOver {
-					migDone <- nil
-					return
-				}
+			ch.mig = midx.(sphinxIndex).c
+			return nil
+		},
+		step: func() (bool, error) {
+			if ch.Sweeps >= 100 {
+				return false, fmt.Errorf("%s: migration did not converge in %d sweeps", name, ch.Sweeps)
 			}
-		}()
+			srep, err := ch.mig.MigrateSweep()
+			if err != nil {
+				return false, fmt.Errorf("%s sweep %d: %w", name, ch.Sweeps, err)
+			}
+			ch.Sweeps++
+			ch.MovedNodes += srep.MovedNodes
+			ch.MovedLeaves += srep.MovedLeaves
+			ch.AnchorsCopied += srep.AnchorsCopied
+			ch.AnchorsRemoved += srep.AnchorsRemoved
+			return srep.CutOver, nil
+		},
 	}
-	stats, err := l.run(trigger)
+	stats, err := l.run(name, tr)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	if err := <-migDone; err != nil {
-		return nil, err
-	}
-	ch.EpochFallbacks = stats.EpochFallbacks
-	ch.SpecRefutes = stats.SpecRefutes
-	ch.FalsePositives = stats.FalsePositives
-	ch.Restarts = stats.Restarts
+	ch.EpochFallbacks = stats.core.EpochFallbacks
+	ch.SpecRefutes = stats.core.SpecRefutes
+	ch.FalsePositives = stats.core.FalsePositives
+	ch.Restarts = stats.core.Restarts
 	return ch, nil
+}
+
+// chaosTrigger is the contract between chaos and run: open begins the
+// transition (called under the workers' barrier), step advances the
+// migration one sweep and reports cutover. Worker 0 paces step calls
+// through its remaining ops and drains any leftover sweeps after its
+// loop, so migration is concurrent with serving but its progress is
+// tied to measured load rather than wall-clock scheduling luck.
+type chaosTrigger struct {
+	open func() error
+	step func() (bool, error)
+}
+
+// phaseStats is one ledgered pass's aggregated accounting: the worker
+// clients' core counters and their summed fabric round trips.
+type phaseStats struct {
+	core      core.Stats
+	clientRTs uint64
 }
 
 // run drives one ledgered 50/50 read/update pass: cfg.Workers workers,
 // cfg.OpsPerWorker ops each over their fixed key shard, read-your-write
-// checked against the ledger on every read. Returns the phase's
-// aggregated core counters.
-func (l *ledger) run(trigger func()) (core.Stats, error) {
+// checked against the ledger on every read. Every op's virtual latency
+// feeds the ledger metrics; worker 0 ticks the observability plane as
+// it goes, and the phase ends with one tick at its accumulated end
+// time. Returns the phase's aggregated counters; its SLO verdict is
+// appended to sloPhases (skipped for the calibration pass, which runs
+// before the SLO exists).
+func (l *ledger) run(name string, trigger *chaosTrigger) (phaseStats, error) {
 	cl, cfg := l.cl, l.cfg
 	workers := cfg.Workers
 	ops := cfg.OpsPerWorker
-	triggerAt := ops / 4
+	// Open the transition an eighth of the way in and pace the sweeps so
+	// cutover lands around 80% through worker 0's loop: the transition
+	// stays open across most of the phase's measured reads, which is what
+	// makes the chaos phases' SLO burn a reliable signal rather than a
+	// race against how fast a migrator happens to be scheduled.
+	triggerAt := ops / 8
+	sweepEvery := max((ops-triggerAt)*2/5, 1)
 	var triggerOnce sync.Once
+	var triggerErr error
 
 	stats := make([]core.Stats, workers)
+	clientRTs := make([]uint64, workers)
+	clocks := make([]int64, workers)
+	lats := make([][]int64, workers)
 	errCh := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			idx, _ := cl.NewIndex(w % cfg.CNs)
+			// Measured workers run without the speculative leaf-address
+			// cache (see NewIndexNoSpec): the SLO below must see the
+			// migration's fallback cost, not the fast path hiding it.
+			idx, fc := cl.NewIndexNoSpec(w % cfg.CNs)
 			si := idx.(sphinxIndex)
 			shard := l.shards[w]
 			lastAcked := l.acked[w]
+			// Warm the fresh client over its whole shard before measuring.
+			// This pays the cold directory-view round trips up front AND
+			// unlearns the succinct filter's false positives for every key
+			// the measured loop can draw: an FP costs the same 2 extra
+			// round trips as a mid-transition epoch fallback, so leaving
+			// them in would make steady phases indistinguishable from
+			// chaos in the latency tail.
+			for _, key := range shard {
+				if _, _, err := idx.Search(key); err != nil {
+					errCh <- fmt.Errorf("worker %d warmup: %w", w, err)
+					return
+				}
+			}
 			rng := uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(l.phase*workers+w+1)
+			cutOver := trigger == nil
 			for i := 0; i < ops; i++ {
-				if w == 0 && trigger != nil && i == triggerAt {
-					triggerOnce.Do(trigger)
+				if trigger != nil && i == triggerAt {
+					// Barrier: every worker blocks here until the
+					// transition is open (Once.Do holds late arrivals
+					// until the first call returns), so all post-trigger
+					// ops run against it.
+					triggerOnce.Do(func() { triggerErr = trigger.open() })
+					if triggerErr != nil {
+						errCh <- triggerErr
+						return
+					}
+				}
+				if w == 0 && !cutOver && i > triggerAt && (i-triggerAt)%sweepEvery == 0 {
+					done, err := trigger.step()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					cutOver = done
 				}
 				rng ^= rng << 13
 				rng ^= rng >> 7
 				rng ^= rng << 17
 				ki := int(rng>>33) % len(shard)
 				key := shard[ki]
-				if rng&1 == 0 {
+				t0, rt0 := fc.Clock(), fc.RoundTrips()
+				isRead := rng&1 == 0
+				if isRead {
 					v, ok, err := idx.Search(key)
 					if err != nil {
 						errCh <- fmt.Errorf("worker %d read op %d: %w", w, i, err)
@@ -443,6 +642,9 @@ func (l *ledger) run(trigger func()) (core.Stats, error) {
 						errCh <- fmt.Errorf("worker %d op %d: read-your-write violated for %q", w, i, key)
 						return
 					}
+					lat := fc.Clock() - t0
+					l.metrics.ObserveOp(obs.OpGet, lat, fc.RoundTrips()-rt0)
+					lats[w] = append(lats[w], lat)
 				} else {
 					val := []byte(fmt.Sprintf("p%d-w%d-op%d", l.phase, w, i))
 					if _, err := idx.Update(key, val); err != nil {
@@ -450,21 +652,64 @@ func (l *ledger) run(trigger func()) (core.Stats, error) {
 						return
 					}
 					lastAcked[ki] = val
+					l.metrics.ObserveOp(obs.OpUpdate, fc.Clock()-t0, fc.RoundTrips()-rt0)
+				}
+				if w == 0 && l.plane != nil && (i+1)%l.tickEvery == 0 {
+					l.plane.Tick(l.basePs + fc.Clock())
 				}
 			}
+			// Worker 0 drains any sweeps the pacing left unfinished, so
+			// the phase always ends cut over and converged.
+			for w == 0 && !cutOver {
+				done, err := trigger.step()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				cutOver = done
+			}
 			stats[w] = si.c.Stats()
+			clientRTs[w] = fc.RoundTrips()
+			clocks[w] = fc.Clock()
 		}(w)
 	}
 	wg.Wait()
 	close(errCh)
 	for err := range errCh {
-		return core.Stats{}, err
+		return phaseStats{}, err
 	}
 	l.phase++
-	var agg core.Stats
-	for _, s := range stats {
-		agg = agg.Add(s)
+	var agg phaseStats
+	var maxClock int64
+	var all []int64
+	for w, s := range stats {
+		agg.core = agg.core.Add(s)
+		agg.clientRTs += clientRTs[w]
+		maxClock = max(maxClock, clocks[w])
+		all = append(all, lats[w]...)
 	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	l.lastLats = all
+
+	// Advance the accumulated virtual time to the phase's end (the
+	// slowest worker's clock) and close the phase out on the plane, then
+	// score the phase against the SLO from the exact read latencies.
+	l.basePs += maxClock
+	if l.plane == nil {
+		return agg, nil // calibration pass: no SLO configured yet
+	}
+	l.plane.Tick(l.basePs)
+	var bad uint64
+	for i := len(all) - 1; i >= 0 && uint64(all[i]) > l.slo.LatencyPs; i-- {
+		bad++
+	}
+	sp := ElasticSLOPhase{Phase: name, Ops: uint64(len(all)), Bad: bad}
+	if len(all) > 0 {
+		sp.Burn = float64(bad) / float64(len(all)) / (1 - l.slo.Quantile)
+		sp.P99Ps = uint64(all[int(0.99*float64(len(all)-1))])
+		sp.MaxPs = uint64(all[len(all)-1])
+	}
+	l.sloPhases = append(l.sloPhases, sp)
 	return agg, nil
 }
 
@@ -501,12 +746,13 @@ func nicWindow(name string, before, after []fabric.NICStats, members []mem.NodeI
 	for _, s := range after {
 		p := prev[s.Node]
 		l := MNLoad{
-			Node:   int(s.Node),
-			Member: member[int(s.Node)],
-			Verbs:  s.Verbs - p.Verbs,
-			Bytes:  s.Bytes - p.Bytes,
-			BusyPs: s.BusyPs - p.BusyPs,
-			WaitPs: s.WaitPs - p.WaitPs,
+			Node:       int(s.Node),
+			Member:     member[int(s.Node)],
+			Verbs:      s.Verbs - p.Verbs,
+			Bytes:      s.Bytes - p.Bytes,
+			BusyPs:     s.BusyPs - p.BusyPs,
+			WaitPs:     s.WaitPs - p.WaitPs,
+			RoundTrips: s.RoundTrips - p.RoundTrips,
 		}
 		total += l.Verbs
 		w.Loads = append(w.Loads, l)

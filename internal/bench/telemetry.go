@@ -24,6 +24,12 @@ type Live struct {
 	Metrics *obs.Metrics
 	Index   *obs.IndexMetrics
 	Tail    *obs.TailSampler
+	// Plane is the cluster observability plane behind /mn, /slo and
+	// /alerts: per-MN windowed load series, SLO burn rates over the live
+	// histograms, and the default alert rules. Its collector follows the
+	// current cluster like the gauge sources do; -serve mode ticks it
+	// from a wall-clock sampler.
+	Plane *obs.Plane
 
 	reg *obs.Registry
 	cur atomic.Pointer[Cluster]
@@ -32,11 +38,27 @@ type Live struct {
 // NewLive creates the live telemetry surface. Pass it via Config.Live to
 // every cluster that should report into it.
 func NewLive() *Live {
-	return &Live{
+	lv := &Live{
 		Metrics: obs.NewMetrics(),
 		Index:   obs.NewIndexMetrics(),
 		Tail:    obs.NewTailSampler(0, 0),
 	}
+	// The read-p99 objective is deliberately loose for a simulated
+	// fabric (25 µs); it exists so /slo and the burn-rate alerts have a
+	// live series to chew on, not as a tuned production target.
+	lv.Plane, _ = obs.NewPlane(obs.PlaneOptions{
+		Collect: func() []obs.MNSample {
+			if cl := lv.cur.Load(); cl != nil {
+				return cl.collectMNs()
+			}
+			return nil
+		},
+		Latency: func(k obs.OpKind) obs.HistSnapshot { return lv.Metrics.OpLatency(k) },
+		SLOs: []obs.SLO{
+			{Name: "read-p99", Op: obs.OpGet, Quantile: 0.99, LatencyPs: 25_000_000},
+		},
+	})
+	return lv
 }
 
 // attach points the gauge sources at a newly created cluster.
@@ -60,6 +82,7 @@ func (lv *Live) Registry() *obs.Registry {
 	r := obs.NewRegistry()
 	r.AddMetrics("bench", lv.Metrics)
 	lv.Index.Register(r)
+	lv.Plane.Register(r)
 	r.AddCounters("tail", lv.Tail.Counters)
 	r.AddCounterStruct("core", func() any {
 		if cl := lv.cur.Load(); cl != nil {
@@ -297,6 +320,50 @@ func (cl *Cluster) filterOccupancy() (occupied, capacity uint64, load, bound flo
 		bound /= float64(n)
 	}
 	return occupied, capacity, load, bound
+}
+
+// collectMNs samples every memory node for the observability plane:
+// fabric NIC accounting (cumulative — the plane windows the deltas),
+// breaker health, hash-table load for nodes holding an INHT, and arena
+// occupancy (skipped for killed nodes, whose regions are gone).
+func (cl *Cluster) collectMNs() []obs.MNSample {
+	h := cl.F.Health()
+	members := make(map[mem.NodeID]bool)
+	for _, n := range cl.memberNodes() {
+		members[n] = true
+	}
+	tables := cl.sphinxShared.Tables
+	if m := cl.sphinxShared.Members; m != nil {
+		tables = m.Current().Tables
+	}
+	ops := cl.F.Regions()
+	stats := cl.F.NICStats()
+	out := make([]obs.MNSample, 0, len(stats))
+	for _, st := range stats {
+		n := st.Node
+		state := h.State(n)
+		s := obs.MNSample{
+			Node: int(n), Member: members[n],
+			Health: state.String(), HealthCode: float64(state),
+			RoundTrips: st.RoundTrips, Verbs: st.Verbs, Bytes: st.Bytes,
+			Faults: st.Faults, BusyPs: st.BusyPs, WaitPs: st.WaitPs,
+		}
+		if t, ok := tables[n]; ok {
+			u := racehash.ReadUsage(cl.F.Region(n), t)
+			s.HashLoad = u.LoadFactor()
+			s.HashEntries = u.Entries
+		}
+		if !cl.F.NodeKilled(n) {
+			if mu, err := mem.ReadUsage(ops, n); err == nil {
+				for _, b := range mu.ByClass {
+					s.ArenaUsed += b
+				}
+				s.ArenaCap = cl.F.RegionSize(n)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // memberNodes returns the memory nodes of the current placement — the

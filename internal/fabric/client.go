@@ -398,7 +398,14 @@ func (c *Client) runBatch(ops []Op) (int, error) {
 		}
 	}
 
+	// The batch's one round trip is attributed to the NIC that gates its
+	// completion: the share with the latest reservation finish (ties
+	// break to the lowest node ID, since shares are sorted). Every path
+	// that returns before this loop charges neither the client round
+	// trip nor any NIC, so Σ per-NIC rts == Σ client RoundTrips holds
+	// unconditionally, faults included.
 	completion := start
+	var gate *nic
 	for i := range shares {
 		sh := &shares[i]
 		n, err := c.f.node(sh.node)
@@ -406,9 +413,16 @@ func (c *Client) runBatch(ops []Op) (int, error) {
 			return 0, err
 		}
 		s := n.nic.reserve(start, sh.cost, sh.verbs, sh.bytes)
+		if gate == nil {
+			gate = &n.nic
+		}
 		if fin := s + sh.cost + cfg.RTTPs; fin > completion {
 			completion = fin
+			gate = &n.nic
 		}
+	}
+	if gate != nil {
+		gate.chargeRT()
 	}
 
 	// Execute the data movement. Within a batch, verbs execute in posting

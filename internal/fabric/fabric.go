@@ -126,6 +126,7 @@ type nic struct {
 	waitPs int64 // queueing delay: reservations pushed past their ready time
 	verbs  uint64
 	bytes  uint64
+	rts    uint64 // completed batches whose completion this NIC gated
 	faults uint64 // injected faults charged to batches targeting this NIC
 }
 
@@ -133,6 +134,17 @@ type nic struct {
 func (n *nic) chargeFault() {
 	n.mu.Lock()
 	n.faults++
+	n.mu.Unlock()
+}
+
+// chargeRT attributes one completed doorbell batch to this NIC. Each
+// batch is charged to exactly one NIC — the one whose reservation
+// finish time gated the batch's completion — so summing rts across
+// nodes always equals the clients' RoundTrips total, giving per-MN
+// round-trip accounting that reconciles exactly.
+func (n *nic) chargeRT() {
+	n.mu.Lock()
+	n.rts++
 	n.mu.Unlock()
 }
 
@@ -335,7 +347,12 @@ type NICStats struct {
 	WaitPs int64
 	Verbs  uint64
 	Bytes  uint64
-	Faults uint64 // injected faults on batches targeting this NIC
+	// RoundTrips counts completed doorbell batches attributed to this
+	// node: each batch is charged to the single NIC whose reservation
+	// gated its completion (ties break to the lowest node ID), so the
+	// sum over all nodes equals the clients' RoundTrips total exactly.
+	RoundTrips uint64
+	Faults     uint64 // injected faults on batches targeting this NIC
 }
 
 // NICStats returns the NIC counters of every node.
@@ -345,7 +362,7 @@ func (f *Fabric) NICStats() []NICStats {
 	out := make([]NICStats, len(f.nodes))
 	for i, n := range f.nodes {
 		n.nic.mu.Lock()
-		out[i] = NICStats{Node: mem.NodeID(i), BusyPs: n.nic.busyPs, WaitPs: n.nic.waitPs, Verbs: n.nic.verbs, Bytes: n.nic.bytes, Faults: n.nic.faults}
+		out[i] = NICStats{Node: mem.NodeID(i), BusyPs: n.nic.busyPs, WaitPs: n.nic.waitPs, Verbs: n.nic.verbs, Bytes: n.nic.bytes, RoundTrips: n.nic.rts, Faults: n.nic.faults}
 		n.nic.mu.Unlock()
 	}
 	return out

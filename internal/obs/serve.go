@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -17,6 +18,10 @@ type ServeOptions struct {
 	// Tail, when non-nil, backs /traces with the captured slow-op
 	// timelines.
 	Tail *TailSampler
+	// Plane, when non-nil, backs /mn (per-MN load table), /slo (SLO
+	// burn rates) and /alerts (alert states) with the cluster
+	// observability plane.
+	Plane *Plane
 }
 
 // NewHandler builds the live observability endpoint:
@@ -24,6 +29,10 @@ type ServeOptions struct {
 //	/metrics   Prometheus text exposition (cumulative counters)
 //	/snapshot  JSON registry diff since the handler was created
 //	/traces    recent tail-sampled slow-op traces, annotated
+//	/mn        per-MN load table (JSON): busy/wait ratios, verb share,
+//	           occupancy, health, recent windows
+//	/slo       SLO statuses (JSON): fast/slow burn rates, attainment
+//	/alerts    alert states (JSON): firing/pending/inactive, counters
 //	/debug/pprof/...  the standard Go profiling endpoints
 //
 // The handler snapshots the registry once at creation so /snapshot
@@ -49,6 +58,9 @@ func NewHandler(opts ServeOptions) http.Handler {
 			"/metrics       Prometheus text exposition\n"+
 			"/snapshot      JSON registry diff since serving started\n"+
 			"/traces        recent tail-sampled slow-op traces\n"+
+			"/mn            per-MN load table (JSON)\n"+
+			"/slo           SLO burn rates and attainment (JSON)\n"+
+			"/alerts        alert states (JSON)\n"+
 			"/debug/pprof/  Go profiling\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -80,6 +92,25 @@ func NewHandler(opts ServeOptions) http.Handler {
 				s.Seq, s.Kind, float64(s.LatencyPs)/1e6, float64(s.ThresholdPs)/1e6,
 				s.Cause, s.Trace.Format())
 		}
+	})
+	planeJSON := func(w http.ResponseWriter, v func() any) {
+		if opts.Plane == nil {
+			http.Error(w, "no observability plane", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v())
+	}
+	mux.HandleFunc("/mn", func(w http.ResponseWriter, r *http.Request) {
+		planeJSON(w, func() any { return opts.Plane.Snapshot() })
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		planeJSON(w, func() any { return opts.Plane.SLOStatuses() })
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		planeJSON(w, func() any { return opts.Plane.Alerts() })
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -33,6 +33,7 @@ type TailSampler struct {
 	mu       sync.Mutex
 	quantile float64
 	warmup   uint64
+	minPop   uint64 // observations needed before the quantile is meaningful
 	buckets  [NumOps][NumBuckets]uint64 // power-of-two latency counts
 	counts   [NumOps]uint64
 	samples  []TailSample // ring of the most recent captures
@@ -44,9 +45,12 @@ type TailSampler struct {
 
 // NewTailSampler creates a sampler keeping up to capacity traces at or
 // above the given latency quantile (0 < quantile < 1; out-of-range
-// values select the default p99). A per-op-kind warmup of 64
-// observations must pass before anything is captured, so cold-start
-// outliers do not flood the ring.
+// values select the default p99). A per-op-kind minimum population must
+// pass before anything is captured: at least the 64-observation warmup,
+// and at least ceil(1/(1-quantile)) observations so the quantile itself
+// is meaningful — below that, the target rank equals the population and
+// the "threshold" degenerates to the busiest bucket's lower edge,
+// capturing essentially every op.
 func NewTailSampler(quantile float64, capacity int) *TailSampler {
 	if quantile <= 0 || quantile >= 1 {
 		quantile = 0.99
@@ -57,6 +61,7 @@ func NewTailSampler(quantile float64, capacity int) *TailSampler {
 	return &TailSampler{
 		quantile: quantile,
 		warmup:   64,
+		minPop:   uint64(math.Ceil(1 / (1 - quantile))),
 		samples:  make([]TailSample, 0, capacity),
 	}
 }
@@ -99,7 +104,7 @@ func (ts *TailSampler) Offer(kind OpKind, tr *Trace) bool {
 	ts.offered++
 	ts.buckets[kind][bits.Len64(lat)]++
 	ts.counts[kind]++
-	if ts.counts[kind] <= ts.warmup {
+	if ts.counts[kind] <= ts.warmup || ts.counts[kind] < ts.minPop {
 		return false
 	}
 	thr := ts.thresholdLocked(kind)
@@ -162,7 +167,7 @@ func (ts *TailSampler) Threshold(kind OpKind) uint64 {
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	if ts.counts[kind] <= ts.warmup {
+	if ts.counts[kind] <= ts.warmup || ts.counts[kind] < ts.minPop {
 		return 0
 	}
 	return ts.thresholdLocked(kind)

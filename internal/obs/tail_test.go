@@ -60,6 +60,47 @@ func TestTailSamplerThreshold(t *testing.T) {
 	}
 }
 
+// TestTailSamplerColdStart is the pre-fix-failing regression for the
+// cold-start hole: between the 64-op warmup and the ~100 observations a
+// p99 needs to be meaningful, the target rank ceil(0.99*n) equals n, so
+// the "threshold" collapsed to the busiest bucket's lower edge and the
+// sampler captured essentially every op. With the minimum-population
+// gate, nothing is captured (and no threshold is reported) until the
+// p99 has at least ceil(1/(1-q)) = 100 observations.
+func TestTailSamplerColdStart(t *testing.T) {
+	ts := NewTailSampler(0.99, 32)
+	for i := 0; i < 99; i++ {
+		if ts.Offer(OpGet, mkTrace(6_600_000)) { // uniform warm-Get latency
+			t.Fatalf("offer %d captured before the p99 had a meaningful population", i+1)
+		}
+		if thr := ts.Threshold(OpGet); thr != 0 {
+			t.Fatalf("threshold %d reported at population %d, want 0 before 100", thr, i+1)
+		}
+	}
+	if _, captured := ts.Stats(); captured != 0 {
+		t.Fatalf("captured %d ops during cold start, want 0", captured)
+	}
+	// At 100 observations the quantile becomes meaningful and the
+	// sampler behaves as before: a genuine outlier is captured.
+	ts.Offer(OpGet, mkTrace(6_600_000))
+	if thr := ts.Threshold(OpGet); thr == 0 {
+		t.Fatal("threshold still zero at population 100")
+	}
+	if !ts.Offer(OpGet, mkTrace(600_000_000)) {
+		t.Fatal("100x outlier not captured post-gate")
+	}
+
+	// Low quantiles need smaller populations: the old 64-op warmup
+	// already exceeds ceil(1/(1-0.5)) = 2, so p50 behavior is unchanged.
+	p50 := NewTailSampler(0.5, 4)
+	for i := 0; i < 64; i++ {
+		p50.Offer(OpGet, mkTrace(1_000_000))
+	}
+	if !p50.Offer(OpGet, mkTrace(2_000_000)) {
+		t.Fatal("p50 capture gated beyond its warmup")
+	}
+}
+
 // TestTailSamplerRing checks ring-buffer retention: capacity bounds the
 // sample count, Samples returns newest first, and the retained traces
 // are clones that survive recorder reuse.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"sphinx/internal/artdm"
 	"sphinx/internal/core"
@@ -395,17 +396,23 @@ func (s *Session) Trace(name string, op func() error) (*Trace, error) {
 // the background and returns the owning server plus its bound address
 // (pass "127.0.0.1:0" for an ephemeral port). Endpoints: /metrics
 // (Prometheus text), /snapshot (JSON diff since serving started, or
-// ?absolute), /traces (tail-sampled slow-op timelines), and
-// /debug/pprof. The registry is assembled here, on the caller's
-// goroutine, before any scrape can race its construction; its counter
-// sources are atomic, so scrapes stay race-clean against live
-// operations. Close the returned server to stop serving.
+// ?absolute), /traces (tail-sampled slow-op timelines), /mn /slo
+// /alerts (the cluster observability plane), and /debug/pprof. The
+// registry is assembled here, on the caller's goroutine, before any
+// scrape can race its construction; its counter sources are atomic, so
+// scrapes stay race-clean against live operations. Serving also starts
+// the plane's wall-clock sampler (process-lifetime, 250 ms cadence) and
+// installs this session's histograms as the SLO engine's latency source
+// if none is installed yet. Close the returned server to stop serving.
 func (s *Session) ServeObservability(addr string) (*http.Server, string, error) {
-	h := obs.NewHandler(obs.ServeOptions{Registry: s.Registry(), Tail: s.tail})
+	c := s.cn.cluster
+	c.sloSource.CompareAndSwap(nil, s.metrics)
+	h := obs.NewHandler(obs.ServeOptions{Registry: s.Registry(), Tail: s.tail, Plane: c.plane})
 	srv, bound, err := obs.Serve(addr, h)
 	if err != nil {
 		return nil, "", err
 	}
+	c.plane.EnsureWallTicker(250 * time.Millisecond)
 	return srv, bound.String(), nil
 }
 
@@ -541,6 +548,10 @@ func (s *Session) Registry() *Registry {
 	case s.smart != nil:
 		r.AddCounterStruct("smart", func() any { return s.smart.ClientStats() })
 	}
+	// The cluster observability plane: mn_* per-node load families,
+	// slo_* burn rates, alert_* states. System-agnostic — collectors
+	// read the fabric and MN-side structures directly.
+	s.cn.cluster.plane.Register(r)
 	r.AddCounters("tail", s.tail.Counters)
 	r.AddMetrics("session", s.metrics)
 	s.registry = r

@@ -33,13 +33,42 @@ package sphinx
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sphinx/internal/artdm"
 	"sphinx/internal/consistenthash"
 	"sphinx/internal/core"
 	"sphinx/internal/fabric"
 	"sphinx/internal/mem"
+	"sphinx/internal/obs"
+	"sphinx/internal/racehash"
 	"sphinx/internal/smart"
+)
+
+// SLO is a per-op-kind latency objective evaluated by the cluster's
+// observability plane: at least Quantile of Op operations must complete
+// within LatencyPs. See Config.SLOs.
+type SLO = obs.SLO
+
+// Alert is the state of one (rule, label) pair in the plane's alert
+// engine; see Cluster.Alerts.
+type Alert = obs.Alert
+
+// PlaneSnapshot is the cluster observability plane's JSON shape: the
+// per-MN load table plus SLO statuses and alert states. See
+// Cluster.Observability.
+type PlaneSnapshot = obs.PlaneSnapshot
+
+// OpKind identifies an operation kind in SLO targets.
+type OpKind = obs.OpKind
+
+// Operation kinds for SLO targets.
+const (
+	OpGet    = obs.OpGet
+	OpPut    = obs.OpPut
+	OpUpdate = obs.OpUpdate
+	OpDelete = obs.OpDelete
+	OpScan   = obs.OpScan
 )
 
 // System selects the index implementation a cluster runs.
@@ -115,6 +144,18 @@ type Config struct {
 	// loss. 0 (the default) disables the layer; values >= 2 enable it
 	// (1 is rounded up to 2 — a single replica cannot survive a loss).
 	Replication int
+	// SLOs configures latency objectives for the cluster observability
+	// plane: each is evaluated every sample into fast/slow error-budget
+	// burn rates, exported as slo_* metric families and fed to the alert
+	// engine. The plane samples when SampleObservability is called
+	// (virtual-clock driven, as tests and bench do) or on a wall-clock
+	// ticker in -serve mode.
+	SLOs []SLO
+	// ObservabilityWindowPs is the plane's time-series window length in
+	// picoseconds of the sampling clock (default 250 ms of wall time,
+	// matched to -serve mode's scrape cadence; virtual-clock drivers
+	// pick windows matched to their workload length).
+	ObservabilityWindowPs int64
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +195,14 @@ type Cluster struct {
 	sphinxShared core.Shared
 	smartShared  smart.Shared
 	artShared    artdm.Shared
+
+	// plane is the cluster observability plane: per-MN windowed load
+	// series, SLO burn rates, hysteresis alerts. sloSource is the
+	// session metrics set feeding the SLO engine's latency histograms —
+	// installed by the first ServeObservability caller (or explicitly by
+	// bench harnesses).
+	plane     *obs.Plane
+	sloSource atomic.Pointer[obs.Metrics]
 
 	nextCN int
 }
@@ -198,8 +247,83 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.plane, err = obs.NewPlane(obs.PlaneOptions{
+		WindowPs: cfg.ObservabilityWindowPs,
+		Collect:  cl.collectMNs,
+		Latency: func(k obs.OpKind) obs.HistSnapshot {
+			if m := cl.sloSource.Load(); m != nil {
+				return m.OpLatency(k)
+			}
+			return obs.HistSnapshot{}
+		},
+		SLOs: cfg.SLOs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sphinx: building observability plane: %w", err)
+	}
 	return cl, nil
 }
+
+// collectMNs samples every fabric node for the observability plane:
+// NIC accounting, breaker state, membership, hash-table load and arena
+// occupancy. MN-side scans (racehash usage, allocator counters) cost no
+// fabric round trips, like a management agent running on the node.
+func (c *Cluster) collectMNs() []obs.MNSample {
+	h := c.f.Health()
+	members := make(map[mem.NodeID]bool)
+	for _, n := range c.memNodes() {
+		members[n] = true
+	}
+	tables := c.sphinxShared.Tables
+	if c.sphinxShared.Members != nil {
+		tables = c.sphinxShared.Members.Current().Tables
+	}
+	ops := c.f.Regions()
+	stats := c.f.NICStats()
+	out := make([]obs.MNSample, 0, len(stats))
+	for _, st := range stats {
+		n := st.Node
+		state := h.State(n)
+		s := obs.MNSample{
+			Node: int(n), Member: members[n],
+			Health: state.String(), HealthCode: float64(state),
+			RoundTrips: st.RoundTrips, Verbs: st.Verbs, Bytes: st.Bytes,
+			Faults: st.Faults, BusyPs: st.BusyPs, WaitPs: st.WaitPs,
+		}
+		if t, ok := tables[n]; ok {
+			u := racehash.ReadUsage(c.f.Region(n), t)
+			s.HashLoad = u.LoadFactor()
+			s.HashEntries = u.Entries
+		}
+		if !c.f.NodeKilled(n) {
+			if mu, err := mem.ReadUsage(ops, n); err == nil {
+				for _, b := range mu.ByClass {
+					s.ArenaUsed += b
+				}
+				s.ArenaCap = c.f.RegionSize(n)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SampleObservability advances the cluster observability plane to the
+// given virtual time: per-MN NIC deltas land in their series windows,
+// SLO burn rates are recomputed, and alert rules are stepped. Tests and
+// benchmarks drive this from their virtual clocks; -serve mode ticks it
+// from a wall-clock sampler instead, so callers there never need it.
+func (c *Cluster) SampleObservability(nowPs int64) { c.plane.Tick(nowPs) }
+
+// Alerts returns the alert engine's current state: one entry per
+// (rule, label) pair that has ever been evaluated, with firing/resolved
+// transition counters. The autoscaler-facing subscription point.
+func (c *Cluster) Alerts() []Alert { return c.plane.Alerts() }
+
+// Observability returns the plane's full snapshot: the per-MN load
+// table (busy/wait ratios, verb share, occupancy, health, recent
+// windows), SLO statuses and alert states.
+func (c *Cluster) Observability() PlaneSnapshot { return c.plane.Snapshot() }
 
 // System returns the cluster's index system.
 func (c *Cluster) System() System { return c.cfg.System }
