@@ -45,7 +45,7 @@ func main() {
 	scaleWorkers := flag.String("scale-workers", "", "comma-separated worker counts for the scaling experiment (default 1,2,4,8,16)")
 	warm := flag.Bool("warm", false, "split every workload run into a warmup and a steady-state pass, reporting both (fastpath implies it)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|treedepth|valsweep|pipeline|fastpath|failover|elastic|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig4|fig5|fig6|ablation|scaling|treedepth|valsweep|pipeline|fastpath|failover|elastic|skew|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -174,6 +174,12 @@ func main() {
 				if err == nil {
 					report(name).Elastic = erep
 				}
+			case "skew":
+				var srep *bench.SkewReport
+				results, srep, err = bench.Skew(cfg, nil, os.Stdout)
+				if err == nil {
+					report(name).Skew = srep
+				}
 			default:
 				return fmt.Errorf("unknown experiment %q", name)
 			}
@@ -226,11 +232,26 @@ func main() {
 					l.SpecHits, l.SpecRefutes, l.SpecAborts, r.Metrics.FabricRoundTrips)
 				bad++
 			}
+			if h := r.Metrics.Hot; h != nil && h.HotReconciled != nil && !*h.HotReconciled {
+				fmt.Fprintf(os.Stderr, "sphinxbench: %s %s depth=%d: hot-replica round trips do not reconcile (hits %d, refutes %d, aborts %d)\n",
+					r.System, r.Workload, r.Depth, h.HotHits, h.HotRefutes, h.HotAborts)
+				bad++
+			}
 		}
 		if bad > 0 {
 			fmt.Fprintf(os.Stderr, "sphinxbench: %d result(s) failed metrics reconciliation\n", bad)
 			os.Exit(1)
 		}
+	}
+	// The skew experiment carries its own acceptance gate: hot-replicated
+	// throughput at theta=0.99, flattened per-MN imbalance, and the
+	// trust-but-verify reconciliation of every replica read. A failed
+	// gate fails the run regardless of -metrics (the experiment forces
+	// metrics on internally).
+	if rep := reports["skew"]; rep != nil && rep.Skew != nil && !rep.Skew.Pass {
+		fmt.Fprintf(os.Stderr, "sphinxbench: skew gate failed (speedup@0.99 %.2f, gate %.1fx)\n",
+			rep.Skew.SpeedupAt099, rep.Skew.Gate)
+		os.Exit(1)
 	}
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {

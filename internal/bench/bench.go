@@ -42,6 +42,7 @@ const (
 	SphinxTinyRand   // starved filter with random eviction (vs second chance)
 	SphinxNoDirCache // hash-table directory caches disabled
 	SphinxNoLAC      // speculative leaf-address cache disabled (3-RT warm reads)
+	SphinxHot        // hotness-driven read replication enabled (skew experiment)
 )
 
 // String names the system as the paper's figures do.
@@ -67,6 +68,8 @@ func (s System) String() string {
 		return "Sphinx-noDirC"
 	case SphinxNoLAC:
 		return "Sphinx-noLAC"
+	case SphinxHot:
+		return "Sphinx-hot"
 	default:
 		return fmt.Sprintf("system(%d)", int(s))
 	}
@@ -130,6 +133,19 @@ type Config struct {
 	// the Sphinx-family systems: the default lock-free filter, or the
 	// mutex-serialized baseline the scaling experiment ablates against.
 	SFCMode core.FilterCacheMode
+
+	// HotReplicas enables the hotness-driven read-replication layer for
+	// the Sphinx-family systems: each CN tracks its hottest read keys and
+	// promotes them into this many replicated, immutable, versioned
+	// records spread over ring-successor MNs; hot reads then pick among
+	// replicas with power-of-two-choices on NIC load. 0 (the default)
+	// disables the layer; the SphinxHot system forces
+	// core.DefaultHotReplication when unset.
+	HotReplicas int
+
+	// HotSetBytes is the per-CN budget for the hot-key tracker (frequency
+	// sketch + replica route caches). 0 selects core.DefaultHotSetBytes.
+	HotSetBytes uint64
 
 	// Replication enables the memory-node fault-tolerance layer for the
 	// Sphinx-family systems: every published entry is replicated to this
@@ -248,6 +264,7 @@ type Cluster struct {
 	artShared    artdm.Shared
 	filters      []*core.FilterCache // per CN
 	lacs         []*core.LeafCache   // per CN (nil for SphinxNoLAC)
+	hotsets      []*core.HotSet      // per CN (nil unless hot replication is on)
 	caches       []*smart.NodeCache  // per CN
 
 	// runMetrics is the current measurement phase's metric set, created
@@ -316,11 +333,23 @@ func NewCluster(sys System, cfg Config) (*Cluster, error) {
 	rand.New(rand.NewSource(cfg.Seed)).Read(cl.value)
 
 	switch sys {
-	case Sphinx, SphinxNoSFC, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoDirCache, SphinxNoLAC:
+	case Sphinx, SphinxNoSFC, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoDirCache, SphinxNoLAC, SphinxHot:
 		if cfg.Replication > 0 {
 			cl.sphinxShared, err = core.BootstrapReplicated(f, ring, cfg.Keys, cfg.Replication)
 		} else {
 			cl.sphinxShared, err = core.Bootstrap(f, ring, cfg.Keys)
+		}
+		hotR := cfg.HotReplicas
+		if sys == SphinxHot && hotR == 0 {
+			hotR = core.DefaultHotReplication
+		}
+		if err == nil && hotR > 0 {
+			if err = core.BootstrapHot(f, &cl.sphinxShared, 4096, hotR); err == nil {
+				cl.hotsets = make([]*core.HotSet, cfg.CNs)
+				for i := range cl.hotsets {
+					cl.hotsets[i] = core.NewHotSet(cfg.HotSetBytes, uint64(cfg.Seed)+uint64(i)*7919+3, cl.sphinxShared.Hot.R)
+				}
+			}
 		}
 		cl.filters = make([]*core.FilterCache, cfg.CNs)
 		for i := range cl.filters {
@@ -439,7 +468,7 @@ func (s artIndex) engine() *rart.Engine { return s.c.Engine() }
 func (cl *Cluster) sphinxOptions(cn int) (core.Options, bool) {
 	var o core.Options
 	switch cl.Sys {
-	case Sphinx, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoLAC:
+	case Sphinx, SphinxNoBatch, SphinxTinySFC, SphinxTinyRand, SphinxNoLAC, SphinxHot:
 		o = core.Options{Filter: cl.filters[cn%len(cl.filters)]}
 	case SphinxNoSFC:
 		o = core.Options{DisableFilter: true}
@@ -458,6 +487,12 @@ func (cl *Cluster) sphinxOptions(cn int) (core.Options, bool) {
 		o.LeafCache = cl.lacs[cn%len(cl.lacs)]
 	} else {
 		o.DisableLeafCache = true
+	}
+	// Workers of one CN share that CN's hot-key tracker, like the filter:
+	// the promotion claim bit then arbitrates one promoter per CN and the
+	// learned replica routes are visible to every worker on the node.
+	if len(cl.hotsets) > 0 {
+		o.Hot = cl.hotsets[cn%len(cl.hotsets)]
 	}
 	// The nil guard matters: assigning a nil observer interface
 	// unconditionally would make the field non-nil and panic on first

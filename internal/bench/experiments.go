@@ -7,6 +7,7 @@ import (
 
 	"sphinx/internal/core"
 	"sphinx/internal/dataset"
+	"sphinx/internal/fabric"
 	"sphinx/internal/ycsb"
 )
 
@@ -430,6 +431,183 @@ func Fastpath(base Config, out io.Writer) ([]Result, error) {
 			on.ThroughputMops/off.ThroughputMops, on.P50LatUs, off.P50LatUs)
 	}
 	return results, nil
+}
+
+// SkewThetas is the default zipfian sweep of the skew experiment: truly
+// uniform, the paper's default skew, and a pathological hot spot.
+var SkewThetas = []float64{ThetaUniform, 0.99, 1.2}
+
+// SkewSpeedupGate is the skew experiment's acceptance threshold: at
+// θ=0.99 the hot-replicated system must deliver at least this multiple
+// of the unreplicated baseline's steady-state throughput.
+const SkewSpeedupGate = 1.5
+
+// SkewPoint is one θ of the sweep: steady-state throughput of the
+// unreplicated baseline vs the hot-replicated system, their per-MN
+// round-trip imbalance scalars, and the hot layer's trust-but-verify
+// verdict.
+type SkewPoint struct {
+	Theta         float64 `json:"theta"`
+	BaseMops      float64 `json:"base_mops"`
+	HotMops       float64 `json:"hot_mops"`
+	Speedup       float64 `json:"speedup"`
+	BaseImbalance float64 `json:"base_imbalance"`
+	HotImbalance  float64 `json:"hot_imbalance"`
+	HotReconciled *bool   `json:"hot_reconciled,omitempty"`
+}
+
+// SkewReport is the skew experiment's verdict: the sweep points plus the
+// pass/fail of the θ=0.99 gates (speedup ≥ Gate, imbalance flattened,
+// every point's hot reads reconciled).
+type SkewReport struct {
+	Gate         float64     `json:"gate"`
+	Points       []SkewPoint `json:"points"`
+	SpeedupAt099 float64     `json:"speedup_at_099,omitempty"`
+	Pass         bool        `json:"pass"`
+}
+
+// skewNet is the skew experiment's network model: the default fabric
+// with a 10× per-byte cost (2.5 GB/s-class NICs). With 4 KiB values this
+// makes the value-read round trip's NIC occupancy the dominant cost, so
+// a skewed key distribution genuinely saturates the hot key's home MN —
+// the regime the hot-replication layer exists for. At the default
+// 25 GB/s the simulated NICs never queue at this scale and every
+// placement looks flat.
+func skewNet(base fabric.Config) fabric.Config {
+	if base == (fabric.Config{}) {
+		base = fabric.DefaultConfig()
+	}
+	base.PerByteFs *= 10
+	return base
+}
+
+// Skew measures hot-spot tolerance under zipfian skew (DESIGN.md §5.13):
+// read-only YCSB-C swept across request skews, for the unreplicated
+// Sphinx baseline against Sphinx-hot (hotness-driven read replication
+// with contention-aware replica choice). The cluster shape is forced to
+// the saturation regime: a small key population with 4 KiB values on
+// many slow-NIC MNs, so the baseline's throughput collapses onto the
+// hottest key's home NIC as θ grows while the replicated system spreads
+// the same reads over the replica set. Each run is split warmup/steady
+// (the tracker must first learn the hot set); gates are evaluated on the
+// steady pass. Metrics are forced on: the per-MN shares feed the
+// imbalance scalar and the hot section carries the reconciliation
+// verdict.
+func Skew(base Config, thetas []float64, out io.Writer) ([]Result, *SkewReport, error) {
+	if len(thetas) == 0 {
+		thetas = SkewThetas
+	}
+	cfg := base
+	cfg.Keys = 10_000
+	cfg.ValueSize = 4096
+	if cfg.MNs < 8 {
+		cfg.MNs = 16
+	}
+	if cfg.Workers < 48 {
+		cfg.Workers = 48
+	}
+	cfg.Depth = 1
+	cfg.Metrics = true
+	cfg.Warm = true
+	cfg.Net = skewNet(base.Net)
+	d := cfg.withDefaults()
+	fmt.Fprintf(out, "# Skew — hot-spot tolerance: YCSB-C theta sweep, replicated vs unreplicated, dataset=%v keys=%d mns=%d workers=%d value=%dB\n",
+		d.Dataset, d.Keys, d.MNs, d.Workers, d.ValueSize)
+	fmt.Fprintln(out, ResultHeader())
+	rep := &SkewReport{Gate: SkewSpeedupGate}
+	var results []Result
+	for _, theta := range thetas {
+		tcfg := cfg
+		tcfg.Theta = theta
+		if theta == 0 {
+			tcfg.Theta = ThetaUniform
+		}
+		eff := theta
+		if eff < 0 {
+			eff = 0
+		}
+		pt := SkewPoint{Theta: eff}
+		for _, sys := range []System{Sphinx, SphinxHot} {
+			cl, err := NewCluster(sys, tcfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := cl.Load(0); err != nil {
+				return nil, nil, fmt.Errorf("%v theta=%.2f load: %w", sys, eff, err)
+			}
+			warmup, steady, err := cl.RunPhases(ycsb.WorkloadC, 0, 0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%v theta=%.2f: %w", sys, eff, err)
+			}
+			for _, r := range []Result{warmup, steady} {
+				r.Workload = fmt.Sprintf("t%.2f/%c", eff, r.Phase[0])
+				results = append(results, r)
+				fmt.Fprintln(out, r.Row())
+				if diag := skewDiag(r); diag != "" {
+					fmt.Fprintln(out, diag)
+				}
+			}
+			if sys == SphinxHot {
+				pt.HotMops = steady.ThroughputMops
+				pt.HotImbalance = steady.MNImbalance
+				if steady.Metrics != nil && steady.Metrics.Hot != nil {
+					pt.HotReconciled = steady.Metrics.Hot.HotReconciled
+				}
+			} else {
+				pt.BaseMops = steady.ThroughputMops
+				pt.BaseImbalance = steady.MNImbalance
+			}
+		}
+		if pt.BaseMops > 0 {
+			pt.Speedup = pt.HotMops / pt.BaseMops
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(out, "    theta=%.2f: replicated %.2fx unreplicated (MN imbalance %.2f -> %.2f, reconciled %s)\n",
+			eff, pt.Speedup, pt.BaseImbalance, pt.HotImbalance, verdictString(pt.HotReconciled))
+	}
+	rep.Pass = true
+	for _, pt := range rep.Points {
+		if pt.HotReconciled == nil || !*pt.HotReconciled {
+			rep.Pass = false
+		}
+		if pt.Theta > 0.98 && pt.Theta < 1.0 {
+			rep.SpeedupAt099 = pt.Speedup
+			if pt.Speedup < rep.Gate || pt.HotImbalance >= pt.BaseImbalance {
+				rep.Pass = false
+			}
+		}
+	}
+	fmt.Fprintf(out, "    gate: theta=0.99 replicated >= %.1fx unreplicated, imbalance flattened, hot reads reconciled -> pass=%v\n",
+		rep.Gate, rep.Pass)
+	return results, rep, nil
+}
+
+// verdictString renders a tri-state reconciliation verdict.
+func verdictString(v *bool) string {
+	switch {
+	case v == nil:
+		return "n/a"
+	case *v:
+		return "true"
+	default:
+		return "FALSE"
+	}
+}
+
+// skewDiag renders one result's hot-replication section plus its per-MN
+// imbalance, or "" when neither is present.
+func skewDiag(r Result) string {
+	if r.Metrics == nil || r.Metrics.Hot == nil {
+		if r.MNImbalance > 0 {
+			return fmt.Sprintf("    [mn] imbalance %.2f (busiest/mean RT share over %d nodes)",
+				r.MNImbalance, len(r.MNShares))
+		}
+		return ""
+	}
+	h := r.Metrics.Hot
+	return fmt.Sprintf("    [hot] hits %d  refutes %d  aborts %d  promotes %d  refreshes %d  hit-rate %.1f%%  imbalance %.2f  reconciled %s",
+		h.HotHits, h.HotRefutes, h.HotAborts, h.Promotes, h.Refreshes,
+		100*h.HitRate, r.MNImbalance, verdictString(h.HotReconciled))
 }
 
 // fastpathDiag renders one result's leaf-address-cache section, or ""

@@ -28,6 +28,9 @@ type JSONReport struct {
 	// convergence and per-MN rebalancing verdict (its Result rows are the
 	// MN-count sweep).
 	Elastic *ElasticReport `json:"elastic,omitempty"`
+	// Skew carries the hot-spot tolerance experiment's theta-sweep
+	// verdict (its Result rows are the per-theta warmup/steady pairs).
+	Skew *SkewReport `json:"skew,omitempty"`
 }
 
 // NewJSONReport captures the experiment's sweep-invariant settings.

@@ -42,12 +42,14 @@ type MetricsBlock struct {
 	FabricRoundTrips uint64 `json:"fabric_round_trips"`
 	RTReconciled     bool   `json:"rt_reconciled"`
 
-	// SFC, INHT and LAC are the index-semantic efficacy sections, present
-	// for Sphinx-family results (SFC absent for the filter-less ablation,
-	// LAC absent for the leaf-address-cache-less one).
+	// SFC, INHT, LAC and Hot are the index-semantic efficacy sections,
+	// present for Sphinx-family results (SFC absent for the filter-less
+	// ablation, LAC absent for the leaf-address-cache-less one, Hot
+	// present only when the hot read-replication layer is bootstrapped).
 	SFC  *SFCBlock  `json:"sfc,omitempty"`
 	INHT *INHTBlock `json:"inht,omitempty"`
 	LAC  *LACBlock  `json:"lac,omitempty"`
+	Hot  *HotBlock  `json:"hot,omitempty"`
 
 	// Tail sampling totals for this phase (Config.Tail or Config.Live).
 	TailOffered  uint64 `json:"tail_offered,omitempty"`

@@ -78,6 +78,16 @@ type Result struct {
 	// Config.Metrics is set.
 	RoundTrips uint64 `json:"round_trips,omitempty"`
 
+	// MNShares is the per-memory-node breakdown of this measurement
+	// window's fabric round trips (each Load/Run phase is one window:
+	// NIC counters are snapshotted at phase start and diffed at the end).
+	// MNImbalance is the window's normalized hotspot scalar: the busiest
+	// member node's round-trip share over the mean share (1.0 = perfectly
+	// balanced, N = everything on one of N nodes). Present only when
+	// Config.Metrics is set.
+	MNShares    []MNShare `json:"mn_shares,omitempty"`
+	MNImbalance float64   `json:"mn_imbalance,omitempty"`
+
 	// Metrics is the phase's observability section: per-op and per-stage
 	// histograms plus the round-trip reconciliation verdict. Present only
 	// when Config.Metrics is set.
@@ -129,6 +139,7 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 	}
 	cl.F.ResetTimelines() // fresh measurement phase: idle network
 	cl.beginPhaseMetrics()
+	nicBase := cl.nicBase()
 	keys := cl.keys
 	value := cl.value
 	wallStart := time.Now()
@@ -178,6 +189,7 @@ func (cl *Cluster) Load(workers int) (Result, error) {
 	cl.attachSphinxDiag(&r, coreAgg, isSphinx)
 	attachRecoveryDiag(&r, idxs, nil)
 	cl.attachMetrics(&r)
+	cl.attachMNShares(&r, nicBase)
 	cl.attachIndexBlocks(&r, coreAgg, hashAgg, isSphinx)
 	return r, nil
 }
@@ -220,6 +232,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 	}
 	cl.F.ResetTimelines() // fresh measurement phase: idle network
 	cl.beginPhaseMetrics()
+	nicBase := cl.nicBase()
 	wallStart := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
@@ -295,6 +308,7 @@ func (cl *Cluster) Run(w ycsb.Workload, workers, opsPerWorker int) (Result, erro
 	cl.attachSphinxDiag(&r, coreAgg, isSphinx)
 	attachRecoveryDiag(&r, idxs, pls)
 	cl.attachMetrics(&r)
+	cl.attachMNShares(&r, nicBase)
 	cl.attachIndexBlocks(&r, coreAgg, hashAgg, isSphinx)
 	return r, nil
 }

@@ -262,6 +262,108 @@ type LACBlock struct {
 	LACReconciled *bool `json:"lac_reconciled,omitempty"`
 }
 
+// HotBlock is the per-phase hot read-replication section of a result's
+// metrics: how the hotness-driven replica read path performed (verified
+// 1-RT hits vs refutations of retired record images), the promotion and
+// write-refresh churn, and (for read-only depth-1 phases) whether the
+// hot-read round trips reconcile exactly against the fabric's counters.
+type HotBlock struct {
+	// HotHits..HotAborts are this phase's replica-read outcomes: hits
+	// served in one verified round trip, refutations that unlearned a
+	// stale route and fell back, and aborts (transient fabric errors)
+	// that fell back without a verdict.
+	HotHits    uint64 `json:"hot_hits"`
+	HotRefutes uint64 `json:"hot_refutes,omitempty"`
+	HotAborts  uint64 `json:"hot_aborts,omitempty"`
+	// Promotes/Demotes/Refreshes are the layer's maintenance churn:
+	// keys promoted into replicated placement, demoted back out, and
+	// writes that republished at least one hot record.
+	Promotes  uint64 `json:"promotes,omitempty"`
+	Demotes   uint64 `json:"demotes,omitempty"`
+	Refreshes uint64 `json:"refreshes,omitempty"`
+	// HitRate is hits over all replica-read attempts.
+	HitRate float64 `json:"hit_rate"`
+	// TrackerBytes is the CN hot-key trackers' total footprint.
+	TrackerBytes uint64 `json:"tracker_bytes,omitempty"`
+
+	// HotReconciled is set for read-only depth-1 phases: true iff the
+	// hot-read stage's round trips == replica-read hits + refutations
+	// (every attempt is exactly one verified RT — never a wrong value,
+	// never a double-pay) with zero aborts. The full-sum check lives in
+	// LACReconciled, whose stage sum includes the hot stages.
+	HotReconciled *bool `json:"hot_reconciled,omitempty"`
+}
+
+// nicBase snapshots the per-MN NIC counters at phase start (the window
+// baseline for attachMNShares), or nil when metrics are off.
+func (cl *Cluster) nicBase() []fabric.NICStats {
+	if !cl.Cfg.Metrics {
+		return nil
+	}
+	return cl.F.NICStats()
+}
+
+// MNShare is one memory node's slice of a measurement window's fabric
+// round trips, with the NIC busy/queued-wait time that round-trip load
+// produced (the hotspot signal the contention-aware replica choice
+// steers by).
+type MNShare struct {
+	Node       int     `json:"node"`
+	RoundTrips uint64  `json:"round_trips"`
+	Share      float64 `json:"share"`
+	BusyPs     int64   `json:"busy_ps,omitempty"`
+	WaitPs     int64   `json:"wait_ps,omitempty"`
+}
+
+// attachMNShares diffs the per-MN NIC counters against the phase-start
+// baseline and attaches the window's shares plus the normalized
+// max/mean imbalance scalar (computed over current member nodes, so a
+// killed or drained node does not deflate the mean).
+func (cl *Cluster) attachMNShares(r *Result, base []fabric.NICStats) {
+	if base == nil {
+		return
+	}
+	cur := cl.F.NICStats()
+	baseByNode := make(map[mem.NodeID]fabric.NICStats, len(base))
+	for _, b := range base {
+		baseByNode[b.Node] = b
+	}
+	members := make(map[mem.NodeID]bool)
+	for _, n := range cl.memberNodes() {
+		members[n] = true
+	}
+	var total, maxMemberRT uint64
+	shares := make([]MNShare, 0, len(cur))
+	for _, st := range cur {
+		b := baseByNode[st.Node]
+		rt := st.RoundTrips - b.RoundTrips
+		total += rt
+		if members[st.Node] && rt > maxMemberRT {
+			maxMemberRT = rt
+		}
+		if rt == 0 && !members[st.Node] {
+			continue
+		}
+		shares = append(shares, MNShare{
+			Node:       int(st.Node),
+			RoundTrips: rt,
+			BusyPs:     st.BusyPs - b.BusyPs,
+			WaitPs:     st.WaitPs - b.WaitPs,
+		})
+	}
+	if total == 0 {
+		return
+	}
+	for i := range shares {
+		shares[i].Share = float64(shares[i].RoundTrips) / float64(total)
+	}
+	r.MNShares = shares
+	if n := len(members); n > 0 {
+		mean := float64(total) / float64(n)
+		r.MNImbalance = float64(maxMemberRT) / mean
+	}
+}
+
 // lacStatsAgg sums the CN leaf-address caches' maintenance counters
 // (empty for systems without one).
 func (cl *Cluster) lacStatsAgg() core.LACStats {
@@ -489,8 +591,9 @@ func (cl *Cluster) attachIndexBlocks(r *Result, coreAgg core.Stats, hashAgg race
 		// The speculative-RT reconciliation holds only for sequential
 		// read-only phases on a healthy index, like FPReconciled: every
 		// speculative read then costs exactly one leaf-spec round trip
-		// (hit or refute, never an abort), and the four read stages sum
-		// to the fabric's own counter.
+		// (hit or refute, never an abort), and the read stages — plus
+		// the hot-replica read and maintenance stages when the hot layer
+		// is on — sum to the fabric's own counter.
 		if cl.runMetrics != nil && r.Depth == 1 &&
 			coreAgg.Inserts == 0 && coreAgg.Updates == 0 && coreAgg.Deletes == 0 &&
 			coreAgg.Scans == 0 && coreAgg.Restarts == 0 && coreAgg.StaleEntries == 0 {
@@ -498,12 +601,45 @@ func (cl *Cluster) attachIndexBlocks(r *Result, coreAgg core.Stats, hashAgg race
 			hashRT := cl.runMetrics.StageRT(fabric.StageHashRead).Sum
 			nodeRT := cl.runMetrics.StageRT(fabric.StageNodeRead).Sum
 			leafRT := cl.runMetrics.StageRT(fabric.StageLeafRead).Sum
+			hotRT := cl.runMetrics.StageRT(fabric.StageHotRead).Sum +
+				cl.runMetrics.StageRT(fabric.StageHotPub).Sum
 			ok := specRT == coreAgg.SpecHits+coreAgg.SpecRefutes &&
 				coreAgg.SpecAborts == 0 &&
-				hashRT+nodeRT+leafRT+specRT == r.Metrics.FabricRoundTrips
+				hashRT+nodeRT+leafRT+specRT+hotRT == r.Metrics.FabricRoundTrips
 			lac.LACReconciled = &ok
 		}
 		r.Metrics.LAC = lac
+	}
+
+	// Hot read-replication section (absent unless the layer was
+	// bootstrapped for this cluster).
+	if cl.sphinxShared.Hot != nil && r.Metrics != nil {
+		hot := &HotBlock{
+			HotHits:    coreAgg.HotHits,
+			HotRefutes: coreAgg.HotRefutes,
+			HotAborts:  coreAgg.HotAborts,
+			Promotes:   coreAgg.HotPromotes,
+			Demotes:    coreAgg.HotDemotes,
+			Refreshes:  coreAgg.HotRefreshes,
+		}
+		if attempts := coreAgg.HotHits + coreAgg.HotRefutes + coreAgg.HotAborts; attempts > 0 {
+			hot.HitRate = float64(coreAgg.HotHits) / float64(attempts)
+		}
+		for _, hs := range cl.hotsets {
+			hot.TrackerBytes += hs.SizeBytes()
+		}
+		// Trust-but-verify accounting, same preconditions as the LAC
+		// verdict: in a sequential read-only phase every hot-read stage
+		// round trip must be exactly one verified hit or one refutation.
+		if cl.runMetrics != nil && r.Depth == 1 &&
+			coreAgg.Inserts == 0 && coreAgg.Updates == 0 && coreAgg.Deletes == 0 &&
+			coreAgg.Scans == 0 && coreAgg.Restarts == 0 && coreAgg.StaleEntries == 0 {
+			hotReadRT := cl.runMetrics.StageRT(fabric.StageHotRead).Sum
+			ok := hotReadRT == coreAgg.HotHits+coreAgg.HotRefutes &&
+				coreAgg.HotAborts == 0
+			hot.HotReconciled = &ok
+		}
+		r.Metrics.Hot = hot
 	}
 
 	// The filter-less ablation allocates no filter traffic even though

@@ -53,6 +53,11 @@ type Shared struct {
 	// nil (hand-built Shared values), clients fall back to the static
 	// Ring/Tables fields above — epoch 0 forever.
 	Members *Membership
+	// Hot, when non-nil, enables the hot-key read-replication layer
+	// (hotness-driven R-way replica records with contention-aware replica
+	// choice — see hotreplica.go). Built by BootstrapHot; nil keeps
+	// single-owner placement byte-for-byte.
+	Hot *HotReplicas
 }
 
 // Bootstrap creates an empty Sphinx index: the root node plus one inner
@@ -198,6 +203,28 @@ func (fc *FilterCache) Insert(h uint64) {
 	fc.f.Insert(h)
 }
 
+// ContainsWasHot checks a prefix hash like Contains (marking it hot on a
+// hit) and additionally reports whether the entry was already hot before
+// this probe — the signal the hot-key tracker uses as corroborating
+// evidence of skew.
+func (fc *FilterCache) ContainsWasHot(h uint64) (present, wasHot bool) {
+	if fc.mu != nil {
+		fc.mu.Lock()
+		defer fc.mu.Unlock()
+	}
+	return fc.f.ContainsWasHot(h)
+}
+
+// HotEntries returns how many live filter entries currently carry the
+// hotness bit (exported as the sfc_hot_entries gauge).
+func (fc *FilterCache) HotEntries() uint64 {
+	if fc.mu != nil {
+		fc.mu.Lock()
+		defer fc.mu.Unlock()
+	}
+	return fc.f.HotEntries()
+}
+
 // Delete unlearns a prefix hash (after a detected false positive).
 func (fc *FilterCache) Delete(h uint64) {
 	if fc.mu != nil {
@@ -264,6 +291,19 @@ type Options struct {
 	// hash-entry lookup. Histograms are atomic, so one IndexMetrics may
 	// be shared by all workers of a CN.
 	Index *obs.IndexMetrics
+	// Hot is the CN's shared hot-key tracker (sketch + replica route
+	// caches). If nil and Shared.Hot is active, the client builds a
+	// private one sized by HotSetBytes. Share one HotSet across a CN's
+	// workers so promotion decisions see the CN's aggregate traffic.
+	Hot *HotSet
+	// HotSetBytes sizes the private tracker when Hot is nil (0 selects
+	// DefaultHotSetBytes).
+	HotSetBytes int
+	// DisableHot turns the hot read-replication layer off for this client
+	// even when the cluster has it bootstrapped. Ablation lever — only
+	// meaningful cluster-wide (a writer with the layer off would leave
+	// replica records stale for everyone else).
+	DisableHot bool
 }
 
 // Stats counts Sphinx-level events per client.
@@ -292,6 +332,12 @@ type Stats struct {
 	SpecAborts      uint64 // speculative reads abandoned on unstable leaf or fabric error
 	EpochFallbacks  uint64 // reads served from the previous epoch mid-transition
 	Cutovers        uint64 // membership transitions this client retired after convergence
+	HotHits         uint64 // searches served by one verified hot-replica read
+	HotRefutes      uint64 // hot-replica reads refuted in place (route unlearned)
+	HotAborts       uint64 // hot-replica reads abandoned on a transient fabric fault
+	HotPromotes     uint64 // keys promoted into replicated placement
+	HotDemotes      uint64 // cooled keys torn back down to single-owner
+	HotRefreshes    uint64 // writes that republished at least one hot record
 }
 
 // Add returns s + t, field-wise; used to aggregate workers.
@@ -320,6 +366,12 @@ func (s Stats) Add(t Stats) Stats {
 	s.SpecAborts += t.SpecAborts
 	s.EpochFallbacks += t.EpochFallbacks
 	s.Cutovers += t.Cutovers
+	s.HotHits += t.HotHits
+	s.HotRefutes += t.HotRefutes
+	s.HotAborts += t.HotAborts
+	s.HotPromotes += t.HotPromotes
+	s.HotDemotes += t.HotDemotes
+	s.HotRefreshes += t.HotRefreshes
 	return s
 }
 
@@ -351,6 +403,14 @@ type Client struct {
 	// Fault-tolerance state (empty without Shared.FT): per-node views on
 	// the anchor tables, copy-on-write like views.
 	anchorViews atomic.Pointer[viewSet]
+
+	// Hot-replication state (inert without Shared.Hot): per-node views on
+	// the hot-record tables, the CN's hot-key tracker, the SFC hotness
+	// observation of the last locate, and target-resolution scratch.
+	hotViews       atomic.Pointer[viewSet]
+	hotset         *HotSet
+	sfcWasHot      bool
+	hotNodeScratch []mem.NodeID
 
 	// Warm-path scratch, reused across operations (clients are
 	// single-goroutine). Valid only within one locate step.
@@ -405,6 +465,13 @@ func NewClient(shared Shared, c *fabric.Client, opts Options) *Client {
 		anchors.m[node] = racehash.NewView(t, c)
 	}
 	cl.anchorViews.Store(anchors)
+	cl.hotViews.Store(&viewSet{m: make(map[mem.NodeID]*racehash.View)})
+	if hot := shared.Hot; hot != nil && !opts.DisableHot {
+		cl.hotset = opts.Hot
+		if cl.hotset == nil {
+			cl.hotset = NewHotSet(uint64(opts.HotSetBytes), opts.Seed, hot.R)
+		}
+	}
 	if cl.filter == nil && !opts.DisableFilter {
 		n := opts.FilterEntries
 		if n == 0 {
@@ -462,6 +529,12 @@ func (c *Client) Stats() Stats {
 	s.SpecAborts = atomic.LoadUint64(&c.stats.SpecAborts)
 	s.EpochFallbacks = atomic.LoadUint64(&c.stats.EpochFallbacks)
 	s.Cutovers = atomic.LoadUint64(&c.stats.Cutovers)
+	s.HotHits = atomic.LoadUint64(&c.stats.HotHits)
+	s.HotRefutes = atomic.LoadUint64(&c.stats.HotRefutes)
+	s.HotAborts = atomic.LoadUint64(&c.stats.HotAborts)
+	s.HotPromotes = atomic.LoadUint64(&c.stats.HotPromotes)
+	s.HotDemotes = atomic.LoadUint64(&c.stats.HotDemotes)
+	s.HotRefreshes = atomic.LoadUint64(&c.stats.HotRefreshes)
 	return s
 }
 
@@ -482,6 +555,10 @@ func (c *Client) Filter() *FilterCache { return c.filter }
 // LeafCache returns the client's speculative leaf-address cache (nil when
 // disabled).
 func (c *Client) LeafCache() *LeafCache { return c.lac }
+
+// HotSet returns the client's hot-key tracker (nil when the hot layer is
+// off for this client).
+func (c *Client) HotSet() *HotSet { return c.hotset }
 
 // CacheBytes reports the client's total CN-side cache consumption: the
 // succinct filter cache plus the hash-table directory caches (paper §IV:

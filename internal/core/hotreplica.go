@@ -1,0 +1,697 @@
+// Hot-spot tolerance: hotness-driven read replication with
+// contention-aware replica choice.
+//
+// Single-owner placement concentrates a Zipfian workload's head keys on
+// one MN's NIC. This layer lets each CN promote the keys its HotSet
+// tracker finds hot into R-way replicated placement: the key's value is
+// republished as immutable versioned records — the anchor-record format
+// of replica.go — into dedicated per-MN hot tables on the key's first R
+// ring successors. A promoted read then takes one round trip to a replica
+// chosen by power-of-two-choices on the fabric's cached per-MN queued-wait
+// signal, spreading the head of the distribution across NICs.
+//
+// The read keeps the trust-but-verify shape of the leaf-address cache:
+// the cached record address is only a hint, the record image is verified
+// in place (status word, full key), and any mismatch refutes the route
+// and falls back to the authoritative path. Staleness is prevented by the
+// write path: a put or delete to a promoted key LWW-swaps (or removes)
+// every matching record on the replica set before acknowledging, and
+// retires the superseded image by overwriting its status word, so a
+// reader holding the old address refutes instead of serving old data.
+//
+// Promotion closes the publish-vs-write race with a placeholder phase:
+//
+//	v0 := nextHotVersion()        // drawn before anything else
+//	publish Locked placeholders   // key now discoverable to writers
+//	v1 := nextHotVersion()        // still before the read
+//	value := authoritative read
+//	swap records in at v1         // swap-only: absence aborts
+//
+// Any write committing after the promoter's read draws a version > v1
+// (the counter is cluster-ordered) and finds a record to swap — the
+// placeholder guarantees discoverability — so the promoter's value can
+// never overwrite a fresher one, and a record the promoter replaces is
+// always older than what it read. The swap-only final phase means a
+// concurrent delete (which removes records before acking) simply makes
+// the promotion fizzle.
+//
+// Benign imperfections, all bounded by verification: duplicate records
+// from racing promoters (deduplicated by the next swap), placeholders
+// orphaned by a promoter error (swapped live by the next write, removed
+// by the next delete or demotion, never readable — routes only learn
+// Idle records), records orphaned by a sketch-slot steal (still
+// write-refreshed via the tables; still correct to serve).
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"sphinx/internal/consistenthash"
+	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/racehash"
+	"sphinx/internal/wire"
+)
+
+// DefaultHotReplication is the replica factor hot keys are promoted to:
+// the head of a Zipfian distribution spread over three NICs, which keeps
+// the hottest key's share below the per-MN fair share for the cluster
+// sizes the skew experiment runs.
+const DefaultHotReplication = 3
+
+// HotReplicas is the cluster-wide descriptor of the hot-replication
+// layer, created by BootstrapHot and shared read-only (counters atomic)
+// by every client. It is independent of the fault-tolerance layer: hot
+// records are a performance cache of the tree, not a durability store.
+type HotReplicas struct {
+	// R is how many ring successors a promoted key is replicated onto.
+	R int
+	// Health is the fabric's shared breaker table (diagnostics; targeting
+	// is deterministic so writers and readers agree on the replica set).
+	Health *fabric.Health
+	// Tables maps each bootstrap-time memory node to its hot-record
+	// table. Deliberately static: nodes added by elastic scale-out simply
+	// do not host hot replicas, and targeting skips nodes without tables.
+	Tables map[mem.NodeID]racehash.Table
+	// Load is the shared per-MN contention snapshot cache driving the
+	// power-of-two-choices replica pick.
+	Load *fabric.LoadCache
+
+	// verCounter issues cluster-ordered LWW versions for hot records
+	// (same construction as FaultTolerance.verCounter).
+	verCounter uint64
+	// published counts records ever published; writers skip the per-write
+	// replica probe while it is still zero (nothing can be stale).
+	published uint64
+}
+
+// Published reports whether any hot record was ever published.
+func (hr *HotReplicas) Published() bool {
+	return atomic.LoadUint64(&hr.published) != 0
+}
+
+// targetsAppend appends the key's hot replica set to dst: the first R
+// distinct ring successors that host a hot table. No health filter — the
+// set must be deterministic so writers provably cover every record a
+// reader could reach; unreachable targets are handled by error policy
+// (writers skip only permanently killed nodes, whose records no reader
+// can fetch either).
+func (hr *HotReplicas) targetsAppend(dst []mem.NodeID, ring *consistenthash.Ring, key []byte) []mem.NodeID {
+	start := len(dst)
+	owners := ring.OwnersKey(key, len(ring.Nodes()))
+	for _, o := range owners {
+		if _, ok := hr.Tables[o]; !ok {
+			continue
+		}
+		dst = append(dst, o)
+		if len(dst)-start >= hr.R {
+			break
+		}
+	}
+	return dst
+}
+
+// BootstrapHot adds the hot-replication layer to a bootstrapped cluster:
+// one hot-record table per current memory node (sized for expectedHot
+// promoted keys at replica factor r) plus the shared descriptor, stored
+// in sh.Hot. r < 2 selects DefaultHotReplication; r is clamped to the
+// node count. Call after Bootstrap/BootstrapReplicated, before clients
+// are created.
+func BootstrapHot(f *fabric.Fabric, sh *Shared, expectedHot, r int) error {
+	if r < 2 {
+		r = DefaultHotReplication
+	}
+	ring := sh.Ring
+	nodes := ring.Nodes()
+	if r > len(nodes) {
+		r = len(nodes)
+	}
+	if expectedHot < 1 {
+		expectedHot = 1
+	}
+	alloc := mem.NewAllocator(f.Regions(), 0)
+	perNode := expectedHot*r/len(nodes) + 1
+	tables := make(map[mem.NodeID]racehash.Table, len(nodes))
+	for _, node := range nodes {
+		t, err := racehash.Bootstrap(f.Region(node), alloc, node, perNode)
+		if err != nil {
+			return fmt.Errorf("core: bootstrap hot table on node %d: %w", node, err)
+		}
+		tables[node] = t
+	}
+	sh.Hot = &HotReplicas{
+		R:      r,
+		Health: f.Health(),
+		Tables: tables,
+		Load:   f.NewLoadCache(0),
+	}
+	return nil
+}
+
+// hotViewOf returns the client's view on node's hot table (nil if the
+// node hosts none). Views are lazy copy-on-write like the anchor views.
+func (c *Client) hotViewOf(node mem.NodeID) *racehash.View {
+	if v, ok := c.hotViews.Load().m[node]; ok {
+		return v
+	}
+	t, ok := c.shared.Hot.Tables[node]
+	if !ok {
+		return nil
+	}
+	v := racehash.NewView(t, c.eng.C)
+	c.storeView(&c.hotViews, node, v)
+	return v
+}
+
+// nextHotVersion returns a fresh cluster-ordered LWW version for hot
+// records, tagged with the client ID.
+func (c *Client) nextHotVersion() uint64 {
+	return atomic.AddUint64(&c.shared.Hot.verCounter, 1)<<8 | uint64(c.eng.C.ID())&0xff
+}
+
+// hotEnabled reports whether this client participates in the hot layer.
+// DisableHot is an ablation lever and only safe cluster-wide: a writing
+// client that skips the replica refresh would leave records stale for
+// every other CN.
+func (c *Client) hotEnabled() bool {
+	return c.shared.Hot != nil && !c.opts.DisableHot
+}
+
+// hotTargets resolves the key's replica set under the current placement,
+// unioned with the previous epoch's mid-transition (records published
+// against the old ring must keep being refreshed until cutover). curN is
+// how many leading entries come from the current ring — their position
+// defines the replica rank for the route caches.
+func (c *Client) hotTargets(key []byte, includePrev bool) (ts []mem.NodeID, curN int) {
+	hot := c.shared.Hot
+	p := c.members.Current()
+	ts = hot.targetsAppend(c.hotNodeScratch[:0], p.Ring, key)
+	curN = len(ts)
+	if includePrev && p.Prev != nil {
+	prev:
+		for _, t := range hot.targetsAppend(nil, p.Prev.Ring, key) {
+			for _, u := range ts {
+				if u == t {
+					continue prev
+				}
+			}
+			ts = append(ts, t)
+		}
+	}
+	c.hotNodeScratch = ts
+	return ts, curN
+}
+
+// hotUnits converts a record image length to the route cache's 64-byte
+// unit count; 0 (unroutable) when the record exceeds the 8-bit field.
+func hotUnits(imgLen int) uint8 {
+	u := (imgLen + 63) / 64
+	if u > 255 {
+		return 0
+	}
+	return uint8(u)
+}
+
+// hotCand is one decoded hot-table candidate whose record stores the key.
+type hotCand struct {
+	entry   wire.HashEntry
+	status  wire.Status
+	value   []byte
+	version uint64
+	imgLen  int
+}
+
+// hotCandidates returns every candidate on node's hot table whose record
+// matches key exactly, decoded. Maintenance traffic: StageHotPub.
+func (c *Client) hotCandidates(node mem.NodeID, key []byte) ([]hotCand, error) {
+	view := c.hotViewOf(node)
+	if view == nil {
+		return nil, nil
+	}
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHotPub))
+	cands, err := view.Lookup(racehash.PlacementHash(key), wire.FP12(key))
+	if err != nil {
+		return nil, err
+	}
+	var out []hotCand
+	for _, cand := range cands {
+		st, k, v, ver, err := c.readRecord(cand.Entry.Addr)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(k, key) {
+			out = append(out, hotCand{cand.Entry, st, v, ver, anchorDataOff + len(k) + len(v)})
+		}
+	}
+	return out, nil
+}
+
+// retireRecord overwrites a superseded record's status word with
+// StatusInvalid so any route cache still holding its address refutes on
+// the next read instead of serving stale data. One 8-byte write.
+func (c *Client) retireRecord(addr mem.Addr, key []byte) error {
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHotPub))
+	hdr := wire.NodeHeader{
+		Status:     wire.StatusInvalid,
+		Type:       wire.Node4,
+		Depth:      uint16(len(key)),
+		PrefixHash: wire.PrefixHash42(key),
+	}
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], hdr.Encode())
+	return c.eng.C.Write(addr, w[:])
+}
+
+// hotDedup removes and retires every candidate except keep — losers of
+// racing promotions. CAS-exact removes, so a concurrently refreshed entry
+// survives; its old image was superseded anyway, so retiring it stays
+// correct.
+func (c *Client) hotDedup(node mem.NodeID, key []byte, cands []hotCand, keep int) {
+	view := c.hotViewOf(node)
+	h42 := racehash.PlacementHash(key)
+	for i := range cands {
+		if i == keep {
+			continue
+		}
+		_ = view.Remove(h42, cands[i].entry)
+		_ = c.retireRecord(cands[i].entry.Addr, key)
+	}
+}
+
+// hotSwapIn publishes (key, value, version) over whatever records node
+// currently holds for key — swap-only, never insert: absence means the
+// key is not (or no longer) promoted there, and inserting could resurrect
+// a concurrently deleted key. Returns the address and size of the record
+// now servable for the key (ours, or a newer Idle winner's); ok=false
+// when the node holds nothing servable.
+func (c *Client) hotSwapIn(node mem.NodeID, key, value []byte, version uint64) (addr mem.Addr, imgLen int, ok bool, err error) {
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHotPub))
+	var img []byte
+	var newAddr mem.Addr
+	for attempt := 0; attempt < anchorPutMaxRaces; attempt++ {
+		cands, err := c.hotCandidates(node, key)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if len(cands) == 0 {
+			return 0, 0, false, nil
+		}
+		best := 0
+		for i := range cands {
+			if cands[i].version > cands[best].version {
+				best = i
+			}
+		}
+		if cands[best].version >= version {
+			// A newer write already won; keep it (LWW).
+			if cands[best].status != wire.StatusIdle {
+				return 0, 0, false, nil
+			}
+			c.hotDedup(node, key, cands, best)
+			return cands[best].entry.Addr, cands[best].imgLen, true, nil
+		}
+		if img == nil {
+			// Immutable record: one allocation serves every retry.
+			img = encodeRecord(wire.StatusIdle, key, value, version)
+			newAddr, err = c.eng.Alloc.Alloc(node, mem.ClassLeaf, uint64(len(img)))
+			if err != nil {
+				return 0, 0, false, err
+			}
+			if err := c.eng.C.Write(newAddr, img); err != nil {
+				return 0, 0, false, err
+			}
+		}
+		newEntry := wire.HashEntry{Valid: true, FP: wire.FP12(key), Type: wire.Node4, Addr: newAddr}
+		won, err := c.hotViewOf(node).SwapIfPresent(racehash.PlacementHash(key), cands[best].entry, newEntry)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if won {
+			_ = c.retireRecord(cands[best].entry.Addr, key)
+			c.hotDedup(node, key, cands, best)
+			return newAddr, len(img), true, nil
+		}
+		// Lost the swap race; re-read and re-decide by version.
+	}
+	return 0, 0, false, fmt.Errorf("core: hot publish for %q lost %d consecutive swap races", key, anchorPutMaxRaces)
+}
+
+// hotPlacehold publishes a Locked placeholder at version v0 on every
+// target that holds nothing for the key yet, making the key discoverable
+// to concurrent writers before the promoter's authoritative read.
+func (c *Client) hotPlacehold(targets []mem.NodeID, key []byte, v0 uint64) error {
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHotPub))
+	for _, t := range targets {
+		cands, err := c.hotCandidates(t, key)
+		if err != nil {
+			if errors.Is(err, fabric.ErrNodeKilled) {
+				continue // no reader can fetch from a killed node either
+			}
+			return err
+		}
+		if len(cands) > 0 {
+			continue // already discoverable (record or racing placeholder)
+		}
+		img := encodeRecord(wire.StatusLocked, key, nil, v0)
+		addr, err := c.eng.Alloc.Alloc(t, mem.ClassLeaf, uint64(len(img)))
+		if err != nil {
+			return err
+		}
+		if err := c.eng.C.Write(addr, img); err != nil {
+			return err
+		}
+		entry := wire.HashEntry{Valid: true, FP: wire.FP12(key), Type: wire.Node4, Addr: addr}
+		if err := c.hotViewOf(t).Insert(racehash.PlacementHash(key), entry, c.eng.Alloc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hotAbandon removes the promoter's own placeholders (exact version v0,
+// still Locked) after an aborted promotion. CAS-exact: a placeholder a
+// writer already swapped live is left alone.
+func (c *Client) hotAbandon(targets []mem.NodeID, key []byte, v0 uint64) {
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHotPub))
+	for _, t := range targets {
+		cands, err := c.hotCandidates(t, key)
+		if err != nil {
+			continue
+		}
+		view := c.hotViewOf(t)
+		for i := range cands {
+			if cands[i].version == v0 && cands[i].status == wire.StatusLocked {
+				if view.Remove(racehash.PlacementHash(key), cands[i].entry) == nil {
+					_ = c.retireRecord(cands[i].entry.Addr, key)
+				}
+			}
+		}
+	}
+}
+
+// hotPromote publishes a hot key into R-way replicated placement. Best
+// effort: any failure unclaims the key in the sketch so a later Observe
+// retries; leftover placeholders are benign (see the package comment).
+//
+// Targets that already hold an Idle record for the key are ADOPTED, not
+// republished: an Idle record was placed by a completed promotion or
+// write refresh (publish-to-completion + LWW), so its image is at least
+// as fresh as the last acknowledged write, and learning its address
+// costs one lookup. Republishing instead would retire the record every
+// other CN has routes to, and with one independent promoter per CN the
+// cluster would churn through refute → re-promote cycles — each CN's
+// promotion invalidating everyone else's routes — instead of serving
+// hot reads. The placeholder/versioned-swap protocol below runs only
+// against targets that hold nothing yet.
+func (c *Client) hotPromote(key []byte) {
+	hot := c.shared.Hot
+	targets, _ := c.hotTargets(key, false)
+	if len(targets) == 0 {
+		c.hotset.Unclaim(key)
+		return
+	}
+	routed := 0
+	fresh := targets[:0]
+	freshRanks := make([]int, 0, len(targets))
+	for i, t := range targets {
+		cands, err := c.hotCandidates(t, key)
+		if err != nil {
+			continue // killed or transient: forgo this rank
+		}
+		best := -1
+		for j := range cands {
+			if cands[j].status == wire.StatusIdle && (best < 0 || cands[j].version > cands[best].version) {
+				best = j
+			}
+		}
+		if best >= 0 {
+			if units := hotUnits(cands[best].imgLen); units != 0 && i < c.hotset.Ranks() {
+				c.hotset.Rank(i).Learn(key, cands[best].entry.Addr, units)
+				routed++
+			}
+			continue
+		}
+		fresh = append(fresh, t)
+		freshRanks = append(freshRanks, i)
+	}
+	if len(fresh) > 0 {
+		v0 := c.nextHotVersion()
+		if err := c.hotPlacehold(fresh, key, v0); err != nil {
+			c.hotset.Unclaim(key)
+			return
+		}
+		// Both versions are drawn before the read: any write committing
+		// after it outranks v1, so our swap below can never bury a fresher
+		// value.
+		v1 := c.nextHotVersion()
+		val, ok, err := c.searchTree(key)
+		if err != nil {
+			c.hotset.Unclaim(key)
+			return
+		}
+		if !ok {
+			c.hotAbandon(fresh, key, v0)
+			c.hotset.Unclaim(key)
+			return
+		}
+		for i, t := range fresh {
+			addr, imgLen, ok, err := c.hotSwapIn(t, key, val, v1)
+			if err != nil || !ok {
+				continue
+			}
+			if units := hotUnits(imgLen); units != 0 && freshRanks[i] < c.hotset.Ranks() {
+				c.hotset.Rank(freshRanks[i]).Learn(key, addr, units)
+				routed++
+			}
+		}
+	}
+	if routed == 0 {
+		c.hotset.Unclaim(key)
+		return
+	}
+	atomic.AddUint64(&c.stats.HotPromotes, 1)
+	atomic.AddUint64(&hot.published, 1)
+}
+
+// hotRefresh republishes a committed write over the key's hot records,
+// called by put between tree commit and acknowledgement. LWW-idempotent,
+// so the caller's retry machinery can re-run it. Killed targets are
+// skipped — no reader can fetch their records; any other failure
+// propagates so the write is not acknowledged with a stale replica
+// readable.
+func (c *Client) hotRefresh(key, value []byte) error {
+	if !c.shared.Hot.Published() {
+		return nil
+	}
+	version := c.nextHotVersion()
+	refreshed := false
+	targets, curN := c.hotTargets(key, true)
+	for i, t := range targets {
+		addr, imgLen, ok, err := c.hotSwapIn(t, key, value, version)
+		if err != nil {
+			if errors.Is(err, fabric.ErrNodeKilled) {
+				continue
+			}
+			return err
+		}
+		refreshed = refreshed || ok
+		// The old record was just retired, so this CN's route to it is
+		// stale; re-learn the fresh address in the same breath (rank =
+		// position among the current ring's targets). Other CNs refute
+		// once and re-promote — see hotGet.
+		if ok && c.hotset != nil && i < curN && i < c.hotset.Ranks() {
+			if units := hotUnits(imgLen); units != 0 {
+				c.hotset.Rank(i).Learn(key, addr, units)
+			}
+		}
+	}
+	if refreshed {
+		atomic.AddUint64(&c.stats.HotRefreshes, 1)
+	}
+	return nil
+}
+
+// hotRemove removes and retires every hot record of the key, called by
+// Delete between tree commit and acknowledgement (strict=true: failures
+// other than killed nodes propagate) and by demotion (strict=false: best
+// effort).
+func (c *Client) hotRemove(key []byte, strict bool) error {
+	if !c.shared.Hot.Published() {
+		return nil
+	}
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHotPub))
+	h42 := racehash.PlacementHash(key)
+	targets, _ := c.hotTargets(key, true)
+	for _, t := range targets {
+		cands, err := c.hotCandidates(t, key)
+		if err != nil {
+			if !strict || errors.Is(err, fabric.ErrNodeKilled) {
+				continue
+			}
+			return err
+		}
+		view := c.hotViewOf(t)
+		for i := range cands {
+			if err := view.Remove(h42, cands[i].entry); err != nil {
+				if !strict || errors.Is(err, fabric.ErrNodeKilled) {
+					continue
+				}
+				return err
+			}
+			_ = c.retireRecord(cands[i].entry.Addr, key)
+		}
+	}
+	return nil
+}
+
+// hotDemote tears down a cooled key: forget the routes, best-effort
+// remove the records. Other CNs still tracking the key re-promote it
+// (their reads refute the retired records and their sketches stay hot),
+// which is churn, not wrongness.
+func (c *Client) hotDemote(key []byte) {
+	for i := 0; i < c.hotset.Ranks(); i++ {
+		c.hotset.Rank(i).Unlearn(key)
+	}
+	_ = c.hotRemove(key, false)
+	atomic.AddUint64(&c.stats.HotDemotes, 1)
+}
+
+// hotTouch feeds one served read into the tracker and runs whatever
+// maintenance the observation triggered. Skipped in degraded mode (the
+// hot layer is entirely off there — degraded writes land anchor-only and
+// would leave records stale).
+func (c *Client) hotTouch(key []byte, sfcHot bool) {
+	if c.hotset == nil || !c.hotEnabled() {
+		return
+	}
+	switch c.hotset.Observe(key, sfcHot) {
+	case HotPromoteNow:
+		if c.degraded() {
+			c.hotset.Unclaim(key)
+			return
+		}
+		c.hotPromote(key)
+	case HotDemoteNow:
+		c.hotDemote(key)
+	}
+}
+
+// Outcomes of one speculative hot-record read attempt.
+const (
+	hotReadHit    = iota // verified; value served
+	hotReadRefute        // provably stale route; unlearn (1 RT paid)
+	hotReadAbort         // transient fault; keep route, fall back (1 RT paid)
+	hotReadSkip          // locally dropped before any round trip
+)
+
+// hotReadRecord speculatively reads one replica record in a single round
+// trip and verifies it in place: Idle status and the exact key bytes. No
+// follow-up reads — the route cache learned the record's exact size, and
+// records are immutable, so a size mismatch already proves staleness.
+func (c *Client) hotReadRecord(addr mem.Addr, units uint8, key []byte) ([]byte, int) {
+	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHotRead))
+	regionSize := c.eng.C.Fabric().RegionSize(addr.Node())
+	size := uint64(units) * 64
+	if addr.Offset() >= regionSize {
+		return nil, hotReadSkip
+	}
+	if addr.Offset()+size > regionSize {
+		size = regionSize - addr.Offset()
+	}
+	if size < anchorDataOff {
+		return nil, hotReadSkip
+	}
+	buf := make([]byte, size)
+	if err := c.eng.C.Read(addr, buf); err != nil {
+		if errors.Is(err, fabric.ErrNodeKilled) || errors.Is(err, fabric.ErrBreakerOpen) {
+			return nil, hotReadRefute
+		}
+		return nil, hotReadAbort
+	}
+	hdr := wire.DecodeNodeHeader(binary.LittleEndian.Uint64(buf[0:]))
+	if hdr.Status != wire.StatusIdle {
+		return nil, hotReadRefute
+	}
+	lens := binary.LittleEndian.Uint64(buf[anchorLensOff:])
+	keyLen := int(lens & 0xffff)
+	valLen := int(lens >> 16)
+	if keyLen != len(key) || anchorDataOff+keyLen+valLen > len(buf) {
+		return nil, hotReadRefute
+	}
+	if !bytes.Equal(buf[anchorDataOff:anchorDataOff+keyLen], key) {
+		return nil, hotReadRefute
+	}
+	val := append([]byte(nil), buf[anchorDataOff+keyLen:anchorDataOff+keyLen+valLen]...)
+	return val, hotReadHit
+}
+
+// hotGet attempts the replicated 1-RT fast path: gather the key's routes
+// from the rank caches, pick a starting replica by power-of-two-choices
+// on the cached per-MN contention snapshot, and read-verify records until
+// one serves or all refute. Aborts (transient faults) stop the attempt
+// with routes kept. Only a verified hit is served.
+func (c *Client) hotGet(key []byte) ([]byte, bool) {
+	hs := c.hotset
+	if hs == nil || !c.hotEnabled() {
+		return nil, false
+	}
+	hs.FlushRoutes(c.members.Current().Epoch)
+	type route struct {
+		rank  int
+		addr  mem.Addr
+		units uint8
+	}
+	var routes [8]route
+	n := 0
+	for i := 0; i < hs.Ranks() && n < len(routes); i++ {
+		if a, u, ok := hs.Rank(i).Lookup(key); ok {
+			routes[n] = route{i, a, u}
+			n++
+		}
+	}
+	if n == 0 {
+		// Claimed but routeless: another CN's write retired the records
+		// this CN's routes pointed at (each refutation unlearned one), or
+		// an epoch flush dropped them. Rebuild by re-promoting — one
+		// authoritative read plus the swap-only republish — so the hot
+		// path recovers instead of staying dead until demotion. A failed
+		// re-promotion unclaims, letting the sketch decide again.
+		if hs.Claimed(key) && !c.degraded() {
+			c.hotPromote(key)
+		}
+		return nil, false
+	}
+	start := 0
+	if n >= 2 {
+		// Two choices, one comparison against the tick-refreshed per-MN
+		// queued-wait snapshot; ~zero cost, no extra round trips.
+		x := int(hs.NextPick() % uint64(n))
+		y := (x + 1) % n
+		start = x
+		if c.shared.Hot.Load.PickLighter(routes[x].addr.Node(), routes[y].addr.Node()) == routes[y].addr.Node() {
+			start = y
+		}
+	}
+	for k := 0; k < n; k++ {
+		r := routes[(start+k)%n]
+		val, verdict := c.hotReadRecord(r.addr, r.units, key)
+		switch verdict {
+		case hotReadHit:
+			atomic.AddUint64(&c.stats.HotHits, 1)
+			return val, true
+		case hotReadRefute:
+			atomic.AddUint64(&c.stats.HotRefutes, 1)
+			hs.Rank(r.rank).Unlearn(key)
+		case hotReadAbort:
+			atomic.AddUint64(&c.stats.HotAborts, 1)
+			return nil, false
+		case hotReadSkip:
+			hs.Rank(r.rank).Unlearn(key)
+		}
+	}
+	return nil, false
+}

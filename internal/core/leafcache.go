@@ -152,6 +152,16 @@ func (lc *LeafCache) Unlearn(key []byte) {
 	}
 }
 
+// Reset clears every entry with plain atomic stores. Concurrent Learns
+// racing the sweep may be lost — acceptable for the one caller (the hot
+// tracker's route flush on a membership change), where a lost entry only
+// costs a relearn.
+func (lc *LeafCache) Reset() {
+	for i := range lc.words {
+		atomic.StoreUint64(&lc.words[i], 0)
+	}
+}
+
 // SizeBytes returns the cache's memory footprint.
 func (lc *LeafCache) SizeBytes() uint64 { return uint64(len(lc.words)) * 8 }
 

@@ -31,9 +31,14 @@ func (c *Client) locate(key []byte, maxLen int) (*rart.Node, int, error) {
 		prefix := key[:l]
 		h := PrefixFilterHash(prefix)
 		probes++
-		if !c.filter.Contains(h) {
+		present, wasHot := c.filter.ContainsWasHot(h)
+		if !present {
 			continue
 		}
+		// The deepest prefix's pre-probe hotness bit seeds the hot-key
+		// tracker (hotTouch reads this after the walk): a prefix the SFC
+		// already marked recently-used corroborates skew.
+		c.sfcWasHot = wasHot
 		if c.rec != nil {
 			c.rec.Note(fabric.StageFilterProbe, c.eng.C.Clock(),
 				fmt.Sprintf("sfc probe hit: prefix %d/%d, fetching", l, len(key)))

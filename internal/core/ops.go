@@ -142,6 +142,14 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 		atomic.AddUint64(&c.stats.Failovers, 1)
 		return c.anchorGet(key)
 	}
+	// Hottest path: a key promoted into replicated placement serves from a
+	// contention-chosen replica record in one verified round trip (see
+	// hotreplica.go). A refute or abort falls through with a fresh budget,
+	// like the speculative path below.
+	if val, served := c.hotGet(key); served {
+		c.hotTouch(key, false)
+		return val, true, nil
+	}
 	// Speculative fast path: if the leaf-address cache has an opinion, one
 	// doorbell read against the cached address, verified in place. A refuted
 	// or aborted speculation falls through to the 3-RT hash path below with
@@ -149,8 +157,24 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 	// so it consumes no retry budget and injects no sleep (same contract as
 	// the ErrNeedParent re-route in put).
 	if val, served := c.specGet(key); served {
+		c.hotTouch(key, false)
 		return val, true, nil
 	}
+	// The authoritative walk below probes the filter inside locate, which
+	// records the SFC hotness observation into sfcWasHot for hotTouch.
+	c.sfcWasHot = false
+	val, ok, err := c.searchTree(key)
+	if err == nil && ok {
+		c.hotTouch(key, c.sfcWasHot)
+	}
+	return val, ok, err
+}
+
+// searchTree is the authoritative read: locate (filter-guided jump) plus
+// the tree walk, with collision narrowing, failover and retry. Factored
+// out of Search so hot promotion can fetch an authoritative value without
+// recursing through the fast paths or the operation counters.
+func (c *Client) searchTree(key []byte) ([]byte, bool, error) {
 	maxLen := len(key)
 	var last error
 	for bo := c.eng.Backoff(); ; {
@@ -365,6 +389,15 @@ func (c *Client) put(key, value []byte, mode rart.PutMode) (bool, error) {
 					}
 					existed = existed || anchorExisted
 				}
+				// Same publish-to-completion contract for the hot replica
+				// records: a promoted key's replicas carry this write (LWW)
+				// before it is acknowledged, so no reader can verify a hit
+				// on the superseded value afterwards.
+				if c.hotEnabled() && (mode == rart.PutUpsert || existed) {
+					if herr := c.hotRefresh(key, value); herr != nil {
+						return false, herr
+					}
+				}
 				return existed, nil
 			}
 		} else if c.failoverable(err) {
@@ -440,6 +473,13 @@ func (c *Client) Delete(key []byte) (bool, error) {
 						return false, aerr
 					}
 					ok = ok || anchorPresent
+				}
+				// Hot replica records go before the ack too: a reader must
+				// not verify a hit on a key whose delete was acknowledged.
+				if c.hotEnabled() {
+					if herr := c.hotRemove(key, true); herr != nil {
+						return false, herr
+					}
 				}
 				return ok, nil
 			}

@@ -176,9 +176,16 @@ const (
 )
 
 func encodeAnchor(key, value []byte, version uint64) []byte {
+	return encodeRecord(wire.StatusIdle, key, value, version)
+}
+
+// encodeRecord builds one immutable record image in the anchor layout with
+// an explicit status word — StatusIdle for servable records, StatusLocked
+// for hot-promotion placeholders (see hotreplica.go).
+func encodeRecord(st wire.Status, key, value []byte, version uint64) []byte {
 	img := make([]byte, anchorDataOff+len(key)+len(value))
 	hdr := wire.NodeHeader{
-		Status:     wire.StatusIdle,
+		Status:     st,
 		Type:       wire.Node4,
 		Depth:      uint16(len(key)),
 		PrefixHash: wire.PrefixHash42(key),
@@ -191,39 +198,47 @@ func encodeAnchor(key, value []byte, version uint64) []byte {
 	return img
 }
 
-// readAnchor fetches and decodes one anchor record: a speculative read
-// clamped at the region boundary, with a follow-up read when the record
-// outgrows the speculation.
+// readAnchor fetches and decodes one anchor record, dropping the status
+// (anchor records are always published Idle).
 func (c *Client) readAnchor(addr mem.Addr) (key, value []byte, version uint64, err error) {
+	_, key, value, version, err = c.readRecord(addr)
+	return key, value, version, err
+}
+
+// readRecord fetches and decodes one record in the anchor layout: a
+// speculative read clamped at the region boundary, with a follow-up read
+// when the record outgrows the speculation.
+func (c *Client) readRecord(addr mem.Addr) (st wire.Status, key, value []byte, version uint64, err error) {
 	regionSize := c.eng.C.Fabric().RegionSize(addr.Node())
 	size := uint64(anchorSpecRead)
 	if addr.Offset()+size > regionSize {
 		size = regionSize - addr.Offset()
 	}
 	if size < anchorDataOff {
-		return nil, nil, 0, fmt.Errorf("core: anchor record at %v truncated by region boundary", addr)
+		return 0, nil, nil, 0, fmt.Errorf("core: anchor record at %v truncated by region boundary", addr)
 	}
 	buf := make([]byte, size)
 	if err := c.eng.C.Read(addr, buf); err != nil {
-		return nil, nil, 0, err
+		return 0, nil, nil, 0, err
 	}
 	lens := binary.LittleEndian.Uint64(buf[anchorLensOff:])
 	keyLen := int(lens & 0xffff)
 	valLen := int(lens >> 16)
 	if keyLen == 0 || keyLen > wire.MaxDepth || uint64(anchorDataOff+keyLen+valLen) > regionSize {
-		return nil, nil, 0, fmt.Errorf("core: malformed anchor record at %v (keyLen=%d valLen=%d)", addr, keyLen, valLen)
+		return 0, nil, nil, 0, fmt.Errorf("core: malformed anchor record at %v (keyLen=%d valLen=%d)", addr, keyLen, valLen)
 	}
 	total := anchorDataOff + keyLen + valLen
 	if total > len(buf) {
 		buf = make([]byte, total)
 		if err := c.eng.C.Read(addr, buf); err != nil {
-			return nil, nil, 0, err
+			return 0, nil, nil, 0, err
 		}
 	}
+	st = wire.DecodeNodeHeader(binary.LittleEndian.Uint64(buf[0:])).Status
 	version = binary.LittleEndian.Uint64(buf[anchorVersionOff:])
 	key = append([]byte(nil), buf[anchorDataOff:anchorDataOff+keyLen]...)
 	value = append([]byte(nil), buf[anchorDataOff+keyLen:total]...)
-	return key, value, version, nil
+	return st, key, value, version, nil
 }
 
 // findAnchor locates the exact key's live entry in one node's anchor

@@ -1,0 +1,74 @@
+package fabric
+
+import (
+	"testing"
+
+	"sphinx/internal/mem"
+)
+
+// burn posts n sizeable reads at node, accruing NIC busy (and, once
+// saturated, queued-wait) time.
+func burn(t *testing.T, c *Client, node mem.NodeID, n int) {
+	t.Helper()
+	buf := make([]byte, 32<<10)
+	for i := 0; i < n; i++ {
+		if err := c.Read(mem.NewAddr(node, 0), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadCacheScoresLoadedNode pins the signal: after one-sided load on
+// node A, the refreshed snapshot scores A above the idle node B.
+func TestLoadCacheScoresLoadedNode(t *testing.T) {
+	f := New(DefaultConfig())
+	a := f.AddNode(1 << 20)
+	b := f.AddNode(1 << 20)
+	c := f.NewClient()
+	lc := f.NewLoadCache(0)
+	burn(t, c, a, 50)
+	lc.Refresh()
+	if sa, sb := lc.Score(a), lc.Score(b); sa <= sb {
+		t.Errorf("Score(loaded)=%d <= Score(idle)=%d", sa, sb)
+	}
+	if got := lc.PickLighter(a, b); got != b {
+		t.Errorf("PickLighter(loaded, idle) = %d, want %d", got, b)
+	}
+	// Ties (and a lighter first argument) prefer the first argument.
+	if got := lc.PickLighter(b, a); got != b {
+		t.Errorf("PickLighter(idle, loaded) = %d, want %d", got, b)
+	}
+}
+
+// TestLoadCacheConvergesAwayFromLoadedMN drives the power-of-two-choices
+// loop the hot read path runs: traffic follows PickLighter, each request
+// loads the chosen node, and the cache's periodic refresh re-scores. The
+// imbalance must converge — the initially idle node absorbs the bulk of
+// the early picks, and over the whole run neither node ends up with the
+// overwhelming majority that static routing to the primary would give.
+func TestLoadCacheConvergesAwayFromLoadedMN(t *testing.T) {
+	f := New(DefaultConfig())
+	a := f.AddNode(1 << 20)
+	b := f.AddNode(1 << 20)
+	c := f.NewClient()
+	// Refresh every 8 decisions so the window tracks the routed traffic.
+	lc := f.NewLoadCache(8)
+	// Pre-load node A: the hotspot the chooser must route around.
+	burn(t, c, a, 100)
+	lc.Refresh()
+	picks := map[mem.NodeID]int{}
+	for i := 0; i < 200; i++ {
+		n := lc.PickLighter(a, b)
+		picks[n]++
+		burn(t, c, n, 1)
+	}
+	if picks[b] == 0 {
+		t.Fatal("chooser never routed away from the pre-loaded node")
+	}
+	// The first picks after the pre-load must go to B (A's window is hot).
+	// Over the run, feedback balances the two: neither should keep more
+	// than ~3/4 of the traffic.
+	if picks[a] > 150 || picks[b] > 150 {
+		t.Errorf("picks did not converge: a=%d b=%d (want both <= 150/200)", picks[a], picks[b])
+	}
+}

@@ -27,9 +27,11 @@ const (
 	StageUnlock                   // bare lock release
 	StageScan                     // scan descent traffic
 	StageLeafSpec                 // speculative 1-RT leaf read off the CN-side leaf-address cache
+	StageHotRead                  // speculative 1-RT hot-replica record read (replica chosen by p2c)
+	StageHotPub                   // hot-replica maintenance: promotion publishes, write-side probe/refresh, demotion removes
 
 	// NumStages sizes per-stage arrays.
-	NumStages = int(StageLeafSpec) + 1
+	NumStages = int(StageHotPub) + 1
 )
 
 // String names the stage as metrics and traces report it.
@@ -65,6 +67,10 @@ func (s Stage) String() string {
 		return "scan"
 	case StageLeafSpec:
 		return "leaf-spec"
+	case StageHotRead:
+		return "hot-read"
+	case StageHotPub:
+		return "hot-pub"
 	default:
 		return "stage?"
 	}

@@ -78,6 +78,9 @@ func (cn *ComputeNode) NewSession() *Session {
 			Filter:           cn.filter,
 			LeafCache:        cn.lac,
 			DisableLeafCache: c.cfg.DisableLeafCache,
+			Hot:              cn.hotset,
+			HotSetBytes:      int(c.cfg.HotSetBytes),
+			DisableHot:       c.cfg.DisableHotReplicas,
 			Index:            s.index,
 		})
 		s.sphinx.SetRecorder(s.tailRec)
@@ -342,6 +345,22 @@ type SphinxCounters struct {
 	// EpochFallbacks counts reads served from the previous placement epoch
 	// while a membership change was mid-migration.
 	EpochFallbacks uint64
+	// HotHits counts Gets served by one verified hot-replica read (the
+	// replicated 1-RT path of the hot-spot tolerance layer).
+	HotHits uint64
+	// HotRefutes counts hot-replica reads refuted in place (retired or
+	// mismatched record); the route is unlearned and the Get falls back.
+	HotRefutes uint64
+	// HotAborts counts hot-replica reads abandoned on a transient fabric
+	// fault, with the route kept.
+	HotAborts uint64
+	// HotPromotes counts keys promoted into replicated placement.
+	HotPromotes uint64
+	// HotDemotes counts cooled keys torn back down to single-owner.
+	HotDemotes uint64
+	// HotRefreshes counts writes that republished at least one hot record
+	// before acknowledging.
+	HotRefreshes uint64
 }
 
 // SphinxStats returns Sphinx-specific counters; ok is false for other
@@ -363,6 +382,9 @@ func (s *Session) SphinxStats() (SphinxCounters, bool) {
 		SpecHits: st.SpecHits, SpecMisses: st.SpecMisses,
 		SpecRefutes: st.SpecRefutes, SpecAborts: st.SpecAborts,
 		EpochFallbacks: st.EpochFallbacks,
+		HotHits:        st.HotHits, HotRefutes: st.HotRefutes,
+		HotAborts: st.HotAborts, HotPromotes: st.HotPromotes,
+		HotDemotes: st.HotDemotes, HotRefreshes: st.HotRefreshes,
 	}, true
 }
 
@@ -466,6 +488,9 @@ func (s *Session) Registry() *Registry {
 					"capacity_slots":    float64(capacity),
 					"load":              f.Load(),
 					"analytic_fp_bound": f.AnalyticFPBound(),
+					// Entries currently carrying the second-chance hotness
+					// bit — the skew signal the hot-key tracker seeds from.
+					"hot_entries": float64(f.HotEntries()),
 				}
 				// Probes count CN-wide filter traffic; false positives and
 				// hits count this session (plus its pipeline lanes). With a
@@ -501,6 +526,21 @@ func (s *Session) Registry() *Registry {
 				}
 				if attempts := st.SpecHits + st.SpecMisses + st.SpecRefutes + st.SpecAborts; attempts > 0 {
 					g["hit_rate"] = float64(st.SpecHits) / float64(attempts)
+				}
+				return g
+			})
+		}
+		if hs := s.sphinx.HotSet(); hs != nil {
+			r.AddGauges("hot", func() map[string]float64 {
+				st := s.sphinx.Stats()
+				if pl := s.pl.Load(); pl != nil {
+					st = st.Add(pl.Stats())
+				}
+				g := map[string]float64{
+					"tracker_bytes": float64(hs.SizeBytes()),
+				}
+				if reads := st.HotHits + st.HotRefutes + st.HotAborts; reads > 0 {
+					g["hit_rate"] = float64(st.HotHits) / float64(reads)
 				}
 				return g
 			})

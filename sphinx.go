@@ -144,6 +144,24 @@ type Config struct {
 	// loss. 0 (the default) disables the layer; values >= 2 enable it
 	// (1 is rounded up to 2 — a single replica cannot survive a loss).
 	Replication int
+	// HotReplicaFactor enables the hot-spot tolerance layer (SystemSphinx
+	// only): each CN tracks its hottest keys with a decaying frequency
+	// sketch seeded by the filter cache's hotness bit, promotes them into
+	// this many replicated read-only records spread over ring successors,
+	// and serves their Gets from the least-contended replica (power-of-two
+	// choices on per-MN queued-wait). Writes republish or remove the
+	// replicas before acknowledging, so reads stay verify-or-fallback
+	// correct. 0 (the default) disables the layer; values >= 2 enable it
+	// (1 is rounded up to the default factor of 3).
+	HotReplicaFactor int
+	// HotSetBytes is the per-CN budget of the hot-key tracker (sketch +
+	// replica route caches; default 256 KiB). Only meaningful with
+	// HotReplicaFactor > 0.
+	HotSetBytes uint64
+	// DisableHotReplicas turns the hot layer off at the client while the
+	// cluster still hosts the tables — the ablation lever for comparing
+	// skewed workloads with and without replication on one cluster build.
+	DisableHotReplicas bool
 	// SLOs configures latency objectives for the cluster observability
 	// plane: each is evaluated every sample into fast/slow error-budget
 	// burn rates, exported as slo_* metric families and fed to the alert
@@ -236,6 +254,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			cl.sphinxShared, err = core.BootstrapReplicated(f, ring, cfg.ExpectedKeys, cfg.Replication)
 		} else {
 			cl.sphinxShared, err = core.Bootstrap(f, ring, cfg.ExpectedKeys)
+		}
+		if err == nil && cfg.HotReplicaFactor > 0 {
+			// Hot tables are sized for the promoted working set, which is
+			// the head of the distribution, not the keyspace: a few
+			// thousand keys per CN is generous (trackers demote beyond it).
+			err = core.BootstrapHot(f, &cl.sphinxShared, 4096, cfg.HotReplicaFactor)
 		}
 	case SystemSMART:
 		cl.smartShared, err = smart.Bootstrap(f, ring)
@@ -475,6 +499,7 @@ type ComputeNode struct {
 	id      int
 	filter  *core.FilterCache
 	lac     *core.LeafCache
+	hotset  *core.HotSet
 	cache   *smart.NodeCache
 }
 
@@ -487,6 +512,12 @@ func (c *Cluster) NewComputeNode() *ComputeNode {
 		cn.filter = core.NewFilterCacheBytes(c.cfg.CacheBytes, uint64(c.cfg.Seed+int64(cn.id))|1)
 		if !c.cfg.DisableLeafCache {
 			cn.lac = core.NewLeafCacheBytes(c.cfg.LeafCacheBytes, uint64(c.cfg.Seed+int64(cn.id)))
+		}
+		if hot := c.sphinxShared.Hot; hot != nil && !c.cfg.DisableHotReplicas {
+			// One tracker per CN, shared by its sessions, so promotion
+			// decisions see the CN's aggregate traffic — the same sharing
+			// shape as the filter cache.
+			cn.hotset = core.NewHotSet(c.cfg.HotSetBytes, uint64(c.cfg.Seed+int64(cn.id)), hot.R)
 		}
 	case SystemSMART:
 		cn.cache = smart.NewNodeCache(c.cfg.CacheBytes)
@@ -502,6 +533,9 @@ func (cn *ComputeNode) CacheBytes() uint64 {
 		total := cn.filter.SizeBytes()
 		if cn.lac != nil {
 			total += cn.lac.SizeBytes()
+		}
+		if cn.hotset != nil {
+			total += cn.hotset.SizeBytes()
 		}
 		return total
 	case cn.cache != nil:
