@@ -565,21 +565,39 @@ func Skew(base Config, thetas []float64, out io.Writer) ([]Result, *SkewReport, 
 		fmt.Fprintf(out, "    theta=%.2f: replicated %.2fx unreplicated (MN imbalance %.2f -> %.2f, reconciled %s)\n",
 			eff, pt.Speedup, pt.BaseImbalance, pt.HotImbalance, verdictString(pt.HotReconciled))
 	}
+	if rep.evaluate() {
+		fmt.Fprintf(out, "    gate: theta=0.99 replicated >= %.1fx unreplicated, imbalance flattened, hot reads reconciled -> pass=%v\n",
+			rep.Gate, rep.Pass)
+	} else {
+		fmt.Fprintf(out, "    gate: sweep has no theta~0.99 point; speedup gate unevaluated -> pass=false\n")
+	}
+	return results, rep, nil
+}
+
+// evaluate fills in the report's Pass/SpeedupAt099 verdict from its
+// points: every point's hot reads reconciled, and at θ≈0.99 the
+// replicated speedup clears Gate with the imbalance flattened. Returns
+// whether a θ≈0.99 point was present at all; without one the speedup
+// gate cannot be asserted, so Pass fails closed — a custom sweep must
+// include the gate point to be green, not merely avoid it.
+func (rep *SkewReport) evaluate() (gated bool) {
 	rep.Pass = true
 	for _, pt := range rep.Points {
 		if pt.HotReconciled == nil || !*pt.HotReconciled {
 			rep.Pass = false
 		}
 		if pt.Theta > 0.98 && pt.Theta < 1.0 {
+			gated = true
 			rep.SpeedupAt099 = pt.Speedup
 			if pt.Speedup < rep.Gate || pt.HotImbalance >= pt.BaseImbalance {
 				rep.Pass = false
 			}
 		}
 	}
-	fmt.Fprintf(out, "    gate: theta=0.99 replicated >= %.1fx unreplicated, imbalance flattened, hot reads reconciled -> pass=%v\n",
-		rep.Gate, rep.Pass)
-	return results, rep, nil
+	if !gated {
+		rep.Pass = false
+	}
+	return gated
 }
 
 // verdictString renders a tri-state reconciliation verdict.

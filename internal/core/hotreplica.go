@@ -21,6 +21,7 @@
 //
 // Promotion closes the publish-vs-write race with a placeholder phase:
 //
+//	open the writers' gate        // Published() true from here on
 //	v0 := nextHotVersion()        // drawn before anything else
 //	publish Locked placeholders   // key now discoverable to writers
 //	v1 := nextHotVersion()        // still before the read
@@ -33,7 +34,13 @@
 // never overwrite a fresher one, and a record the promoter replaces is
 // always older than what it read. The swap-only final phase means a
 // concurrent delete (which removes records before acking) simply makes
-// the promotion fizzle.
+// the promotion fizzle. The gate ordering is load-bearing: writers skip
+// the per-write replica probe while Published() is false, so the flag
+// must be set before the first placeholder can be seen — were it set
+// only after the promotion completed, a write committing between the
+// placeholder publish and the promoter's read would skip the swap that
+// outranks v1, and the promoter would bury the fresher value under a
+// verified-servable stale record.
 //
 // Benign imperfections, all bounded by verification: duplicate records
 // from racing promoters (deduplicated by the next swap), placeholders
@@ -84,12 +91,16 @@ type HotReplicas struct {
 	// verCounter issues cluster-ordered LWW versions for hot records
 	// (same construction as FaultTolerance.verCounter).
 	verCounter uint64
-	// published counts records ever published; writers skip the per-write
-	// replica probe while it is still zero (nothing can be stale).
+	// published is nonzero once a hot record — including a promotion
+	// placeholder — may be discoverable; writers skip the per-write
+	// replica probe while it is still zero (nothing can be stale). Set
+	// by hotPlacehold BEFORE the first insert, never after a promotion
+	// completes: see the gate-ordering note in the package comment.
 	published uint64
 }
 
-// Published reports whether any hot record was ever published.
+// Published reports whether any hot record may ever have been
+// discoverable (records or placeholders, including since-removed ones).
 func (hr *HotReplicas) Published() bool {
 	return atomic.LoadUint64(&hr.published) != 0
 }
@@ -216,6 +227,17 @@ func hotUnits(imgLen int) uint8 {
 	return uint8(u)
 }
 
+// hotRoutable reports whether a (key, value) pair still fits the route
+// cache's 8-bit unit field once encoded as a record image (~16 KiB).
+// Oversized pairs are excluded from the hot layer up front, at the
+// hotTouch observation gate: promoting one would publish records no
+// route can hold, so every promotion would end at routed=0, unclaim,
+// and be retried as soon as the sketch re-crossed the threshold —
+// steady candidate-lookup churn plus orphaned records, zero benefit.
+func hotRoutable(key []byte, valLen int) bool {
+	return hotUnits(anchorDataOff+len(key)+valLen) != 0
+}
+
 // hotCand is one decoded hot-table candidate whose record stores the key.
 type hotCand struct {
 	entry   wire.HashEntry
@@ -292,12 +314,25 @@ func (c *Client) hotSwapIn(node mem.NodeID, key, value []byte, version uint64) (
 	defer c.eng.C.SetStage(c.eng.C.SetStage(fabric.StageHotPub))
 	var img []byte
 	var newAddr mem.Addr
+	// dropOrphan retires a written-but-never-published image when an exit
+	// abandons it — a retry iteration adopted a newer winner, the record
+	// vanished, or the race budget ran out. The bump allocator cannot
+	// reclaim the bytes, but invalidating the status word keeps the
+	// orphan permanently un-servable instead of a live-looking Idle
+	// record floating in dead memory.
+	dropOrphan := func() {
+		if img != nil {
+			_ = c.retireRecord(newAddr, key)
+		}
+	}
 	for attempt := 0; attempt < anchorPutMaxRaces; attempt++ {
 		cands, err := c.hotCandidates(node, key)
 		if err != nil {
+			dropOrphan()
 			return 0, 0, false, err
 		}
 		if len(cands) == 0 {
+			dropOrphan()
 			return 0, 0, false, nil
 		}
 		best := 0
@@ -308,6 +343,7 @@ func (c *Client) hotSwapIn(node mem.NodeID, key, value []byte, version uint64) (
 		}
 		if cands[best].version >= version {
 			// A newer write already won; keep it (LWW).
+			dropOrphan()
 			if cands[best].status != wire.StatusIdle {
 				return 0, 0, false, nil
 			}
@@ -315,19 +351,23 @@ func (c *Client) hotSwapIn(node mem.NodeID, key, value []byte, version uint64) (
 			return cands[best].entry.Addr, cands[best].imgLen, true, nil
 		}
 		if img == nil {
-			// Immutable record: one allocation serves every retry.
-			img = encodeRecord(wire.StatusIdle, key, value, version)
-			newAddr, err = c.eng.Alloc.Alloc(node, mem.ClassLeaf, uint64(len(img)))
+			// Immutable record: one allocation serves every retry. img is
+			// only set once the image is fully written, so dropOrphan never
+			// touches a half-initialized record.
+			rec := encodeRecord(wire.StatusIdle, key, value, version)
+			newAddr, err = c.eng.Alloc.Alloc(node, mem.ClassLeaf, uint64(len(rec)))
 			if err != nil {
 				return 0, 0, false, err
 			}
-			if err := c.eng.C.Write(newAddr, img); err != nil {
+			if err := c.eng.C.Write(newAddr, rec); err != nil {
 				return 0, 0, false, err
 			}
+			img = rec
 		}
 		newEntry := wire.HashEntry{Valid: true, FP: wire.FP12(key), Type: wire.Node4, Addr: newAddr}
 		won, err := c.hotViewOf(node).SwapIfPresent(racehash.PlacementHash(key), cands[best].entry, newEntry)
 		if err != nil {
+			dropOrphan()
 			return 0, 0, false, err
 		}
 		if won {
@@ -337,6 +377,7 @@ func (c *Client) hotSwapIn(node mem.NodeID, key, value []byte, version uint64) (
 		}
 		// Lost the swap race; re-read and re-decide by version.
 	}
+	dropOrphan()
 	return 0, 0, false, fmt.Errorf("core: hot publish for %q lost %d consecutive swap races", key, anchorPutMaxRaces)
 }
 
@@ -365,6 +406,14 @@ func (c *Client) hotPlacehold(targets []mem.NodeID, key []byte, v0 uint64) error
 			return err
 		}
 		entry := wire.HashEntry{Valid: true, FP: wire.FP12(key), Type: wire.Node4, Addr: addr}
+		// Open the writers' probe gate before the placeholder becomes
+		// discoverable: a put/delete committing between this insert and
+		// the promoter's authoritative read must see Published() true and
+		// run the swap that outranks v1, or the promoter's pre-write
+		// value would stick as a verified-servable stale record. Once the
+		// gate opened it stays open even if this promotion fizzles —
+		// correctness over the probe's cost.
+		atomic.StoreUint64(&c.shared.Hot.published, 1)
 		if err := c.hotViewOf(t).Insert(racehash.PlacementHash(key), entry, c.eng.Alloc); err != nil {
 			return err
 		}
@@ -408,7 +457,6 @@ func (c *Client) hotAbandon(targets []mem.NodeID, key []byte, v0 uint64) {
 // hot reads. The placeholder/versioned-swap protocol below runs only
 // against targets that hold nothing yet.
 func (c *Client) hotPromote(key []byte) {
-	hot := c.shared.Hot
 	targets, _ := c.hotTargets(key, false)
 	if len(targets) == 0 {
 		c.hotset.Unclaim(key)
@@ -458,6 +506,15 @@ func (c *Client) hotPromote(key []byte) {
 			c.hotset.Unclaim(key)
 			return
 		}
+		if !hotRoutable(key, len(val)) {
+			// The value outgrew the routable bound between the observation
+			// and this read: retract our placeholders and stand down —
+			// the hotTouch size gate keeps the key from being re-claimed,
+			// so this is a terminal demotion, not a retry loop.
+			c.hotAbandon(fresh, key, v0)
+			c.hotset.Unclaim(key)
+			return
+		}
 		for i, t := range fresh {
 			addr, imgLen, ok, err := c.hotSwapIn(t, key, val, v1)
 			if err != nil || !ok {
@@ -474,7 +531,6 @@ func (c *Client) hotPromote(key []byte) {
 		return
 	}
 	atomic.AddUint64(&c.stats.HotPromotes, 1)
-	atomic.AddUint64(&hot.published, 1)
 }
 
 // hotRefresh republishes a committed write over the key's hot records,
@@ -563,9 +619,10 @@ func (c *Client) hotDemote(key []byte) {
 // hotTouch feeds one served read into the tracker and runs whatever
 // maintenance the observation triggered. Skipped in degraded mode (the
 // hot layer is entirely off there — degraded writes land anchor-only and
-// would leave records stale).
-func (c *Client) hotTouch(key []byte, sfcHot bool) {
-	if c.hotset == nil || !c.hotEnabled() {
+// would leave records stale) and for values too large to route (see
+// hotRoutable) — valLen is the length of the value the read served.
+func (c *Client) hotTouch(key []byte, valLen int, sfcHot bool) {
+	if c.hotset == nil || !c.hotEnabled() || !hotRoutable(key, valLen) {
 		return
 	}
 	switch c.hotset.Observe(key, sfcHot) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -8,6 +9,8 @@ import (
 	"testing"
 
 	"sphinx/internal/fabric"
+	"sphinx/internal/mem"
+	"sphinx/internal/wire"
 )
 
 // The hotreplica suite pins the hot-spot tolerance contract (DESIGN.md
@@ -416,5 +419,119 @@ func TestHotDisabledIsInert(t *testing.T) {
 	}
 	if c.HotSet() != nil {
 		t.Error("disabled client built a tracker")
+	}
+}
+
+// TestHotPublishGateOpensBeforePlaceholders replays the first-promotion
+// race single-threaded: once a promotion placeholder is discoverable,
+// Published() must already be true, so a write committing between the
+// placeholder publish and the promoter's final swap runs the replica
+// refresh instead of skipping it — and the promoter's pre-write value
+// then loses the LWW swap instead of sticking as a verified-servable
+// stale record.
+func TestHotPublishGateOpensBeforePlaceholders(t *testing.T) {
+	f, shared := newHotCluster(t, 3, fabric.InstantConfig(), 3)
+	hs := eagerHotSet(3, 1<<30) // never auto-promotes: phases run by hand
+	c := newTestClient(f, shared, Options{Hot: hs})
+	key := []byte("raced-key")
+	if _, err := c.Insert(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Hot.Published() {
+		t.Fatal("Published() true before any hot record exists")
+	}
+	// Promoter phase 1: placeholders become discoverable, versions drawn.
+	targets, _ := c.hotTargets(key, false)
+	if len(targets) == 0 {
+		t.Fatal("no hot targets for key")
+	}
+	// hotTargets returns the client's scratch slice; the Update below
+	// reuses it, so keep a private copy across the race.
+	targets = append([]mem.NodeID(nil), targets...)
+	v0 := c.nextHotVersion()
+	if err := c.hotPlacehold(targets, key, v0); err != nil {
+		t.Fatal(err)
+	}
+	if !shared.Hot.Published() {
+		t.Fatal("Published() false with placeholders discoverable; a racing write would skip the replica refresh")
+	}
+	v1 := c.nextHotVersion()
+	stale, ok, err := c.searchTree(key)
+	if err != nil || !ok {
+		t.Fatalf("authoritative read = %v, %v", ok, err)
+	}
+	// The racing write commits after the promoter's read, before its swap.
+	if _, err := c.Update(key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// Promoter phase 2: swapping the pre-write value in at v1 must lose
+	// on every target; whatever record is servable must hold v2.
+	for _, tgt := range targets {
+		addr, _, ok, err := c.hotSwapIn(tgt, key, stale, v1)
+		if err != nil {
+			t.Fatalf("hotSwapIn(node %d): %v", tgt, err)
+		}
+		if !ok {
+			continue // nothing servable there: fine, never stale
+		}
+		st, k, v, _, err := c.readRecord(addr)
+		if err != nil {
+			t.Fatalf("readRecord(node %d): %v", tgt, err)
+		}
+		if st != wire.StatusIdle || !bytes.Equal(k, key) {
+			t.Fatalf("node %d: servable record status=%v key=%q", tgt, st, k)
+		}
+		if !bytes.Equal(v, []byte("v2")) {
+			t.Errorf("node %d: hot record serves %q after racing write, want %q", tgt, v, "v2")
+		}
+	}
+}
+
+// TestHotOversizedValueExcluded pins the size gate: a value whose record
+// image exceeds the route cache's 8-bit unit field (~16 KiB) must never
+// enter the hot layer — without the gate every promotion ended at
+// routed=0, unclaimed, and was retried as soon as the sketch re-crossed
+// the threshold, churning forever with no routable result.
+func TestHotOversizedValueExcluded(t *testing.T) {
+	f, shared := newHotCluster(t, 3, fabric.InstantConfig(), 3)
+	hs := eagerHotSet(3, 3)
+	c := newTestClient(f, shared, Options{Hot: hs})
+	key := []byte("jumbo-key")
+	// The hot record header (24 B) is larger than the leaf header (16 B),
+	// so a narrow band of pairs fits a 255-unit tree leaf but not a hot
+	// record image; this value puts key+value at the top of that band.
+	big := make([]byte, 16304-len(key))
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if hotRoutable(key, len(big)) {
+		t.Fatal("test value unexpectedly routable; grow it")
+	}
+	if _, err := c.Insert(key, big); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		warmSearch(t, c, key, big)
+	}
+	if got := c.Stats().HotPromotes; got != 0 {
+		t.Errorf("HotPromotes = %d for unroutable value, want 0", got)
+	}
+	if shared.Hot.Published() {
+		t.Error("unroutable key left discoverable hot records; the size gate failed")
+	}
+	if hs.Claimed(key) {
+		t.Error("unroutable key holds a promotion claim; Observe saw an unroutable key")
+	}
+	// The gate is per-key, not a kill switch: a routable key on the same
+	// client still promotes.
+	small := []byte("small-key")
+	if _, err := c.Insert(small, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8 && c.Stats().HotPromotes == 0; i++ {
+		warmSearch(t, c, small, []byte("v"))
+	}
+	if got := c.Stats().HotPromotes; got != 1 {
+		t.Errorf("HotPromotes = %d for routable key, want 1", got)
 	}
 }

@@ -147,7 +147,7 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 	// hotreplica.go). A refute or abort falls through with a fresh budget,
 	// like the speculative path below.
 	if val, served := c.hotGet(key); served {
-		c.hotTouch(key, false)
+		c.hotTouch(key, len(val), false)
 		return val, true, nil
 	}
 	// Speculative fast path: if the leaf-address cache has an opinion, one
@@ -157,7 +157,7 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 	// so it consumes no retry budget and injects no sleep (same contract as
 	// the ErrNeedParent re-route in put).
 	if val, served := c.specGet(key); served {
-		c.hotTouch(key, false)
+		c.hotTouch(key, len(val), false)
 		return val, true, nil
 	}
 	// The authoritative walk below probes the filter inside locate, which
@@ -165,7 +165,7 @@ func (c *Client) Search(key []byte) ([]byte, bool, error) {
 	c.sfcWasHot = false
 	val, ok, err := c.searchTree(key)
 	if err == nil && ok {
-		c.hotTouch(key, c.sfcWasHot)
+		c.hotTouch(key, len(val), c.sfcWasHot)
 	}
 	return val, ok, err
 }
